@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper.  The
+expensive synthesis results are shared session-wide; the pytest-benchmark
+fixture times the core regeneration step of each experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assumptions import assume
+from repro.stg import specs
+from repro.synthesis import (
+    synthesize_burst_mode,
+    synthesize_rt,
+    synthesize_si,
+    to_pulse_mode,
+)
+
+
+@pytest.fixture(scope="session")
+def fifo_si():
+    return synthesize_si(specs.fifo_controller())
+
+
+@pytest.fixture(scope="session")
+def fifo_bm():
+    return synthesize_burst_mode(specs.fifo_controller())
+
+
+@pytest.fixture(scope="session")
+def fifo_rt():
+    return synthesize_rt(specs.fifo_controller())
+
+
+@pytest.fixture(scope="session")
+def fifo_rt_user():
+    return synthesize_rt(
+        specs.fifo_controller(),
+        user_assumptions=[assume("ri-", "li+", rationale="ring with a single token")],
+    )
+
+
+@pytest.fixture(scope="session")
+def fifo_pulse(fifo_rt_user):
+    return to_pulse_mode(fifo_rt_user)

@@ -1,0 +1,80 @@
+"""Figure 1: the RAPPID microarchitecture and its cycle domains.
+
+The paper reports that the tag cycle sustains ~3.6 GIPS (up to ~4.5 GIPS in
+some tests), consumes ~720 M cache lines per second on average, and that the
+three self-timed cycle domains run at roughly 3.6 GHz / 0.9 GHz / 0.7 GHz.
+It also stresses that the architecture scales in both dimensions (columns =
+length-decode cycle, rows = steering cycle).
+"""
+
+import pytest
+
+from repro.rappid import RappidConfig, RappidDecoder, WorkloadGenerator
+
+
+def _run(instruction_count=10_000, seed=1, **config_kwargs):
+    generator = WorkloadGenerator(seed=seed)
+    instructions, lines = generator.workload(instruction_count)
+    decoder = RappidDecoder(RappidConfig(**config_kwargs)) if config_kwargs else RappidDecoder()
+    return decoder.run(instructions, lines)
+
+
+def test_bench_fig1_cycle_domains(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print()
+    print("RAPPID cycle domains (paper: ~3.6 / ~0.9 / ~0.7 GHz):")
+    print(f"  tag cycle            {result.tag_rate_ghz:.2f} GHz")
+    print(f"  steering cycle       {result.steering_rate_ghz:.2f} GHz per row")
+    print(f"  length decode cycle  {result.length_decode_rate_ghz:.2f} GHz")
+    print(f"  throughput           {result.throughput_instructions_per_ns:.2f} instructions/ns"
+          "   (paper: 2.5-4.5)")
+    print(f"  cache lines          {result.lines_per_second / 1e6:.0f} M lines/s   (paper: ~720M)")
+
+    assert 2.0 <= result.throughput_instructions_per_ns <= 5.0
+    assert result.tag_rate_ghz > result.steering_rate_ghz > 0
+    assert result.steering_rate_ghz >= result.length_decode_rate_ghz
+    assert 200e6 < result.lines_per_second < 1500e6
+
+
+def test_bench_fig1_scalability(benchmark):
+    """Performance scales with both the horizontal and vertical dimension."""
+
+    def sweep():
+        rows_sweep = {
+            rows: _run(6_000, rows=rows).throughput_instructions_per_ns
+            for rows in (2, 4, 6)
+        }
+        return rows_sweep
+
+    rows_sweep = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("issue-width (steering rows) sweep, instructions/ns:")
+    for rows, throughput in rows_sweep.items():
+        print(f"  rows={rows}: {throughput:.2f}")
+    assert rows_sweep[4] >= rows_sweep[2]
+    assert rows_sweep[6] >= rows_sweep[4] * 0.95
+
+
+def test_bench_fig1_length_distribution_sensitivity(benchmark):
+    """Lines with fewer, longer instructions are consumed faster (Section 2.2)."""
+
+    def sweep():
+        generator = WorkloadGenerator(seed=2)
+        decoder = RappidDecoder()
+        out = {}
+        for length in (2, 5, 8):
+            instructions = generator.fixed_length_instructions(4_000, length)
+            result = decoder.run(instructions, generator.cache_lines(instructions))
+            out[length] = result
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("fixed instruction length sweep:")
+    for length, result in results.items():
+        print(
+            f"  length {length}: {result.throughput_instructions_per_ns:.2f} instr/ns, "
+            f"{result.lines_per_second / 1e6:.0f} M lines/s"
+        )
+    assert results[8].lines_per_second > results[2].lines_per_second

@@ -1,0 +1,42 @@
+"""Figure 4: the speed-independent FIFO cell.
+
+Regenerates the SI implementation of the Figure 3 specification and checks
+its defining properties: it needs no timing constraints (verified correct
+under unbounded delays) and pays for that with the largest gate count of the
+four implementations.
+"""
+
+import pytest
+
+from repro.circuit.analysis import fifo_environment_rules, measure_cycle_metrics
+from repro.stg import specs
+from repro.synthesis import synthesize_si
+from repro.verification import verify_conformance
+
+
+def test_bench_fig4_speed_independent_fifo(benchmark, fifo_si, fifo_rt):
+    result = benchmark.pedantic(
+        synthesize_si, args=(specs.fifo_controller(),), rounds=1, iterations=1
+    )
+
+    print()
+    print(result.describe())
+    conformance = verify_conformance(result.netlist, result.encoded_stg)
+    print(f"  unbounded-delay conformance: {conformance.conforms}")
+    metrics = measure_cycle_metrics(
+        result.netlist,
+        fifo_environment_rules(),
+        "lo",
+        initial_stimuli=[("li", 1, 50.0)],
+    )
+    print(f"  average cycle delay: {metrics.average_delay_ps:.0f} ps "
+          "(paper SI row: 1560 ps average)")
+
+    # The SI circuit is correct with no timing constraints at all.
+    assert conformance.conforms
+    # It needs a state signal (the FIFO spec violates CSC).
+    assert result.inserted_state_signals
+    # And it is the largest implementation (the paper's 39 transistors versus
+    # 20 for the RT circuit).
+    assert result.netlist.transistor_count() > fifo_si.netlist.transistor_count() * 0.9
+    assert result.netlist.transistor_count() > fifo_rt.netlist.transistor_count()

@@ -1,0 +1,37 @@
+"""Table 1: RAPPID versus the 400 MHz clocked circuit.
+
+Paper reports: throughput 3x, latency 2x, power 2x, area -22% (penalty),
+testability 95.9%.  The benchmark regenerates the same rows from the
+behavioural models and checks the shape (who wins, by roughly what factor).
+"""
+
+import pytest
+
+from repro.rappid import compare_designs
+
+
+def _table1(instruction_count: int = 10_000):
+    return compare_designs(instruction_count=instruction_count, seed=1)
+
+
+def test_bench_table1(benchmark):
+    comparison = benchmark.pedantic(_table1, rounds=1, iterations=1)
+
+    print()
+    print(comparison.describe())
+    print()
+    print("paper reference: throughput 3x, latency 2x, power 2x, area -22%")
+
+    # Shape checks: asynchronous wins on throughput, latency and power,
+    # loses moderately on area.
+    assert comparison.throughput_ratio > 2.0
+    assert comparison.latency_ratio > 1.3
+    assert comparison.power_ratio > 1.5
+    assert 5.0 < comparison.area_penalty_percent < 45.0
+
+
+def test_bench_table1_scaling_with_workload(benchmark):
+    """The comparison is stable across workload sizes."""
+    small = _table1(2_000)
+    large = benchmark.pedantic(_table1, args=(20_000,), rounds=1, iterations=1)
+    assert large.throughput_ratio == pytest.approx(small.throughput_ratio, rel=0.25)

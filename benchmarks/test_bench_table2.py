@@ -1,0 +1,104 @@
+"""Table 2: comparison of FIFO implementations.
+
+Paper (0.25 micron silicon):
+
+    Circuit   Worst    Average  Energy   #Trans  Stuck-at
+    SI        2160 ps  1560 ps  37.6 pJ  39      91%
+    RT-BM     1020 ps   550 ps  32.2 pJ  40      74%
+    RT         595 ps   390 ps  18.2 pJ  20      100%
+    Pulse      350 ps   350 ps  16.2 pJ  17      100%
+
+The benchmark regenerates the same five columns from the library models and
+checks the orderings (SI slowest/most energy, RT substantially better, pulse
+smallest) rather than the absolute silicon numbers.
+"""
+
+import pytest
+
+from repro.circuit.analysis import fifo_environment_rules, measure_cycle_metrics
+from repro.circuit.simulator import HandshakeRule
+from repro.testability import stuck_at_coverage
+
+PAPER_ROWS = {
+    "SI": {"worst": 2160, "avg": 1560, "energy": 37.6, "transistors": 39, "test": 91},
+    "RT-BM": {"worst": 1020, "avg": 550, "energy": 32.2, "transistors": 40, "test": 74},
+    "RT": {"worst": 595, "avg": 390, "energy": 18.2, "transistors": 20, "test": 100},
+    "Pulse": {"worst": 350, "avg": 350, "energy": 16.2, "transistors": 17, "test": 100},
+}
+
+
+def _pulse_rules():
+    return [
+        HandshakeRule("ro", 0, "li", 1, 600.0),
+        HandshakeRule("li", 1, "li", 0, 250.0),
+    ]
+
+
+def _row(name, netlist, rules, reference, stimuli, coverage_duration=12_000.0):
+    try:
+        metrics = measure_cycle_metrics(
+            netlist, rules, reference, name=name, initial_stimuli=stimuli
+        )
+        worst, avg, energy = (
+            metrics.worst_delay_ps,
+            metrics.average_delay_ps,
+            metrics.energy_per_cycle_pj,
+        )
+    except RuntimeError:
+        # The fundamental-mode (RT-BM) mapping can stall under an environment
+        # that does not honour its settling discipline; report the static
+        # columns and mark the dynamic ones as unavailable.
+        worst = avg = energy = float("nan")
+    coverage = stuck_at_coverage(netlist, rules, stimuli, duration_ps=coverage_duration)
+    return {
+        "circuit": name,
+        "worst": worst,
+        "avg": avg,
+        "energy": energy,
+        "transistors": netlist.transistor_count(),
+        "test": coverage.coverage_percent,
+    }
+
+
+def _build_table(fifo_si, fifo_bm, fifo_rt, fifo_pulse):
+    rules = fifo_environment_rules()
+    stimuli = [("li", 1, 50.0)]
+    rows = [
+        _row("SI", fifo_si.netlist, rules, "lo", stimuli),
+        _row("RT-BM", fifo_bm.netlist, rules, "lo", stimuli),
+        _row("RT", fifo_rt.netlist, rules, "lo", stimuli),
+        _row(
+            "Pulse",
+            fifo_pulse.netlist,
+            _pulse_rules(),
+            "ro",
+            [("li", 1, 100.0), ("li", 0, 350.0)],
+        ),
+    ]
+    return rows
+
+
+def test_bench_table2(benchmark, fifo_si, fifo_bm, fifo_rt, fifo_pulse):
+    rows = benchmark.pedantic(
+        _build_table, args=(fifo_si, fifo_bm, fifo_rt, fifo_pulse), rounds=1, iterations=1
+    )
+
+    print()
+    print(f"{'Circuit':<8}{'Worst(ps)':>11}{'Avg(ps)':>10}{'Energy(pJ)':>12}{'#Trans':>8}{'Stuck-at':>10}   paper: worst/avg/energy/trans/test")
+    for row in rows:
+        paper = PAPER_ROWS[row["circuit"]]
+        print(
+            f"{row['circuit']:<8}{row['worst']:>11.0f}{row['avg']:>10.0f}{row['energy']:>12.1f}"
+            f"{row['transistors']:>8d}{row['test']:>9.1f}%   "
+            f"{paper['worst']}/{paper['avg']}/{paper['energy']}/{paper['transistors']}/{paper['test']}%"
+        )
+
+    by_name = {row["circuit"]: row for row in rows}
+    # Shape checks mirroring the paper's conclusions.
+    assert by_name["RT"]["avg"] < by_name["SI"]["avg"]
+    assert by_name["RT"]["energy"] < by_name["SI"]["energy"]
+    assert by_name["RT"]["transistors"] < by_name["SI"]["transistors"]
+    assert by_name["Pulse"]["transistors"] < by_name["RT"]["transistors"]
+    assert by_name["Pulse"]["energy"] <= by_name["RT"]["energy"]
+    # RT-class circuits stay at least as testable as the SI baseline.
+    assert by_name["RT"]["test"] >= by_name["SI"]["test"] - 10.0

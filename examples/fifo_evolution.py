@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""The FIFO case study of Section 4: SI -> burst-mode -> RT -> pulse mode.
+
+Reproduces the structure of Table 2: for each implementation style the
+script reports worst-case delay, average delay, switching energy per
+four-phase cycle, transistor count, and stuck-at testability.
+
+    python examples/fifo_evolution.py [--quick]
+"""
+
+import argparse
+
+from repro.circuit.analysis import fifo_environment_rules, measure_cycle_metrics
+from repro.circuit.simulator import HandshakeRule
+from repro.core.assumptions import assume
+from repro.stg import specs
+from repro.synthesis import (
+    synthesize_burst_mode,
+    synthesize_rt,
+    synthesize_si,
+    to_pulse_mode,
+)
+from repro.testability import stuck_at_coverage
+
+
+def pulse_environment_rules(period_ps: float = 1200.0):
+    """Pulse-mode environment: a new input pulse after each output pulse."""
+    return [
+        HandshakeRule("ro", 0, "li", 1, period_ps / 2),
+        HandshakeRule("li", 1, "li", 0, 250.0),
+    ]
+
+
+def evaluate(name, netlist, rules, reference, stimuli, coverage_duration):
+    metrics = measure_cycle_metrics(
+        netlist, rules, reference, name=name, initial_stimuli=stimuli
+    )
+    coverage = stuck_at_coverage(
+        netlist, rules, stimuli, duration_ps=coverage_duration
+    )
+    return {
+        "circuit": name,
+        "worst_delay_ps": round(metrics.worst_delay_ps, 0),
+        "average_delay_ps": round(metrics.average_delay_ps, 0),
+        "energy_pj": round(metrics.energy_per_cycle_pj, 1),
+        "transistors": netlist.transistor_count(),
+        "testability_pct": round(coverage.coverage_percent, 1),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="shorter fault simulation")
+    args = parser.parse_args()
+    coverage_duration = 8_000.0 if args.quick else 20_000.0
+
+    stg = specs.fifo_controller()
+    print("Synthesizing the four FIFO implementations of Table 2 ...")
+    si = synthesize_si(stg)
+    bm = synthesize_burst_mode(stg)
+    rt = synthesize_rt(stg)
+    rt_user = synthesize_rt(
+        specs.fifo_controller(),
+        user_assumptions=[assume("ri-", "li+", rationale="ring with a single token")],
+    )
+    pulse = to_pulse_mode(rt_user)
+
+    rules = fifo_environment_rules()
+    stimuli = [("li", 1, 50.0)]
+    rows = []
+    rows.append(evaluate("SI (Fig. 4)", si.netlist, rules, "lo", stimuli, coverage_duration))
+    rows.append(evaluate("RT-BM", bm.netlist, rules, "lo", stimuli, coverage_duration))
+    rows.append(evaluate("RT (Fig. 5/6)", rt.netlist, rules, "lo", stimuli, coverage_duration))
+    rows.append(
+        evaluate(
+            "Pulse (Fig. 7)",
+            pulse.netlist,
+            pulse_environment_rules(),
+            "ro",
+            [("li", 1, 100.0), ("li", 0, 350.0)],
+            coverage_duration,
+        )
+    )
+
+    print()
+    header = f"{'Circuit':<15}{'Worst(ps)':>11}{'Avg(ps)':>10}{'Energy(pJ)':>12}{'#Trans':>8}{'Stuck-at':>10}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['circuit']:<15}{row['worst_delay_ps']:>11.0f}{row['average_delay_ps']:>10.0f}"
+            f"{row['energy_pj']:>12.1f}{row['transistors']:>8d}{row['testability_pct']:>9.1f}%"
+        )
+
+    print()
+    print("Required RT constraints of the automatic-assumption circuit (Fig. 5(c)):")
+    for constraint in rt.constraints:
+        print("  ", constraint)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Boolean function manipulation for logic synthesis.
+
+Functions are represented as sums of cubes over an ordered variable list.
+The minimizer is a classic Quine--McCluskey prime generation followed by an
+essential-prime plus greedy covering step, with full don't-care support --
+adequate for the controller-scale functions produced by the asynchronous
+synthesis flow (typically fewer than a dozen variables).
+"""
+
+from repro.boolean.cubes import Cube, Cover, cube_from_code
+from repro.boolean.minimize import minimize, complement_cover
+from repro.boolean.expr import (
+    AndExpr,
+    ConstExpr,
+    Expression,
+    NotExpr,
+    OrExpr,
+    VarExpr,
+    cover_to_expression,
+    expression_literals,
+)
+
+__all__ = [
+    "Cube",
+    "Cover",
+    "cube_from_code",
+    "minimize",
+    "complement_cover",
+    "Expression",
+    "VarExpr",
+    "NotExpr",
+    "AndExpr",
+    "OrExpr",
+    "ConstExpr",
+    "cover_to_expression",
+    "expression_literals",
+]

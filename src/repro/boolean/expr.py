@@ -1,0 +1,183 @@
+"""Boolean expression trees.
+
+Expressions are the bridge between two-level covers and gate-level
+netlists: a cover is converted into an OR of ANDs of literals, which the
+technology mapper then turns into library gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.boolean.cubes import Cover, Cube
+
+
+class Expression:
+    """Base class for Boolean expression nodes."""
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def variables(self) -> List[str]:
+        raise NotImplementedError
+
+    def literal_count(self) -> int:
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstExpr(Expression):
+    value: int
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        return self.value
+
+    def variables(self) -> List[str]:
+        return []
+
+    def literal_count(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VarExpr(Expression):
+    name: str
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        return int(bool(values[self.name]))
+
+    def variables(self) -> List[str]:
+        return [self.name]
+
+    def literal_count(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class NotExpr(Expression):
+    operand: Expression
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        return 1 - self.operand.evaluate(values)
+
+    def variables(self) -> List[str]:
+        return self.operand.variables()
+
+    def literal_count(self) -> int:
+        return self.operand.literal_count()
+
+    def __str__(self) -> str:
+        inner = str(self.operand)
+        if isinstance(self.operand, (VarExpr, ConstExpr)):
+            return f"{inner}'"
+        return f"({inner})'"
+
+
+@dataclass(frozen=True)
+class AndExpr(Expression):
+    operands: Tuple[Expression, ...]
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        return int(all(op.evaluate(values) for op in self.operands))
+
+    def variables(self) -> List[str]:
+        seen: List[str] = []
+        for op in self.operands:
+            for var in op.variables():
+                if var not in seen:
+                    seen.append(var)
+        return seen
+
+    def literal_count(self) -> int:
+        return sum(op.literal_count() for op in self.operands)
+
+    def __str__(self) -> str:
+        parts = []
+        for op in self.operands:
+            text = str(op)
+            if isinstance(op, OrExpr):
+                text = f"({text})"
+            parts.append(text)
+        return " ".join(parts) if parts else "1"
+
+
+@dataclass(frozen=True)
+class OrExpr(Expression):
+    operands: Tuple[Expression, ...]
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        return int(any(op.evaluate(values) for op in self.operands))
+
+    def variables(self) -> List[str]:
+        seen: List[str] = []
+        for op in self.operands:
+            for var in op.variables():
+                if var not in seen:
+                    seen.append(var)
+        return seen
+
+    def literal_count(self) -> int:
+        return sum(op.literal_count() for op in self.operands)
+
+    def __str__(self) -> str:
+        return " + ".join(str(op) for op in self.operands) if self.operands else "0"
+
+
+def make_and(operands: Sequence[Expression]) -> Expression:
+    """AND with simplification of trivial cases."""
+    ops = [op for op in operands if not (isinstance(op, ConstExpr) and op.value == 1)]
+    if any(isinstance(op, ConstExpr) and op.value == 0 for op in ops):
+        return ConstExpr(0)
+    if not ops:
+        return ConstExpr(1)
+    if len(ops) == 1:
+        return ops[0]
+    return AndExpr(tuple(ops))
+
+
+def make_or(operands: Sequence[Expression]) -> Expression:
+    """OR with simplification of trivial cases."""
+    ops = [op for op in operands if not (isinstance(op, ConstExpr) and op.value == 0)]
+    if any(isinstance(op, ConstExpr) and op.value == 1 for op in ops):
+        return ConstExpr(1)
+    if not ops:
+        return ConstExpr(0)
+    if len(ops) == 1:
+        return ops[0]
+    return OrExpr(tuple(ops))
+
+
+def cube_to_expression(cube: Cube, variables: Sequence[str]) -> Expression:
+    """Convert a cube into an AND of literals."""
+    literals: List[Expression] = []
+    for bit, name in zip(cube.bits, variables):
+        if bit is None:
+            continue
+        literal: Expression = VarExpr(name)
+        if bit == 0:
+            literal = NotExpr(literal)
+        literals.append(literal)
+    return make_and(literals)
+
+
+def cover_to_expression(cover: Cover, variables: Sequence[str]) -> Expression:
+    """Convert a cover into a sum-of-products expression."""
+    if not cover:
+        return ConstExpr(0)
+    terms = [cube_to_expression(cube, variables) for cube in cover]
+    return make_or(terms)
+
+
+def expression_literals(expr: Expression) -> int:
+    """Total literal count of an expression tree."""
+    return expr.literal_count()

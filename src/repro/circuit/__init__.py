@@ -1,0 +1,46 @@
+"""Gate-level circuit substrate.
+
+Provides the netlist model, a parametric gate library (static CMOS, domino,
+C-elements, keepers) with delay / transistor / energy characterisation, an
+event-driven simulator, and analysis helpers for worst/average delay,
+switching energy and area.  These stand in for the 0.25 micron silicon and
+SPICE runs of the paper: absolute numbers are model numbers, but relative
+comparisons between circuit styles (Table 2) are preserved because they are
+driven by gate depth, handshake count and transistor count.
+"""
+
+from repro.circuit.library import (
+    GateLibrary,
+    GateType,
+    STANDARD_LIBRARY,
+    complex_gate_type,
+)
+from repro.circuit.netlist import GateInstance, Netlist, NetlistError
+from repro.circuit.simulator import (
+    EventDrivenSimulator,
+    SimulationTrace,
+    Waveform,
+)
+from repro.circuit.analysis import (
+    CircuitMetrics,
+    count_transistors,
+    estimate_energy,
+    measure_cycle_metrics,
+)
+
+__all__ = [
+    "GateLibrary",
+    "GateType",
+    "STANDARD_LIBRARY",
+    "complex_gate_type",
+    "GateInstance",
+    "Netlist",
+    "NetlistError",
+    "EventDrivenSimulator",
+    "SimulationTrace",
+    "Waveform",
+    "CircuitMetrics",
+    "count_transistors",
+    "estimate_energy",
+    "measure_cycle_metrics",
+]

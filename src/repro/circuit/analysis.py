@@ -1,0 +1,153 @@
+"""Delay, energy and area analysis of gate-level circuits.
+
+These helpers generate the per-circuit rows of the paper's Table 2:
+worst-case and average cycle delay, switching energy per four-phase cycle,
+and transistor count.  Stuck-at testability lives in
+:mod:`repro.testability`.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Netlist
+from repro.circuit.simulator import (
+    EventDrivenSimulator,
+    HandshakeEnvironment,
+    HandshakeRule,
+    SimulationTrace,
+)
+
+
+@dataclass
+class CircuitMetrics:
+    """Summary metrics of a handshake circuit exercised for several cycles."""
+
+    name: str
+    worst_delay_ps: float
+    average_delay_ps: float
+    cycle_time_ps: float
+    energy_per_cycle_pj: float
+    transistors: int
+    gate_count: int
+    cycles_measured: int
+    transitions_per_cycle: float
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "circuit": self.name,
+            "worst_delay_ps": round(self.worst_delay_ps, 1),
+            "average_delay_ps": round(self.average_delay_ps, 1),
+            "energy_pj": round(self.energy_per_cycle_pj, 2),
+            "transistors": self.transistors,
+        }
+
+
+def count_transistors(netlist: Netlist) -> int:
+    """Total transistor count of the netlist (library characterisation)."""
+    return netlist.transistor_count()
+
+
+def estimate_energy(netlist: Netlist, trace: SimulationTrace) -> float:
+    """Switching energy in pJ: per-gate energy times output transitions."""
+    total = 0.0
+    for gate in netlist.gates:
+        transitions = trace.transition_count(gate.output)
+        total += transitions * gate.gate_type.energy_pj
+    return total
+
+
+def _cycle_intervals(edge_times: Sequence[float], skip: int = 1) -> List[float]:
+    """Differences between consecutive edge times, skipping warm-up edges."""
+    edges = list(edge_times)[skip:]
+    return [b - a for a, b in zip(edges, edges[1:])]
+
+
+def measure_cycle_metrics(
+    netlist: Netlist,
+    environment_rules: Iterable[HandshakeRule],
+    reference_net: str,
+    name: Optional[str] = None,
+    cycles: int = 30,
+    environment_jitter: float = 0.25,
+    delay_jitter: float = 0.10,
+    seed: int = 1,
+    initial_stimuli: Optional[Sequence[Tuple[str, int, float]]] = None,
+    max_duration_ps: float = 2_000_000.0,
+) -> CircuitMetrics:
+    """Exercise a handshake circuit and summarise its cycle behaviour.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit under test.
+    environment_rules:
+        Reactive handshake rules closing the loop around the circuit.
+    reference_net:
+        Net whose rising edges delimit cycles (e.g. the right request ``ro``).
+    cycles:
+        Number of cycles to measure (after a one-cycle warm-up).
+    environment_jitter, delay_jitter:
+        Relative jitter applied to environment and gate delays so that the
+        worst-case and average delays differ, as they do on silicon.
+    initial_stimuli:
+        Input events injected at simulation start to kick the handshake off.
+    """
+    environment = HandshakeEnvironment(
+        environment_rules,
+        jitter=environment_jitter,
+        seed=seed,
+        initial_stimuli=initial_stimuli,
+    )
+    simulator = EventDrivenSimulator(
+        netlist, [environment], delay_jitter=delay_jitter, seed=seed
+    )
+    trace = simulator.run(duration_ps=max_duration_ps, max_events=2_000_000)
+
+    waveform = trace.waveforms.get(reference_net)
+    if waveform is None:
+        raise ValueError(f"reference net {reference_net!r} not found in trace")
+    rising = waveform.rising_edges()
+    intervals = _cycle_intervals(rising)
+    if len(intervals) < 2:
+        raise RuntimeError(
+            f"circuit produced only {len(rising)} rising edges on "
+            f"{reference_net!r}; the handshake did not run"
+        )
+    intervals = intervals[: cycles]
+
+    total_energy = estimate_energy(netlist, trace)
+    total_cycles = max(len(rising) - 1, 1)
+    energy_per_cycle = total_energy / total_cycles
+    transitions_per_cycle = trace.total_transitions() / total_cycles
+
+    return CircuitMetrics(
+        name=name or netlist.name,
+        worst_delay_ps=max(intervals),
+        average_delay_ps=statistics.fmean(intervals),
+        cycle_time_ps=statistics.fmean(intervals),
+        energy_per_cycle_pj=energy_per_cycle,
+        transistors=netlist.transistor_count(),
+        gate_count=netlist.gate_count(),
+        cycles_measured=len(intervals),
+        transitions_per_cycle=transitions_per_cycle,
+    )
+
+
+def fifo_environment_rules(
+    left_delay_ps: float = 200.0, right_delay_ps: float = 200.0
+) -> List[HandshakeRule]:
+    """Standard environment for the paper's FIFO cell.
+
+    The left environment raises ``li`` when the cell's acknowledge ``lo`` is
+    low and lowers it when ``lo`` goes high (four-phase return-to-zero); the
+    right environment mirrors the cell's request ``ro`` onto ``ri``.
+    """
+    return [
+        HandshakeRule("lo", 1, "li", 0, left_delay_ps),
+        HandshakeRule("lo", 0, "li", 1, left_delay_ps),
+        HandshakeRule("ro", 1, "ri", 1, right_delay_ps),
+        HandshakeRule("ro", 0, "ri", 0, right_delay_ps),
+    ]

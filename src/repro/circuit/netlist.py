@@ -1,0 +1,182 @@
+"""Gate-level netlist model.
+
+A :class:`Netlist` is a set of named nets, a set of primary inputs and
+outputs, and gate instances connecting them.  Feedback loops are allowed
+(asynchronous circuits are nothing but feedback loops), so evaluation is the
+job of the event-driven simulator rather than a topological sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.circuit.library import GateLibrary, GateType, STANDARD_LIBRARY
+
+
+class NetlistError(Exception):
+    """Raised for structurally invalid netlists."""
+
+
+@dataclass
+class GateInstance:
+    """An instantiated gate: type, ordered input nets, single output net."""
+
+    name: str
+    gate_type: GateType
+    inputs: Tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != self.gate_type.num_inputs:
+            raise NetlistError(
+                f"gate {self.name!r} of type {self.gate_type.name!r} expects "
+                f"{self.gate_type.num_inputs} inputs, got {len(self.inputs)}"
+            )
+
+
+class Netlist:
+    """A flat gate-level netlist."""
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = name
+        self._nets: Set[str] = set()
+        self._primary_inputs: List[str] = []
+        self._primary_outputs: List[str] = []
+        self._gates: Dict[str, GateInstance] = {}
+        self._driver: Dict[str, str] = {}  # net -> gate name
+        self._initial_values: Dict[str, int] = {}
+
+    # -- construction -------------------------------------------------------------
+    def add_net(self, name: str, initial: int = 0) -> str:
+        self._nets.add(name)
+        self._initial_values.setdefault(name, initial)
+        return name
+
+    def add_primary_input(self, name: str, initial: int = 0) -> str:
+        if name in self._primary_inputs:
+            raise NetlistError(f"duplicate primary input {name!r}")
+        self.add_net(name, initial)
+        self._primary_inputs.append(name)
+        return name
+
+    def add_primary_output(self, name: str) -> str:
+        if name in self._primary_outputs:
+            raise NetlistError(f"duplicate primary output {name!r}")
+        self.add_net(name)
+        self._primary_outputs.append(name)
+        return name
+
+    def add_gate(
+        self,
+        name: str,
+        gate_type: GateType,
+        inputs: Sequence[str],
+        output: str,
+        output_initial: Optional[int] = None,
+    ) -> GateInstance:
+        if name in self._gates:
+            raise NetlistError(f"duplicate gate name {name!r}")
+        if output in self._driver:
+            raise NetlistError(
+                f"net {output!r} already driven by gate {self._driver[output]!r}"
+            )
+        if output in self._primary_inputs:
+            raise NetlistError(f"cannot drive primary input {output!r}")
+        for net in inputs:
+            self.add_net(net)
+        self.add_net(output)
+        if output_initial is not None:
+            self._initial_values[output] = output_initial
+        instance = GateInstance(name, gate_type, tuple(inputs), output)
+        self._gates[name] = instance
+        self._driver[output] = name
+        return instance
+
+    def set_initial_value(self, net: str, value: int) -> None:
+        if net not in self._nets:
+            raise NetlistError(f"unknown net {net!r}")
+        self._initial_values[net] = int(bool(value))
+
+    # -- accessors -----------------------------------------------------------------
+    @property
+    def nets(self) -> List[str]:
+        return sorted(self._nets)
+
+    @property
+    def primary_inputs(self) -> List[str]:
+        return list(self._primary_inputs)
+
+    @property
+    def primary_outputs(self) -> List[str]:
+        return list(self._primary_outputs)
+
+    @property
+    def gates(self) -> List[GateInstance]:
+        return list(self._gates.values())
+
+    def gate(self, name: str) -> GateInstance:
+        try:
+            return self._gates[name]
+        except KeyError as exc:
+            raise NetlistError(f"unknown gate {name!r}") from exc
+
+    def driver_of(self, net: str) -> Optional[GateInstance]:
+        gate_name = self._driver.get(net)
+        return self._gates[gate_name] if gate_name is not None else None
+
+    def fanout_of(self, net: str) -> List[GateInstance]:
+        return [gate for gate in self._gates.values() if net in gate.inputs]
+
+    def initial_values(self) -> Dict[str, int]:
+        return dict(self._initial_values)
+
+    def initial_value(self, net: str) -> int:
+        return self._initial_values.get(net, 0)
+
+    # -- sanity checks ---------------------------------------------------------------
+    def undriven_nets(self) -> List[str]:
+        """Nets that are neither primary inputs nor driven by a gate."""
+        return sorted(
+            net
+            for net in self._nets
+            if net not in self._driver and net not in self._primary_inputs
+        )
+
+    def floating_outputs(self) -> List[str]:
+        """Primary outputs without a driver."""
+        return [net for net in self._primary_outputs if net not in self._driver]
+
+    def validate(self) -> None:
+        """Raise :class:`NetlistError` if the netlist is structurally broken."""
+        undriven = self.undriven_nets()
+        if undriven:
+            raise NetlistError(f"undriven nets: {undriven}")
+        floating = self.floating_outputs()
+        if floating:
+            raise NetlistError(f"primary outputs without drivers: {floating}")
+
+    # -- metrics -----------------------------------------------------------------------
+    def transistor_count(self) -> int:
+        return sum(gate.gate_type.transistors for gate in self._gates.values())
+
+    def gate_count(self) -> int:
+        return len(self._gates)
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist(name={self.name!r}, gates={len(self._gates)}, "
+            f"nets={len(self._nets)}, transistors={self.transistor_count()})"
+        )
+
+    def describe(self) -> str:
+        """Human-readable netlist listing."""
+        lines = [f"netlist {self.name}"]
+        lines.append("  inputs:  " + ", ".join(self._primary_inputs))
+        lines.append("  outputs: " + ", ".join(self._primary_outputs))
+        for gate in self._gates.values():
+            lines.append(
+                f"  {gate.name}: {gate.gate_type.name}({', '.join(gate.inputs)})"
+                f" -> {gate.output}"
+            )
+        return "\n".join(lines)

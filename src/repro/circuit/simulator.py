@@ -1,0 +1,266 @@
+"""Event-driven gate-level simulation.
+
+The simulator uses a transport-delay model: whenever a gate's computed
+output differs from the value it is currently heading towards, a new event
+is scheduled one gate delay in the future.  Feedback loops, pulses, and
+hazards are therefore represented faithfully at the granularity of the gate
+delay model.
+
+*Environments* close the loop around an asynchronous circuit: they watch
+output nets and drive input nets after configurable delays, which is how
+handshake protocols are exercised (the "left environment" and "right
+environment" of the paper's Figure 6).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import GateInstance, Netlist, NetlistError
+
+
+@dataclass
+class Waveform:
+    """Sequence of (time, value) changes for a single net."""
+
+    net: str
+    changes: List[Tuple[float, int]] = field(default_factory=list)
+
+    def record(self, time: float, value: int) -> None:
+        self.changes.append((time, value))
+
+    def value_at(self, time: float) -> int:
+        value = self.changes[0][1] if self.changes else 0
+        for change_time, change_value in self.changes:
+            if change_time > time:
+                break
+            value = change_value
+        return value
+
+    def transition_count(self) -> int:
+        """Number of value changes excluding the initial assignment."""
+        return max(len(self.changes) - 1, 0)
+
+    def rising_edges(self) -> List[float]:
+        return [t for i, (t, v) in enumerate(self.changes) if v == 1 and i > 0]
+
+    def falling_edges(self) -> List[float]:
+        return [t for i, (t, v) in enumerate(self.changes) if v == 0 and i > 0]
+
+
+@dataclass
+class SimulationTrace:
+    """Result of a simulation run."""
+
+    waveforms: Dict[str, Waveform]
+    final_values: Dict[str, int]
+    end_time: float
+    event_count: int
+
+    def transition_count(self, net: str) -> int:
+        waveform = self.waveforms.get(net)
+        return waveform.transition_count() if waveform else 0
+
+    def total_transitions(self) -> int:
+        return sum(w.transition_count() for w in self.waveforms.values())
+
+
+class Environment:
+    """Base class for reactive environments driving primary inputs."""
+
+    def on_change(self, simulator: "EventDrivenSimulator", net: str, value: int, time: float) -> None:
+        """Called after every committed net change."""
+
+    def start(self, simulator: "EventDrivenSimulator") -> None:
+        """Called once before simulation starts (schedule initial stimuli)."""
+
+
+@dataclass
+class HandshakeRule:
+    """Reactive rule: when ``trigger`` becomes ``trigger_value``, drive ``target``."""
+
+    trigger: str
+    trigger_value: int
+    target: str
+    target_value: int
+    delay_ps: float
+
+
+class HandshakeEnvironment(Environment):
+    """An environment defined by a list of :class:`HandshakeRule` reactions.
+
+    Optional jitter makes the environment response times vary uniformly in
+    ``[delay * (1 - jitter), delay * (1 + jitter)]``; a seeded RNG keeps runs
+    reproducible.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[HandshakeRule],
+        jitter: float = 0.0,
+        seed: int = 0,
+        initial_stimuli: Optional[Sequence[Tuple[str, int, float]]] = None,
+    ) -> None:
+        self.rules = list(rules)
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self.initial_stimuli = list(initial_stimuli or [])
+
+    def _delay(self, nominal: float) -> float:
+        if self.jitter <= 0:
+            return nominal
+        low = nominal * (1.0 - self.jitter)
+        high = nominal * (1.0 + self.jitter)
+        return self._rng.uniform(low, high)
+
+    def start(self, simulator: "EventDrivenSimulator") -> None:
+        for net, value, time in self.initial_stimuli:
+            simulator.schedule(net, value, time)
+
+    def on_change(self, simulator: "EventDrivenSimulator", net: str, value: int, time: float) -> None:
+        for rule in self.rules:
+            if rule.trigger == net and rule.trigger_value == value:
+                simulator.schedule(
+                    rule.target, rule.target_value, time + self._delay(rule.delay_ps)
+                )
+
+
+class CallbackEnvironment(Environment):
+    """Environment delegating to a user callback ``fn(sim, net, value, time)``."""
+
+    def __init__(self, callback: Callable[["EventDrivenSimulator", str, int, float], None]):
+        self.callback = callback
+
+    def on_change(self, simulator: "EventDrivenSimulator", net: str, value: int, time: float) -> None:
+        self.callback(simulator, net, value, time)
+
+
+class EventDrivenSimulator:
+    """Discrete-event simulator over a :class:`~repro.circuit.netlist.Netlist`."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        environments: Optional[Sequence[Environment]] = None,
+        delay_jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        netlist.validate()
+        self.netlist = netlist
+        self.environments = list(environments or [])
+        self.delay_jitter = delay_jitter
+        self._rng = random.Random(seed)
+        self._counter = itertools.count()
+        self.reset()
+
+    # -- state management -----------------------------------------------------------
+    def reset(self) -> None:
+        self.time = 0.0
+        self.values: Dict[str, int] = dict(self.netlist.initial_values())
+        for net in self.netlist.nets:
+            self.values.setdefault(net, 0)
+        self._pending: Dict[str, int] = dict(self.values)
+        self._queue: List[Tuple[float, int, str, int]] = []
+        self.waveforms: Dict[str, Waveform] = {
+            net: Waveform(net, [(0.0, self.values[net])]) for net in self.netlist.nets
+        }
+        self.event_count = 0
+        # Gate internal state (previous output) for sequential gates.
+        self._gate_state: Dict[str, int] = {
+            gate.name: self.values.get(gate.output, 0) for gate in self.netlist.gates
+        }
+
+    def value(self, net: str) -> int:
+        return self.values[net]
+
+    # -- scheduling -------------------------------------------------------------------
+    def schedule(self, net: str, value: int, time: float) -> None:
+        """Schedule a net change at an absolute time."""
+        if net not in self.values:
+            raise NetlistError(f"unknown net {net!r}")
+        value = int(bool(value))
+        heapq.heappush(self._queue, (time, next(self._counter), net, value))
+        self._pending[net] = value
+
+    def _gate_delay(self, gate: GateInstance) -> float:
+        nominal = gate.gate_type.delay_ps
+        if self.delay_jitter <= 0:
+            return nominal
+        return self._rng.uniform(
+            nominal * (1.0 - self.delay_jitter), nominal * (1.0 + self.delay_jitter)
+        )
+
+    def _evaluate_gate(self, gate: GateInstance) -> int:
+        inputs = [self.values[net] for net in gate.inputs]
+        previous = self._gate_state[gate.name]
+        output = gate.gate_type.evaluate(inputs, previous)
+        return output
+
+    def _settle_initial_state(self) -> None:
+        """Schedule corrections for gates whose initial output is inconsistent.
+
+        Netlists built from decomposed logic may declare initial values only
+        for interface nets; intermediate nets then need one settling pass
+        (the equivalent of releasing reset on silicon).
+        """
+        for gate in self.netlist.gates:
+            output = self._evaluate_gate(gate)
+            if output != self.values[gate.output]:
+                self.schedule(gate.output, output, self.time + self._gate_delay(gate))
+
+    # -- main loop -----------------------------------------------------------------------
+    def run(self, duration_ps: Optional[float] = None, max_events: int = 1_000_000) -> SimulationTrace:
+        """Run until the event queue drains, a time limit, or an event cap."""
+        self._settle_initial_state()
+        for environment in self.environments:
+            environment.start(self)
+
+        end_time = self.time + duration_ps if duration_ps is not None else None
+        processed = 0
+        while self._queue:
+            event_time, _seq, net, value = self._queue[0]
+            if end_time is not None and event_time > end_time:
+                break
+            heapq.heappop(self._queue)
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; "
+                    "the circuit is probably oscillating"
+                )
+            self.time = event_time
+            if self.values[net] == value:
+                continue
+            self.values[net] = value
+            self.waveforms[net].record(event_time, value)
+            self.event_count += 1
+
+            # Propagate through fanout gates.
+            for gate in self.netlist.fanout_of(net):
+                new_output = self._evaluate_gate(gate)
+                self._gate_state[gate.name] = new_output
+                if new_output != self._pending.get(gate.output, self.values[gate.output]):
+                    self.schedule(
+                        gate.output, new_output, event_time + self._gate_delay(gate)
+                    )
+
+            # Environments react to the committed change.
+            for environment in self.environments:
+                environment.on_change(self, net, value, event_time)
+
+        final_time = self.time if end_time is None else max(self.time, end_time if self._queue else self.time)
+        return SimulationTrace(
+            waveforms=dict(self.waveforms),
+            final_values=dict(self.values),
+            end_time=final_time,
+            event_count=self.event_count,
+        )
+
+    # -- convenience -----------------------------------------------------------------------
+    def settle(self, max_events: int = 100_000) -> SimulationTrace:
+        """Run without a time limit until no events remain."""
+        return self.run(duration_ps=None, max_events=max_events)

@@ -1,0 +1,43 @@
+"""Relative Timing: the paper's primary contribution.
+
+Relative timing expresses timing knowledge as *orderings between signal
+transitions* ("event a occurs before event b") rather than absolute delays.
+This package provides:
+
+* :mod:`repro.core.assumptions` -- assumption and constraint objects, with
+  user/automatic provenance.
+* :mod:`repro.core.lazy` -- the lazy state graph: concurrency reduction
+  under assumptions and early (lazy) enabling of non-critical signals,
+  which together enlarge the don't-care space available to logic synthesis.
+* :mod:`repro.core.generation` -- automatic generation of assumptions from
+  an untimed speed-independent specification using simple delay-model rules
+  ("one gate can be made faster than two").
+* :mod:`repro.core.backannotation` -- identification of the assumption
+  subset actually exploited by synthesis; those become the *required*
+  relative-timing constraints that the implementation must meet.
+"""
+
+from repro.core.assumptions import (
+    AssumptionKind,
+    AssumptionSet,
+    RelativeTimingAssumption,
+    RelativeTimingConstraint,
+    assume,
+)
+from repro.core.lazy import LazyStateGraph, apply_assumptions, early_enable_candidates
+from repro.core.generation import generate_automatic_assumptions
+from repro.core.backannotation import BackAnnotation, back_annotate
+
+__all__ = [
+    "AssumptionKind",
+    "AssumptionSet",
+    "RelativeTimingAssumption",
+    "RelativeTimingConstraint",
+    "assume",
+    "LazyStateGraph",
+    "apply_assumptions",
+    "early_enable_candidates",
+    "generate_automatic_assumptions",
+    "BackAnnotation",
+    "back_annotate",
+]

@@ -1,0 +1,202 @@
+"""Back-annotation of required relative timing constraints.
+
+Synthesis may or may not exploit each assumption it was given.  The subset
+it relies upon must be carried forward as *constraints*: orderings that must
+be guaranteed by the physical design (through sizing or verification).
+
+The implementation uses a leave-one-out analysis, which covers both
+mechanisms (concurrency reduction and early enabling) uniformly: an
+assumption is *required* if, after dropping it, the synthesized covers no
+longer implement the correct next-state value in some state that dropping
+the assumption makes reachable (or un-lazy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.boolean.cubes import Cover
+from repro.core.assumptions import (
+    AssumptionKind,
+    AssumptionSet,
+    RelativeTimingAssumption,
+    RelativeTimingConstraint,
+)
+from repro.core.lazy import LazyStateGraph, apply_assumptions
+from repro.stategraph.graph import State, StateGraph
+
+
+@dataclass
+class BackAnnotation:
+    """Result of the back-annotation step."""
+
+    constraints: List[RelativeTimingConstraint] = field(default_factory=list)
+    used_assumptions: List[RelativeTimingAssumption] = field(default_factory=list)
+    unused_assumptions: List[RelativeTimingAssumption] = field(default_factory=list)
+    violations_without: Dict[str, List[str]] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = ["Required relative timing constraints:"]
+        if not self.constraints:
+            lines.append("  (none -- the circuit is untimed-correct)")
+        for constraint in self.constraints:
+            lines.append(f"  {constraint}")
+        if self.unused_assumptions:
+            lines.append("Assumptions not needed by the implementation:")
+            for assumption in self.unused_assumptions:
+                lines.append(f"  {assumption}")
+        return "\n".join(lines)
+
+
+def _covers_implement_graph(
+    covers: Mapping[str, Cover],
+    graph: StateGraph,
+    lazy_dont_cares: Optional[Mapping[str, Set[Tuple[int, ...]]]] = None,
+) -> List[str]:
+    """Check the covers against every state of ``graph``.
+
+    Returns human-readable mismatch descriptions.  ``lazy_dont_cares`` maps a
+    signal to codes where any value is acceptable (used when validating
+    against a lazy graph).
+    """
+    mismatches: List[str] = []
+    lazy_dont_cares = lazy_dont_cares or {}
+    for signal, cover in covers.items():
+        dc_codes = lazy_dont_cares.get(signal, set())
+        for state in graph.states:
+            if state.code in dc_codes:
+                continue
+            required = graph.next_value(state, signal)
+            actual = int(cover.evaluate(state.code))
+            if actual != required:
+                mismatches.append(
+                    f"{signal}: cover={actual}, spec={required} at code "
+                    f"{graph.code_string(state)}"
+                )
+    return mismatches
+
+
+def back_annotate(
+    original_graph: StateGraph,
+    assumptions: AssumptionSet,
+    covers: Mapping[str, Cover],
+) -> BackAnnotation:
+    """Determine which assumptions the synthesized covers depend on.
+
+    Parameters
+    ----------
+    original_graph:
+        The *untimed* state graph (after CSC resolution, before any
+        relative-timing reduction).
+    assumptions:
+        The full assumption set handed to synthesis.
+    covers:
+        The synthesized per-signal covers (over ``original_graph.signal_order``).
+    """
+    annotation = BackAnnotation()
+
+    for assumption in assumptions:
+        remaining = AssumptionSet(a for a in assumptions if a is not assumption)
+        lazy_without = apply_assumptions(original_graph, remaining)
+        dont_cares = {
+            signal: lazy_without.local_dont_cares(signal) for signal in covers
+        }
+        mismatches = _covers_implement_graph(
+            covers, lazy_without.reduced, dont_cares
+        )
+        if mismatches:
+            annotation.used_assumptions.append(assumption)
+            annotation.violations_without[str(assumption)] = mismatches
+            annotation.constraints.append(
+                RelativeTimingConstraint(
+                    before=assumption.before,
+                    after=assumption.after,
+                    source=assumption.kind,
+                    rationale=assumption.rationale,
+                )
+            )
+        else:
+            annotation.unused_assumptions.append(assumption)
+
+    _ensure_sufficiency(original_graph, covers, annotation)
+    _mark_disjunctions(annotation)
+    return annotation
+
+
+def _ensure_sufficiency(
+    original_graph: StateGraph,
+    covers: Mapping[str, Cover],
+    annotation: BackAnnotation,
+) -> None:
+    """Make the constraint set *sufficient*, not just individually necessary.
+
+    Leave-one-out misses "at least one of a group" requirements: when two
+    assumptions are interchangeable (the paper's dependent ``lo+ before x-``
+    / ``ro+ before x-`` pair), removing either alone is harmless so both look
+    unused, yet removing both breaks the circuit.  This pass greedily adds
+    back unused assumptions until the covers are correct under the selected
+    set alone.
+    """
+    def correct_under(selected: Sequence[RelativeTimingAssumption]) -> List[str]:
+        lazy = apply_assumptions(original_graph, AssumptionSet(selected))
+        dont_cares = {signal: lazy.local_dont_cares(signal) for signal in covers}
+        return _covers_implement_graph(covers, lazy.reduced, dont_cares)
+
+    selected = list(annotation.used_assumptions)
+    pending = list(annotation.unused_assumptions)
+    mismatches = correct_under(selected)
+    while mismatches and pending:
+        best_index = None
+        best_remaining = None
+        for index, candidate in enumerate(pending):
+            remaining = correct_under(selected + [candidate])
+            if best_remaining is None or len(remaining) < len(best_remaining):
+                best_index = index
+                best_remaining = remaining
+        if best_index is None or best_remaining is None:
+            break
+        if len(best_remaining) >= len(mismatches):
+            # No candidate helps; stop rather than loop forever.
+            break
+        chosen = pending.pop(best_index)
+        selected.append(chosen)
+        annotation.used_assumptions.append(chosen)
+        annotation.unused_assumptions.remove(chosen)
+        annotation.constraints.append(
+            RelativeTimingConstraint(
+                before=chosen.before,
+                after=chosen.after,
+                source=chosen.kind,
+                rationale=chosen.rationale,
+            )
+        )
+        mismatches = best_remaining
+
+
+def _mark_disjunctions(annotation: BackAnnotation) -> None:
+    """Group constraints that share the same ``after`` event.
+
+    When several constraints delay the same lazy event, their triggers are
+    typically alternative causes (the paper's ``lo+ before x-`` / ``ro+
+    before x-`` pair, where the implementation of ``x`` guarantees that one
+    of the two always holds).  Such constraints are tagged with a common
+    disjunction group so downstream verification can treat them jointly.
+    """
+    by_after: Dict[str, List[int]] = {}
+    for index, constraint in enumerate(annotation.constraints):
+        by_after.setdefault(str(constraint.after), []).append(index)
+    updated: List[RelativeTimingConstraint] = list(annotation.constraints)
+    for after_event, indices in by_after.items():
+        if len(indices) < 2:
+            continue
+        for index in indices:
+            constraint = updated[index]
+            updated[index] = RelativeTimingConstraint(
+                before=constraint.before,
+                after=constraint.after,
+                source=constraint.source,
+                rationale=constraint.rationale,
+                disjunction_group=after_event,
+            )
+    annotation.constraints = updated

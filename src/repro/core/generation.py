@@ -1,0 +1,137 @@
+"""Automatic generation of relative timing assumptions.
+
+The paper: "Petrify generates all necessary assumptions automatically using
+rules based on a simple delay model, e.g. one gate can be made faster than
+two."  This module implements that rule set:
+
+* **Rule A -- lazy internal signals.**  A state signal inserted by the
+  encoding step is implemented with a single gate; any event that triggers
+  its excitation can be assumed to precede the state-signal transition, so
+  the state signal may be early enabled (its falling transitions in the
+  paper's Figure 5 are exactly this case).
+* **Rule B -- circuit before environment.**  When an internal signal
+  transition is enabled concurrently with an input transition, the single
+  gate implementing the internal signal is assumed to be faster than the
+  environment's handshake round trip (the "x+ before ri+" constraint of
+  Figure 5).
+* **Rule C -- one gate faster than two (optional, aggressive mode).**  Among
+  concurrently enabled *output* transitions, the one whose excitation logic
+  is estimated shallower is assumed to fire first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.assumptions import (
+    AssumptionKind,
+    AssumptionSet,
+    RelativeTimingAssumption,
+)
+from repro.core.lazy import early_enable_candidates
+from repro.stg.model import SignalKind, SignalTransition
+from repro.stategraph.graph import State, StateGraph
+
+
+def _estimated_depth(graph: StateGraph, signal: str) -> int:
+    """Crude logic-depth proxy: number of distinct trigger signals.
+
+    The excitation of a signal with many distinct triggers needs a wider
+    (deeper, slower) gate; the automatic rules only need a monotone ordering.
+    """
+    triggers: Set[str] = set()
+    for state in graph.states:
+        if graph.is_excited(state, signal) is None:
+            continue
+        for _transition, source in graph.predecessors(state):
+            if graph.is_excited(source, signal) is None:
+                # The edge entering the excitation region identifies a trigger.
+                for label in graph.enabled_labels(source):
+                    if label.signal != signal:
+                        triggers.add(label.signal)
+    return max(1, len(triggers))
+
+
+def generate_automatic_assumptions(
+    graph: StateGraph,
+    aggressive: bool = False,
+    existing: Optional[AssumptionSet] = None,
+) -> AssumptionSet:
+    """Generate automatic assumptions for a state graph.
+
+    Parameters
+    ----------
+    graph:
+        The untimed state graph (after CSC resolution).
+    aggressive:
+        Also emit output-vs-output orderings (Rule C).  Off by default
+        because those orderings change observable interface behaviour and the
+        basic rules already capture the optimizations shown in the paper.
+    existing:
+        Assumptions already present (typically user assumptions); contradicting
+        orderings are not generated.
+    """
+    stg = graph.stg
+    assumptions = AssumptionSet(existing or [])
+    internal = set(stg.internals)
+    inputs = set(stg.inputs)
+    outputs = set(stg.outputs)
+
+    def try_add(before: SignalTransition, after: SignalTransition, rationale: str) -> None:
+        if before.signal == after.signal:
+            return
+        candidate = RelativeTimingAssumption(
+            before=before,
+            after=after,
+            kind=AssumptionKind.AUTOMATIC,
+            rationale=rationale,
+        )
+        reverse = (candidate.after, candidate.before)
+        if reverse in assumptions:
+            return
+        assumptions.add(candidate)
+
+    # Rule A: early enabling of internal (state) signals.
+    for trigger, lazy_event in early_enable_candidates(graph):
+        if lazy_event.signal in internal:
+            try_add(
+                trigger,
+                lazy_event,
+                "state signal is one gate; its trigger path is at least as long",
+            )
+        elif aggressive and lazy_event.signal in outputs and trigger.signal not in inputs:
+            try_add(
+                trigger,
+                lazy_event,
+                "one gate can be made faster than two (aggressive)",
+            )
+
+    # Rule B: internal signal transitions precede concurrently enabled inputs.
+    for state in graph.states:
+        labels = graph.enabled_labels(state)
+        internal_events = [l for l in labels if l.signal in internal]
+        input_events = [l for l in labels if l.signal in inputs]
+        for internal_event in internal_events:
+            for input_event in input_events:
+                try_add(
+                    SignalTransition(internal_event.signal, internal_event.direction),
+                    SignalTransition(input_event.signal, input_event.direction),
+                    "one gate delay is faster than the environment round trip",
+                )
+
+    # Rule C (aggressive): order concurrently enabled outputs by estimated depth.
+    if aggressive:
+        depth = {signal: _estimated_depth(graph, signal) for signal in outputs}
+        for state in graph.states:
+            labels = [l for l in graph.enabled_labels(state) if l.signal in outputs]
+            for first in labels:
+                for second in labels:
+                    if first.signal == second.signal:
+                        continue
+                    if depth[first.signal] < depth[second.signal]:
+                        try_add(
+                            SignalTransition(first.signal, first.direction),
+                            SignalTransition(second.signal, second.direction),
+                            "one gate can be made faster than two",
+                        )
+    return assumptions

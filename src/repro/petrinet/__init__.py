@@ -1,0 +1,37 @@
+"""Petri net substrate.
+
+The Signal Transition Graph (STG) specifications used throughout the
+Relative Timing flow are interpreted Petri nets.  This package provides the
+underlying untyped Petri net machinery:
+
+* :class:`~repro.petrinet.net.PetriNet` -- places, transitions, arcs and
+  markings with the standard firing rule.
+* :class:`~repro.petrinet.reachability.ReachabilityGraph` -- explicit-state
+  reachability analysis used by the state-graph construction.
+* :mod:`~repro.petrinet.properties` -- structural and behavioural property
+  checks (boundedness, safeness, liveness, deadlock freedom).
+"""
+
+from repro.petrinet.net import Marking, PetriNet, Place, Transition
+from repro.petrinet.reachability import ReachabilityGraph, build_reachability_graph
+from repro.petrinet.properties import (
+    deadlock_markings,
+    is_bounded,
+    is_live,
+    is_safe,
+    max_bound,
+)
+
+__all__ = [
+    "Marking",
+    "PetriNet",
+    "Place",
+    "Transition",
+    "ReachabilityGraph",
+    "build_reachability_graph",
+    "deadlock_markings",
+    "is_bounded",
+    "is_live",
+    "is_safe",
+    "max_bound",
+]

@@ -1,0 +1,132 @@
+"""Behavioural property checks on Petri nets.
+
+STG-based synthesis requires the underlying net to be *safe* (1-bounded) and
+live; deadlocks in the specification translate into controllers that hang.
+These checks run on the explicit reachability graph, which is adequate for
+the controller-sized specifications handled by the flow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.petrinet.net import Marking, PetriNet
+from repro.petrinet.reachability import (
+    ReachabilityGraph,
+    UnboundedNetError,
+    build_reachability_graph,
+)
+
+
+def _graph(net: PetriNet, graph: Optional[ReachabilityGraph]) -> ReachabilityGraph:
+    return graph if graph is not None else build_reachability_graph(net)
+
+
+def max_bound(net: PetriNet, graph: Optional[ReachabilityGraph] = None) -> int:
+    """Maximum token count observed on any place over all reachable markings."""
+    graph = _graph(net, graph)
+    bound = 0
+    for marking in graph.markings:
+        for _place, count in marking.items():
+            bound = max(bound, count)
+    return bound
+
+
+def is_bounded(net: PetriNet, limit: int = 4096) -> bool:
+    """True if exploration completes within ``limit`` markings."""
+    try:
+        build_reachability_graph(net, max_states=limit)
+    except UnboundedNetError:
+        return False
+    return True
+
+
+def is_safe(net: PetriNet, graph: Optional[ReachabilityGraph] = None) -> bool:
+    """True if every place holds at most one token in every reachable marking."""
+    try:
+        return max_bound(net, graph) <= 1
+    except UnboundedNetError:
+        return False
+
+
+def deadlock_markings(
+    net: PetriNet, graph: Optional[ReachabilityGraph] = None
+) -> List[Marking]:
+    """Reachable markings from which no transition is enabled."""
+    graph = _graph(net, graph)
+    return graph.deadlocks()
+
+
+def is_deadlock_free(net: PetriNet, graph: Optional[ReachabilityGraph] = None) -> bool:
+    """True if no reachable marking is a deadlock."""
+    return not deadlock_markings(net, graph)
+
+
+def is_live(net: PetriNet, graph: Optional[ReachabilityGraph] = None) -> bool:
+    """True if every transition can always eventually fire again (L4 liveness).
+
+    Checked on the reachability graph: the graph must be a single strongly
+    connected component containing every transition at least once, or more
+    generally, from every reachable marking every transition must remain
+    fireable in the future.  For the cyclic handshake specifications used in
+    this flow this is the intended notion of liveness.
+    """
+    graph = _graph(net, graph)
+    if not graph.markings:
+        return False
+
+    # Every transition must occur somewhere.
+    occurring = {t for (_m, t) in graph.edges}
+    if occurring != {t.name for t in net.transitions}:
+        return False
+
+    # From every marking, every transition must be reachable in the marking
+    # graph.  We compute, per marking, the set of transitions fireable in its
+    # forward closure via a reverse fixpoint: a transition t is "live from m"
+    # if some path from m fires t.
+    successors = {}
+    for (source, transition), target in graph.edges.items():
+        successors.setdefault(source, []).append((transition, target))
+
+    for marking in graph.markings:
+        reachable_transitions = set()
+        stack = [marking]
+        visited = {marking}
+        while stack:
+            current = stack.pop()
+            for transition, target in successors.get(current, []):
+                reachable_transitions.add(transition)
+                if target not in visited:
+                    visited.add(target)
+                    stack.append(target)
+        if reachable_transitions != occurring:
+            return False
+    return True
+
+
+def is_reversible(net: PetriNet, graph: Optional[ReachabilityGraph] = None) -> bool:
+    """True if the initial marking is reachable from every reachable marking."""
+    graph = _graph(net, graph)
+    initial = net.initial_marking
+    successors = {}
+    for (source, transition), target in graph.edges.items():
+        successors.setdefault(source, []).append(target)
+
+    for marking in graph.markings:
+        if marking == initial:
+            continue
+        stack = [marking]
+        visited = {marking}
+        found = False
+        while stack and not found:
+            current = stack.pop()
+            for target in successors.get(current, []):
+                if target == initial:
+                    found = True
+                    break
+                if target not in visited:
+                    visited.add(target)
+                    stack.append(target)
+        if not found:
+            return False
+    return True

@@ -1,0 +1,120 @@
+"""Explicit-state reachability analysis for Petri nets.
+
+The Relative Timing synthesis flow (Figure 2 of the paper) starts with
+*reachability analysis* of the specification STG.  The underlying engine is
+an ordinary breadth-first exploration of the marking graph with an optional
+state cap so that unbounded nets are detected instead of exhausting memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.petrinet.net import Marking, PetriNet, PetriNetError
+
+
+class UnboundedNetError(PetriNetError):
+    """Raised when reachability exploration detects an unbounded net."""
+
+
+@dataclass
+class ReachabilityGraph:
+    """The marking graph of a Petri net.
+
+    Attributes
+    ----------
+    net:
+        The underlying Petri net.
+    markings:
+        All reachable markings in discovery (BFS) order.
+    edges:
+        Mapping ``(marking, transition) -> successor marking``.
+    """
+
+    net: PetriNet
+    markings: List[Marking] = field(default_factory=list)
+    edges: Dict[Tuple[Marking, str], Marking] = field(default_factory=dict)
+
+    @property
+    def initial_marking(self) -> Marking:
+        return self.net.initial_marking
+
+    def __len__(self) -> int:
+        return len(self.markings)
+
+    def __contains__(self, marking: Marking) -> bool:
+        return marking in self._marking_set()
+
+    def _marking_set(self) -> Set[Marking]:
+        if not hasattr(self, "_cached_set") or len(self._cached_set) != len(self.markings):
+            self._cached_set: Set[Marking] = set(self.markings)
+        return self._cached_set
+
+    def successors(self, marking: Marking) -> Iterator[Tuple[str, Marking]]:
+        """Yield ``(transition, successor)`` pairs from ``marking``."""
+        for (source, transition), target in self.edges.items():
+            if source == marking:
+                yield transition, target
+
+    def enabled(self, marking: Marking) -> List[str]:
+        """Transitions enabled in ``marking`` according to the explored graph."""
+        return [t for (m, t) in self.edges if m == marking]
+
+    def deadlocks(self) -> List[Marking]:
+        """Markings with no outgoing edges."""
+        with_successors = {source for (source, _t) in self.edges}
+        return [m for m in self.markings if m not in with_successors]
+
+    def transition_occurrences(self, transition: str) -> int:
+        """Number of edges labelled with ``transition``."""
+        return sum(1 for (_m, t) in self.edges if t == transition)
+
+
+def build_reachability_graph(
+    net: PetriNet,
+    max_states: int = 1_000_000,
+    bound: Optional[int] = None,
+) -> ReachabilityGraph:
+    """Explore all reachable markings of ``net`` breadth-first.
+
+    Parameters
+    ----------
+    net:
+        The Petri net to explore.
+    max_states:
+        Hard cap on the number of distinct markings; exceeded caps raise
+        :class:`UnboundedNetError` since the STGs in this flow are finite.
+    bound:
+        If given, raise :class:`UnboundedNetError` as soon as any place
+        exceeds ``bound`` tokens.  The STG flow uses ``bound=1`` (safe nets).
+    """
+    graph = ReachabilityGraph(net=net)
+    initial = net.initial_marking
+    seen: Set[Marking] = {initial}
+    graph.markings.append(initial)
+    queue = deque([initial])
+
+    while queue:
+        marking = queue.popleft()
+        for transition in net.enabled_transitions(marking):
+            successor = net.fire(transition, marking)
+            if bound is not None:
+                for place, count in successor.items():
+                    if count > bound:
+                        raise UnboundedNetError(
+                            f"place {place!r} exceeds bound {bound} "
+                            f"after firing {transition!r}"
+                        )
+            graph.edges[(marking, transition)] = successor
+            if successor not in seen:
+                if len(seen) >= max_states:
+                    raise UnboundedNetError(
+                        f"state cap of {max_states} markings exceeded; "
+                        "the net is unbounded or too large"
+                    )
+                seen.add(successor)
+                graph.markings.append(successor)
+                queue.append(successor)
+    return graph

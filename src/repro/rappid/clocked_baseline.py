@@ -1,0 +1,159 @@
+"""400 MHz clocked instruction length decoder baseline.
+
+A behavioural model of the commercial clocked design the paper compares
+against.  Its defining characteristics, and the reasons the asynchronous
+design wins on throughput/latency/power, are structural:
+
+* **Worst-case timing**: every pipeline stage is clocked at the period that
+  accommodates the slowest instruction class, so common short instructions
+  gain nothing.
+* **Fixed issue bandwidth**: at most ``decoders_per_cycle`` instructions are
+  length-decoded per clock regardless of how short they are.
+* **Clocked power**: the clock tree and all latches switch every cycle,
+  whether or not useful work happens, so power scales with frequency rather
+  than activity.
+* **Area**: the clocked design needs fewer, but wider, decoders (no
+  sixteen-fold speculation), so its area is somewhat smaller -- the paper
+  reports RAPPID paying a 22% area penalty.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.rappid.workload import CacheLine, Instruction
+
+
+@dataclass
+class ClockedConfig:
+    """Parameters of the clocked baseline."""
+
+    frequency_mhz: float = 400.0
+    decoders_per_cycle: int = 3        # instructions length-decoded per clock
+    pipeline_stages: int = 2           # fetch-align + decode/steer
+    line_fetch_cycles: int = 0         # line prefetch hides the fetch cycle
+    # Power model: energy per clock for the always-switching portion (clock
+    # tree, latches, precharge) plus per-instruction decode energy.
+    clock_energy_per_cycle_pj: float = 72.0
+    decode_energy_pj: float = 7.5
+    # Area model.
+    transistors_per_decoder: int = 11000
+    transistors_pipeline_overhead: int = 36000
+    transistors_output_buffer: int = 5200
+    rows: int = 4
+
+    @property
+    def period_ps(self) -> float:
+        return 1e6 / self.frequency_mhz
+
+
+@dataclass
+class ClockedResult:
+    """Measurements of one clocked-baseline run."""
+
+    config: ClockedConfig
+    instruction_count: int
+    line_count: int
+    cycles: int
+    total_time_ps: float
+    instruction_latencies_ps: List[float] = field(default_factory=list)
+    energy_pj: float = 0.0
+
+    @property
+    def throughput_instructions_per_ns(self) -> float:
+        if self.total_time_ps <= 0:
+            return 0.0
+        return 1000.0 * self.instruction_count / self.total_time_ps
+
+    @property
+    def average_latency_ps(self) -> float:
+        return statistics.fmean(self.instruction_latencies_ps) if self.instruction_latencies_ps else 0.0
+
+    @property
+    def power_watts(self) -> float:
+        if self.total_time_ps <= 0:
+            return 0.0
+        return self.energy_pj * 1e-12 / (self.total_time_ps * 1e-12)
+
+    @property
+    def energy_per_instruction_pj(self) -> float:
+        if not self.instruction_count:
+            return 0.0
+        return self.energy_pj / self.instruction_count
+
+    @property
+    def transistor_count(self) -> int:
+        config = self.config
+        return (
+            config.decoders_per_cycle * config.transistors_per_decoder
+            + config.transistors_pipeline_overhead
+            + config.rows * config.transistors_output_buffer
+        )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "instructions": float(self.instruction_count),
+            "throughput_per_ns": round(self.throughput_instructions_per_ns, 3),
+            "avg_latency_ps": round(self.average_latency_ps, 1),
+            "cycles": float(self.cycles),
+            "power_watts": round(self.power_watts, 3),
+            "energy_per_instruction_pj": round(self.energy_per_instruction_pj, 2),
+            "transistors": float(self.transistor_count),
+        }
+
+
+class ClockedDecoder:
+    """Cycle-based model of the 400 MHz clocked length decoder."""
+
+    def __init__(self, config: Optional[ClockedConfig] = None) -> None:
+        self.config = config or ClockedConfig()
+
+    def run(self, instructions: Sequence[Instruction], lines: Sequence[CacheLine]) -> ClockedResult:
+        config = self.config
+        if not instructions:
+            return ClockedResult(
+                config=config, instruction_count=0, line_count=0, cycles=0, total_time_ps=0.0
+            )
+
+        period = config.period_ps
+        latencies: List[float] = []
+        cycle = config.line_fetch_cycles  # first line arrives after fetch
+        decoded_in_cycle = 0
+        current_line = 0
+        line_arrival_cycle = 0
+
+        for instruction in instructions:
+            # A new cache line re-aligns the decoders (and may cost a fetch
+            # cycle when prefetch cannot hide it).
+            if instruction.line_index > current_line:
+                current_line = instruction.line_index
+                cycle += config.line_fetch_cycles
+                if decoded_in_cycle:
+                    cycle += 1
+                decoded_in_cycle = 0
+                line_arrival_cycle = cycle
+            if decoded_in_cycle >= config.decoders_per_cycle:
+                cycle += 1
+                decoded_in_cycle = 0
+            decoded_in_cycle += 1
+            issue_cycle = cycle + config.pipeline_stages
+            latencies.append((issue_cycle - line_arrival_cycle) * period)
+
+        total_cycles = cycle + config.pipeline_stages + 1
+        total_time = total_cycles * period
+        energy = (
+            total_cycles * config.clock_energy_per_cycle_pj
+            + len(instructions) * config.decode_energy_pj
+        )
+        return ClockedResult(
+            config=config,
+            instruction_count=len(instructions),
+            line_count=len(lines),
+            cycles=total_cycles,
+            total_time_ps=total_time,
+            instruction_latencies_ps=latencies,
+            energy_pj=energy,
+        )

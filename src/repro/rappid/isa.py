@@ -1,0 +1,113 @@
+"""Simplified iA32 instruction-length model.
+
+RAPPID's length decoders compute, speculatively at every byte position, the
+length of the instruction that would start there.  The actual iA32 encoding
+is irrelevant to the throughput experiments; what matters is the *length
+distribution* (most instructions are short) and the fact that the hardware
+is optimised for the common cases: common lengths get a fast tag-forward
+path and common opcodes a fast length-decode path (Section 2.2).
+
+The length classes and latency parameters below are behavioural-model
+calibration, chosen so the three cycle domains land near the paper's
+reported averages (tag ~3.6 GHz, steering ~0.9 GHz, length decoding
+~0.7 GHz).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+class InstructionClass(enum.Enum):
+    """Coarse instruction categories with distinct decode behaviour."""
+
+    COMMON = "common"          # single-byte / simple opcodes
+    MODRM = "modrm"            # opcode + ModRM (+ displacement)
+    IMMEDIATE = "immediate"    # opcode + immediate data
+    PREFIXED = "prefixed"      # prefix bytes present
+    COMPLEX = "complex"        # long, rare instructions
+
+
+@dataclass(frozen=True)
+class LengthClass:
+    """One bucket of the instruction-length distribution."""
+
+    length: int
+    instruction_class: InstructionClass
+    probability: float
+
+
+# Length distribution loosely following published x86 instruction statistics:
+# short instructions dominate.  Probabilities sum to 1.
+LENGTH_CLASSES: Tuple[LengthClass, ...] = (
+    LengthClass(1, InstructionClass.COMMON, 0.18),
+    LengthClass(2, InstructionClass.COMMON, 0.22),
+    LengthClass(3, InstructionClass.MODRM, 0.20),
+    LengthClass(4, InstructionClass.MODRM, 0.12),
+    LengthClass(5, InstructionClass.IMMEDIATE, 0.10),
+    LengthClass(6, InstructionClass.IMMEDIATE, 0.06),
+    LengthClass(7, InstructionClass.PREFIXED, 0.05),
+    LengthClass(8, InstructionClass.PREFIXED, 0.03),
+    LengthClass(9, InstructionClass.COMPLEX, 0.02),
+    LengthClass(10, InstructionClass.COMPLEX, 0.01),
+    LengthClass(11, InstructionClass.COMPLEX, 0.01),
+)
+
+# Lengths whose tag-forwarding path is the optimised, fast one (Section 2.2:
+# "The tag cycle is optimized for common lengths").
+FAST_TAG_LENGTHS = frozenset({1, 2, 3, 4, 5, 6, 7})
+
+# Behavioural latency parameters (picoseconds).
+_TAG_FAST_PS = 260.0
+_TAG_SLOW_PS = 900.0
+_DECODE_BASE_PS = 1000.0
+_DECODE_PER_CLASS_PS: Dict[InstructionClass, float] = {
+    InstructionClass.COMMON: 0.0,
+    InstructionClass.MODRM: 250.0,
+    InstructionClass.IMMEDIATE: 400.0,
+    InstructionClass.PREFIXED: 900.0,
+    InstructionClass.COMPLEX: 1600.0,
+}
+
+
+def validate_distribution(classes: Sequence[LengthClass] = LENGTH_CLASSES) -> float:
+    """Return the total probability mass (should be 1.0 within rounding)."""
+    return sum(c.probability for c in classes)
+
+
+def decode_latency_ps(length: int, instruction_class: InstructionClass) -> float:
+    """Length-decode latency for one instruction at one byte position.
+
+    Common instructions are optimised; long prefixed/complex instructions pay
+    extra because more bytes must be examined before the length is known.
+    """
+    extra_bytes = max(length - 3, 0)
+    return (
+        _DECODE_BASE_PS
+        + _DECODE_PER_CLASS_PS[instruction_class]
+        + 60.0 * extra_bytes
+    )
+
+
+def tag_latency_ps(length: int) -> float:
+    """Tag-forwarding latency from one instruction's first byte to the next.
+
+    The 16-column revolving tag fabric has a dedicated fast path for common
+    lengths; rare long instructions take the slow path across the torus.
+    """
+    return _TAG_FAST_PS if length in FAST_TAG_LENGTHS else _TAG_SLOW_PS
+
+
+def steering_latency_ps(length: int) -> float:
+    """Latency to align and steer one instruction across the crossbar."""
+    return 580.0 + 35.0 * max(length - 4, 0)
+
+
+def class_of_length(length: int) -> InstructionClass:
+    """The instruction class used for a given length in the synthetic ISA."""
+    for bucket in LENGTH_CLASSES:
+        if bucket.length == length:
+            return bucket.instruction_class
+    return InstructionClass.COMPLEX

@@ -1,0 +1,111 @@
+"""Table 1: RAPPID versus the 400 MHz clocked baseline.
+
+The comparison reports the same four ratios and the testability figure the
+paper tabulates: throughput, latency, power, area, and stuck-at testability.
+Testability is measured on the representative relative-timed control cell
+(the FIFO of Section 4) with the functional fault simulator, since running
+fault simulation over the full behavioural microarchitecture model would
+only re-measure the model, not the circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.rappid.clocked_baseline import ClockedDecoder, ClockedResult
+from repro.rappid.microarch import RappidDecoder, RappidResult
+from repro.rappid.workload import CacheLine, Instruction, WorkloadGenerator
+
+
+@dataclass
+class Table1Comparison:
+    """The paper's Table 1, as ratios of RAPPID over the clocked design."""
+
+    rappid: RappidResult
+    clocked: ClockedResult
+    testability_percent: Optional[float] = None
+
+    @property
+    def throughput_ratio(self) -> float:
+        clocked = self.clocked.throughput_instructions_per_ns
+        return self.rappid.throughput_instructions_per_ns / clocked if clocked else 0.0
+
+    @property
+    def latency_ratio(self) -> float:
+        """Clocked latency divided by RAPPID latency (>1 means RAPPID faster)."""
+        rappid = self.rappid.average_latency_ps
+        return self.clocked.average_latency_ps / rappid if rappid else 0.0
+
+    @property
+    def power_ratio(self) -> float:
+        """Clocked energy per instruction divided by RAPPID's.
+
+        The designs process the same workload in different amounts of time, so
+        the iso-work comparison (energy per decoded instruction) is the
+        meaningful one; a ratio above 1 means RAPPID dissipates less.
+        """
+        rappid = self.rappid.energy_per_instruction_pj
+        return self.clocked.energy_per_instruction_pj / rappid if rappid else 0.0
+
+    @property
+    def area_penalty_percent(self) -> float:
+        """Extra transistors of RAPPID relative to the clocked design."""
+        clocked = self.clocked.transistor_count
+        if not clocked:
+            return 0.0
+        return 100.0 * (self.rappid.transistor_count - clocked) / clocked
+
+    def rows(self) -> Dict[str, float]:
+        data = {
+            "throughput_ratio": round(self.throughput_ratio, 2),
+            "latency_ratio": round(self.latency_ratio, 2),
+            "power_ratio": round(self.power_ratio, 2),
+            "area_penalty_percent": round(self.area_penalty_percent, 1),
+        }
+        if self.testability_percent is not None:
+            data["testability_percent"] = round(self.testability_percent, 1)
+        return data
+
+    def describe(self) -> str:
+        lines = ["Table 1: RAPPID vs 400 MHz clocked decoder"]
+        lines.append(
+            f"  Throughput  {self.throughput_ratio:.1f}x   "
+            f"({self.rappid.throughput_instructions_per_ns:.2f} vs "
+            f"{self.clocked.throughput_instructions_per_ns:.2f} instructions/ns)"
+        )
+        lines.append(
+            f"  Latency     {self.latency_ratio:.1f}x   "
+            f"({self.rappid.average_latency_ps:.0f} vs "
+            f"{self.clocked.average_latency_ps:.0f} ps)"
+        )
+        lines.append(
+            f"  Power       {self.power_ratio:.1f}x   "
+            f"({self.rappid.energy_per_instruction_pj:.1f} vs "
+            f"{self.clocked.energy_per_instruction_pj:.1f} pJ/instruction)"
+        )
+        lines.append(
+            f"  Area        {self.area_penalty_percent:+.0f}%  "
+            f"({self.rappid.transistor_count} vs {self.clocked.transistor_count} "
+            "transistors)"
+        )
+        if self.testability_percent is not None:
+            lines.append(f"  Testability {self.testability_percent:.1f}%")
+        return "\n".join(lines)
+
+
+def compare_designs(
+    instruction_count: int = 20_000,
+    seed: int = 1,
+    rappid_decoder: Optional[RappidDecoder] = None,
+    clocked_decoder: Optional[ClockedDecoder] = None,
+    testability_percent: Optional[float] = None,
+) -> Table1Comparison:
+    """Run both designs on the same synthetic workload and compare them."""
+    generator = WorkloadGenerator(seed=seed)
+    instructions, lines = generator.workload(instruction_count)
+    rappid = (rappid_decoder or RappidDecoder()).run(instructions, lines)
+    clocked = (clocked_decoder or ClockedDecoder()).run(instructions, lines)
+    return Table1Comparison(
+        rappid=rappid, clocked=clocked, testability_percent=testability_percent
+    )

@@ -1,0 +1,160 @@
+"""Synthetic instruction workloads.
+
+The paper evaluates RAPPID on instruction streams delivered as 16-byte cache
+lines.  Real traces are proprietary; the generator below draws instruction
+lengths from the published-statistics-inspired distribution in
+:mod:`repro.rappid.isa` (or a caller-supplied one) and packs them into cache
+lines exactly as the front end would see them -- instructions may straddle
+line boundaries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.rappid.isa import (
+    LENGTH_CLASSES,
+    InstructionClass,
+    LengthClass,
+    class_of_length,
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction in the synthetic stream."""
+
+    index: int
+    length: int
+    instruction_class: InstructionClass
+    start_byte: int  # absolute byte offset in the stream
+
+    @property
+    def line_index(self) -> int:
+        return self.start_byte // 16
+
+    @property
+    def column(self) -> int:
+        """Byte column (0..15) of the first byte within its cache line."""
+        return self.start_byte % 16
+
+
+@dataclass
+class CacheLine:
+    """A 16-byte line with the instructions that *start* in it."""
+
+    index: int
+    instructions: List[Instruction] = field(default_factory=list)
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def average_length(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return sum(i.length for i in self.instructions) / len(self.instructions)
+
+
+class WorkloadGenerator:
+    """Generate reproducible synthetic instruction streams."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        length_classes: Sequence[LengthClass] = LENGTH_CLASSES,
+        line_bytes: int = 16,
+    ) -> None:
+        self.seed = seed
+        self.length_classes = list(length_classes)
+        self.line_bytes = line_bytes
+        self._rng = random.Random(seed)
+        total = sum(c.probability for c in self.length_classes)
+        if not 0.99 <= total <= 1.01:
+            raise ValueError(f"length distribution sums to {total}, expected 1.0")
+
+    def _draw_length(self) -> LengthClass:
+        roll = self._rng.random()
+        cumulative = 0.0
+        for bucket in self.length_classes:
+            cumulative += bucket.probability
+            if roll <= cumulative:
+                return bucket
+        return self.length_classes[-1]
+
+    def instructions(self, count: int) -> List[Instruction]:
+        """Generate ``count`` instructions laid out back to back in memory."""
+        result: List[Instruction] = []
+        offset = 0
+        for index in range(count):
+            bucket = self._draw_length()
+            result.append(
+                Instruction(
+                    index=index,
+                    length=bucket.length,
+                    instruction_class=bucket.instruction_class,
+                    start_byte=offset,
+                )
+            )
+            offset += bucket.length
+        return result
+
+    def fixed_length_instructions(self, count: int, length: int) -> List[Instruction]:
+        """A degenerate stream where every instruction has the same length.
+
+        Used for the scalability sweeps of Figure 1: lines with many short
+        instructions stress the tag and steering cycles, lines with few long
+        instructions stress the length decoders.
+        """
+        result: List[Instruction] = []
+        offset = 0
+        for index in range(count):
+            result.append(
+                Instruction(
+                    index=index,
+                    length=length,
+                    instruction_class=class_of_length(length),
+                    start_byte=offset,
+                )
+            )
+            offset += length
+        return result
+
+    def cache_lines(self, instructions: Sequence[Instruction]) -> List[CacheLine]:
+        """Group instructions by the cache line their first byte lives in."""
+        if not instructions:
+            return []
+        last = instructions[-1]
+        line_count = (last.start_byte + last.length + self.line_bytes - 1) // self.line_bytes
+        lines = [CacheLine(index=i) for i in range(line_count)]
+        for instruction in instructions:
+            lines[instruction.line_index].instructions.append(instruction)
+        return lines
+
+    def workload(self, instruction_count: int) -> Tuple[List[Instruction], List[CacheLine]]:
+        """Convenience: generate instructions and their cache lines."""
+        instructions = self.instructions(instruction_count)
+        return instructions, self.cache_lines(instructions)
+
+    def statistics(self, instructions: Sequence[Instruction]) -> Dict[str, float]:
+        """Summary statistics of a stream (mean length, class mix, etc.)."""
+        if not instructions:
+            return {"count": 0}
+        lengths = [i.length for i in instructions]
+        by_class: Dict[str, int] = {}
+        for instruction in instructions:
+            key = instruction.instruction_class.value
+            by_class[key] = by_class.get(key, 0) + 1
+        stats: Dict[str, float] = {
+            "count": float(len(instructions)),
+            "mean_length": sum(lengths) / len(lengths),
+            "max_length": float(max(lengths)),
+            "min_length": float(min(lengths)),
+            "instructions_per_line": 16.0 / (sum(lengths) / len(lengths)),
+        }
+        for key, value in by_class.items():
+            stats[f"class_{key}"] = value / len(instructions)
+        return stats

@@ -1,0 +1,39 @@
+"""Binary-encoded state graphs derived from STGs.
+
+The state graph (reachability graph annotated with signal values) is the
+central object of the synthesis flow: logic functions are derived from it,
+Complete State Coding (CSC) is checked and repaired on it, and the Relative
+Timing engine prunes it under timing assumptions (the *lazy state graph* of
+Figure 2).
+"""
+
+from repro.stategraph.graph import State, StateGraph, StateGraphError, build_state_graph
+from repro.stategraph.regions import (
+    backward_closure,
+    excitation_region,
+    forward_closure,
+    quiescent_region,
+)
+from repro.stategraph.encoding import (
+    CscConflict,
+    EncodingResult,
+    find_csc_conflicts,
+    find_usc_conflicts,
+    resolve_csc,
+)
+
+__all__ = [
+    "State",
+    "StateGraph",
+    "StateGraphError",
+    "build_state_graph",
+    "excitation_region",
+    "quiescent_region",
+    "forward_closure",
+    "backward_closure",
+    "CscConflict",
+    "EncodingResult",
+    "find_csc_conflicts",
+    "find_usc_conflicts",
+    "resolve_csc",
+]

@@ -1,0 +1,247 @@
+"""State graph construction from STGs.
+
+A *state* is a pair (marking, signal-value vector).  Two distinct states may
+share the same binary code -- that is precisely the Unique/Complete State
+Coding problem handled in :mod:`repro.stategraph.encoding`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.petrinet.net import Marking
+from repro.petrinet.reachability import UnboundedNetError
+from repro.stg.model import (
+    Direction,
+    SignalKind,
+    SignalTransition,
+    SignalTransitionGraph,
+    StgError,
+)
+
+
+class StateGraphError(Exception):
+    """Raised when a state graph cannot be constructed or queried."""
+
+
+@dataclass(frozen=True)
+class State:
+    """A reachable state: Petri net marking plus binary signal values."""
+
+    marking: Marking
+    code: Tuple[int, ...]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bits = "".join(str(bit) for bit in self.code)
+        return f"State(code={bits}, marking={self.marking!r})"
+
+
+class StateGraph:
+    """Explicit state graph of an STG.
+
+    Attributes
+    ----------
+    stg:
+        The source specification.
+    signal_order:
+        Fixed ordering of signals used to interpret the binary codes.
+    states:
+        All reachable states in BFS discovery order.
+    """
+
+    def __init__(self, stg: SignalTransitionGraph, signal_order: List[str]) -> None:
+        self.stg = stg
+        self.signal_order = list(signal_order)
+        self._index = {signal: i for i, signal in enumerate(self.signal_order)}
+        self.states: List[State] = []
+        self.initial_state: Optional[State] = None
+        # edges: (state, transition name) -> successor state
+        self.edges: Dict[Tuple[State, str], State] = {}
+        self._successors: Dict[State, List[Tuple[str, State]]] = {}
+        self._predecessors: Dict[State, List[Tuple[str, State]]] = {}
+
+    # -- construction helpers (used by build_state_graph) -------------------------
+    def _add_state(self, state: State) -> None:
+        self.states.append(state)
+        self._successors.setdefault(state, [])
+        self._predecessors.setdefault(state, [])
+
+    def _add_edge(self, source: State, transition: str, target: State) -> None:
+        self.edges[(source, transition)] = target
+        self._successors.setdefault(source, []).append((transition, target))
+        self._predecessors.setdefault(target, []).append((transition, source))
+
+    # -- code helpers ---------------------------------------------------------------
+    def signal_index(self, signal: str) -> int:
+        try:
+            return self._index[signal]
+        except KeyError as exc:
+            raise StateGraphError(f"unknown signal {signal!r}") from exc
+
+    def value(self, state: State, signal: str) -> int:
+        """Current value of ``signal`` in ``state``."""
+        return state.code[self.signal_index(signal)]
+
+    def code_string(self, state: State) -> str:
+        return "".join(str(bit) for bit in state.code)
+
+    # -- topology ---------------------------------------------------------------------
+    def successors(self, state: State) -> List[Tuple[str, State]]:
+        return list(self._successors.get(state, []))
+
+    def predecessors(self, state: State) -> List[Tuple[str, State]]:
+        return list(self._predecessors.get(state, []))
+
+    def enabled_transitions(self, state: State) -> List[str]:
+        """Net transition names enabled (having an outgoing edge) in ``state``."""
+        return [transition for transition, _target in self._successors.get(state, [])]
+
+    def enabled_labels(self, state: State) -> List[SignalTransition]:
+        """Signal transitions enabled in ``state`` (silent transitions omitted)."""
+        labels = []
+        for transition in self.enabled_transitions(state):
+            label = self.stg.label_of(transition)
+            if label is not None:
+                labels.append(label)
+        return labels
+
+    def is_excited(self, state: State, signal: str) -> Optional[Direction]:
+        """Direction in which ``signal`` is enabled to change in ``state``.
+
+        Returns ``None`` when the signal is stable in this state.
+        """
+        for label in self.enabled_labels(state):
+            if label.signal == signal:
+                return label.direction
+        return None
+
+    def next_value(self, state: State, signal: str) -> int:
+        """The *implied value* of ``signal`` used for logic derivation.
+
+        Equal to the current value unless the signal is excited, in which
+        case it is the value after the excitation fires.
+        """
+        direction = self.is_excited(state, signal)
+        if direction is None:
+            return self.value(state, signal)
+        return 1 if direction is Direction.RISE else 0
+
+    # -- code sets used by logic synthesis ----------------------------------------------
+    def reachable_codes(self) -> Set[Tuple[int, ...]]:
+        return {state.code for state in self.states}
+
+    def on_set(self, signal: str) -> Set[Tuple[int, ...]]:
+        """Codes of states whose implied value of ``signal`` is 1."""
+        return {s.code for s in self.states if self.next_value(s, signal) == 1}
+
+    def off_set(self, signal: str) -> Set[Tuple[int, ...]]:
+        """Codes of states whose implied value of ``signal`` is 0."""
+        return {s.code for s in self.states if self.next_value(s, signal) == 0}
+
+    def states_with_code(self, code: Tuple[int, ...]) -> List[State]:
+        return [s for s in self.states if s.code == code]
+
+    # -- misc ------------------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __iter__(self) -> Iterator[State]:
+        return iter(self.states)
+
+    def __repr__(self) -> str:
+        return (
+            f"StateGraph(signals={self.signal_order}, states={len(self.states)}, "
+            f"edges={len(self.edges)})"
+        )
+
+    def copy_without_edges(self, removed: Set[Tuple[State, str]]) -> "StateGraph":
+        """Return a copy of the graph with the given edges removed.
+
+        States left unreachable from the initial state are dropped as well.
+        This is the primitive used by the Relative Timing engine for
+        concurrency reduction.
+        """
+        reduced = StateGraph(self.stg, self.signal_order)
+        if self.initial_state is None:
+            return reduced
+        kept_edges = {
+            key: target for key, target in self.edges.items() if key not in removed
+        }
+        # BFS from the initial state over kept edges only.
+        reachable: Set[State] = {self.initial_state}
+        queue = deque([self.initial_state])
+        adjacency: Dict[State, List[Tuple[str, State]]] = {}
+        for (source, transition), target in kept_edges.items():
+            adjacency.setdefault(source, []).append((transition, target))
+        while queue:
+            state = queue.popleft()
+            for _transition, target in adjacency.get(state, []):
+                if target not in reachable:
+                    reachable.add(target)
+                    queue.append(target)
+
+        reduced.initial_state = self.initial_state
+        for state in self.states:
+            if state in reachable:
+                reduced._add_state(state)
+        for (source, transition), target in kept_edges.items():
+            if source in reachable and target in reachable:
+                reduced._add_edge(source, transition, target)
+        return reduced
+
+
+def build_state_graph(
+    stg: SignalTransitionGraph,
+    max_states: int = 500_000,
+) -> StateGraph:
+    """Construct the full state graph of an STG.
+
+    Raises
+    ------
+    StateGraphError
+        If the STG is inconsistent (a transition fires against the current
+        signal value) or exploration exceeds ``max_states``.
+    """
+    signal_order = sorted(stg.signals)
+    graph = StateGraph(stg, signal_order)
+    net = stg.net
+
+    initial_values = stg.initial_state_vector()
+    initial_code = tuple(initial_values[s] for s in signal_order)
+    initial = State(net.initial_marking, initial_code)
+    graph.initial_state = initial
+    graph._add_state(initial)
+    seen: Set[State] = {initial}
+    queue = deque([initial])
+
+    while queue:
+        state = queue.popleft()
+        for transition in net.enabled_transitions(state.marking):
+            label = stg.label_of(transition)
+            code = list(state.code)
+            if label is not None:
+                index = graph.signal_index(label.signal)
+                expected = 0 if label.is_rising else 1
+                if code[index] != expected:
+                    raise StateGraphError(
+                        f"inconsistent STG: {label} enabled while "
+                        f"{label.signal}={code[index]}"
+                    )
+                code[index] = 1 if label.is_rising else 0
+            successor_marking = net.fire(transition, state.marking)
+            successor = State(successor_marking, tuple(code))
+            if successor not in seen:
+                if len(seen) >= max_states:
+                    raise StateGraphError(
+                        f"state graph exceeds {max_states} states"
+                    )
+                seen.add(successor)
+                graph._add_state(successor)
+                queue.append(successor)
+            else:
+                # Use the canonical (already stored) object for dict identity.
+                pass
+            graph._add_edge(state, transition, successor)
+    return graph

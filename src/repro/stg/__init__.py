@@ -1,0 +1,42 @@
+"""Signal Transition Graphs (STGs).
+
+An STG is a Petri net whose transitions are labelled with rising (``a+``)
+and falling (``a-``) transitions of circuit signals, plus optional silent
+(epsilon) transitions.  STGs are the specification entry point of the
+Relative Timing synthesis flow (Figure 2 of the paper); the FIFO controller
+of Figure 3 is provided in :mod:`repro.stg.specs`.
+"""
+
+from repro.stg.model import (
+    Direction,
+    SignalKind,
+    SignalTransition,
+    SignalTransitionGraph,
+    StgError,
+)
+from repro.stg.builder import StgBuilder
+from repro.stg.parser import parse_g, parse_g_file, write_g
+from repro.stg.validation import (
+    ValidationReport,
+    check_consistency,
+    check_output_persistency,
+    validate_stg,
+)
+from repro.stg import specs
+
+__all__ = [
+    "Direction",
+    "SignalKind",
+    "SignalTransition",
+    "SignalTransitionGraph",
+    "StgError",
+    "StgBuilder",
+    "parse_g",
+    "parse_g_file",
+    "write_g",
+    "ValidationReport",
+    "check_consistency",
+    "check_output_persistency",
+    "validate_stg",
+    "specs",
+]

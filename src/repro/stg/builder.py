@@ -1,0 +1,144 @@
+"""Fluent builder for STGs.
+
+Marked-graph style specifications (every place has one producer and one
+consumer) cover all STGs used in the paper; the builder therefore offers a
+compact way to declare signals and causal arcs between signal transitions,
+inserting the implicit places automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.stg.model import (
+    Direction,
+    SignalKind,
+    SignalTransition,
+    SignalTransitionGraph,
+    StgError,
+)
+
+EventLike = Union[str, SignalTransition]
+
+
+def _as_transition(event: EventLike) -> Optional[SignalTransition]:
+    """Accept ``"a+"`` strings, SignalTransition objects, or None/"eps"."""
+    if event is None:
+        return None
+    if isinstance(event, SignalTransition):
+        return event
+    if event in ("eps", "epsilon", "~"):
+        return None
+    return SignalTransition.parse(event)
+
+
+class StgBuilder:
+    """Incrementally construct a :class:`SignalTransitionGraph`.
+
+    Example (a two-signal handshake)::
+
+        builder = StgBuilder("handshake")
+        builder.input("req")
+        builder.output("ack")
+        builder.arc("req+", "ack+")
+        builder.arc("ack+", "req-")
+        builder.arc("req-", "ack-")
+        builder.arc("ack-", "req+", marked=True)
+        stg = builder.build()
+    """
+
+    def __init__(self, name: str = "stg") -> None:
+        self._stg = SignalTransitionGraph(name)
+        # map from event string to net transition name
+        self._event_nodes: Dict[str, str] = {}
+        self._silent_count = 0
+
+    # -- signal declarations ------------------------------------------------------
+    def input(self, name: str, initial: int = 0) -> "StgBuilder":
+        self._stg.declare_input(name, initial)
+        return self
+
+    def output(self, name: str, initial: int = 0) -> "StgBuilder":
+        self._stg.declare_output(name, initial)
+        return self
+
+    def internal(self, name: str, initial: int = 0) -> "StgBuilder":
+        self._stg.declare_internal(name, initial)
+        return self
+
+    def inputs(self, *names: str) -> "StgBuilder":
+        for name in names:
+            self.input(name)
+        return self
+
+    def outputs(self, *names: str) -> "StgBuilder":
+        for name in names:
+            self.output(name)
+        return self
+
+    # -- events --------------------------------------------------------------------
+    def event(self, event: EventLike, key: Optional[str] = None) -> str:
+        """Ensure a transition node exists for ``event`` and return its name.
+
+        ``key`` allows distinct occurrences of the same transition label,
+        e.g. ``event("a+", key="a+/1")``.
+        """
+        # A bare string naming an already-created node (e.g. the key returned
+        # by :meth:`silent`) refers to that node rather than a new one.
+        if key is None and isinstance(event, str) and event in self._event_nodes:
+            return self._event_nodes[event]
+        label = _as_transition(event)
+        if key is None:
+            if label is None:
+                self._silent_count += 1
+                key = f"eps_{self._silent_count}"
+            else:
+                key = str(label)
+        if key not in self._event_nodes:
+            name = self._stg.add_transition(label, name=key)
+            self._event_nodes[key] = name
+        return self._event_nodes[key]
+
+    def silent(self, key: Optional[str] = None) -> str:
+        """Add (or fetch) a silent transition."""
+        return self.event(None, key=key)
+
+    # -- arcs ------------------------------------------------------------------------
+    def arc(
+        self,
+        source: EventLike,
+        target: EventLike,
+        marked: bool = False,
+        source_key: Optional[str] = None,
+        target_key: Optional[str] = None,
+    ) -> "StgBuilder":
+        """Add a causal arc (with an implicit place) between two events."""
+        source_node = self.event(source, key=source_key)
+        target_node = self.event(target, key=target_key)
+        self._stg.connect(source_node, target_node, marked=marked)
+        return self
+
+    def arcs(self, *pairs: Tuple[EventLike, EventLike]) -> "StgBuilder":
+        for source, target in pairs:
+            self.arc(source, target)
+        return self
+
+    def chain(self, *events: EventLike, close: bool = False, marked_last: bool = False) -> "StgBuilder":
+        """Add arcs along a chain of events; optionally close it into a cycle."""
+        if len(events) < 2:
+            raise StgError("chain requires at least two events")
+        for source, target in zip(events, events[1:]):
+            self.arc(source, target)
+        if close:
+            self.arc(events[-1], events[0], marked=marked_last)
+        return self
+
+    # -- initial state ----------------------------------------------------------------
+    def initial_values(self, **values: int) -> "StgBuilder":
+        for signal, value in values.items():
+            self._stg.set_initial_value(signal, value)
+        return self
+
+    def build(self) -> SignalTransitionGraph:
+        """Return the constructed STG."""
+        return self._stg

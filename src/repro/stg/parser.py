@@ -1,0 +1,227 @@
+"""Reader and writer for the ``.g`` (astg) STG interchange format.
+
+The ``.g`` format is the textual format used by petrify and related tools::
+
+    .model fifo
+    .inputs li ri
+    .outputs lo ro
+    .graph
+    li+ lo+
+    lo+ li-
+    ...
+    .marking { <lo-,li+> }
+    .end
+
+Arcs may connect transitions directly (an implicit place is inserted) or go
+through explicitly named places.  Implicit places in the ``.marking`` line
+are written ``<source,target>``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.stg.model import (
+    SignalKind,
+    SignalTransition,
+    SignalTransitionGraph,
+    StgError,
+)
+
+_TRANSITION_RE = re.compile(r"^[A-Za-z_][\w.\[\]]*[+\-~](/\d+)?$")
+_DUMMY_RE = re.compile(r"^[A-Za-z_][\w.\[\]]*$")
+
+
+def _is_transition_token(token: str) -> bool:
+    return bool(_TRANSITION_RE.match(token))
+
+
+class _GSpec:
+    """Intermediate representation collected while scanning a .g file."""
+
+    def __init__(self) -> None:
+        self.name = "stg"
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self.internal: List[str] = []
+        self.dummies: List[str] = []
+        self.arcs: List[Tuple[str, str]] = []
+        self.marking_tokens: List[str] = []
+        self.initial_values: Dict[str, int] = {}
+
+
+def _scan(text: str) -> _GSpec:
+    spec = _GSpec()
+    section = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".model" or directive == ".name":
+                if len(parts) > 1:
+                    spec.name = parts[1]
+            elif directive == ".inputs":
+                spec.inputs.extend(parts[1:])
+            elif directive == ".outputs":
+                spec.outputs.extend(parts[1:])
+            elif directive == ".internal":
+                spec.internal.extend(parts[1:])
+            elif directive == ".dummy":
+                spec.dummies.extend(parts[1:])
+            elif directive == ".graph":
+                section = "graph"
+            elif directive == ".marking":
+                marking_text = line[len(".marking"):].strip()
+                marking_text = marking_text.strip("{}").strip()
+                spec.marking_tokens.extend(marking_text.split())
+            elif directive == ".initial":
+                # non-standard extension: ".initial a=1 b=0"
+                for assignment in parts[1:]:
+                    signal, value = assignment.split("=")
+                    spec.initial_values[signal] = int(value)
+            elif directive == ".end":
+                section = None
+            else:
+                # silently ignore .capacity, .slowenv and other extensions
+                continue
+        elif section == "graph":
+            tokens = line.split()
+            if len(tokens) < 2:
+                raise StgError(f"malformed graph line: {raw_line!r}")
+            source = tokens[0]
+            for target in tokens[1:]:
+                spec.arcs.append((source, target))
+    return spec
+
+
+def parse_g(text: str) -> SignalTransitionGraph:
+    """Parse ``.g`` formatted text into a :class:`SignalTransitionGraph`."""
+    spec = _scan(text)
+    stg = SignalTransitionGraph(spec.name)
+    for signal in spec.inputs:
+        stg.declare_input(signal)
+    for signal in spec.outputs:
+        stg.declare_output(signal)
+    for signal in spec.internal:
+        stg.declare_internal(signal)
+
+    declared = set(spec.inputs) | set(spec.outputs) | set(spec.internal)
+    dummies = set(spec.dummies)
+
+    # First pass: create nodes.  A token is a transition if it parses as one
+    # and its signal is declared; otherwise it is an explicit place (or dummy).
+    node_kind: Dict[str, str] = {}
+
+    def ensure_node(token: str) -> None:
+        if token in node_kind:
+            return
+        if token in dummies or (token.rstrip("0123456789/") in dummies):
+            stg.add_transition(None, name=token)
+            node_kind[token] = "transition"
+            return
+        if _is_transition_token(token):
+            label = SignalTransition.parse(token.replace("~", "-"))
+            if label.signal in declared:
+                stg.add_transition(label, name=token)
+                node_kind[token] = "transition"
+                return
+        stg.add_place(token)
+        node_kind[token] = "place"
+
+    for source, target in spec.arcs:
+        ensure_node(source)
+        ensure_node(target)
+
+    # Second pass: arcs.  Transition->transition arcs get implicit places.
+    implicit_places: Dict[Tuple[str, str], str] = {}
+    marking: Dict[str, int] = {}
+    for source, target in spec.arcs:
+        if node_kind[source] == "transition" and node_kind[target] == "transition":
+            place = stg.connect(source, target)
+            implicit_places[(source, target)] = place
+        else:
+            stg.add_arc(source, target)
+
+    # Marking tokens: either explicit place names or <source,target> pairs.
+    for token in spec.marking_tokens:
+        token = token.strip()
+        if not token:
+            continue
+        if token.startswith("<") and token.endswith(">"):
+            source, target = token[1:-1].split(",")
+            key = (source.strip(), target.strip())
+            if key not in implicit_places:
+                raise StgError(f"marking references unknown implicit place {token}")
+            marking[implicit_places[key]] = 1
+        else:
+            if not stg.net.has_place(token):
+                raise StgError(f"marking references unknown place {token!r}")
+            marking[token] = marking.get(token, 0) + 1
+    stg.set_initial_marking(marking)
+
+    for signal, value in spec.initial_values.items():
+        stg.set_initial_value(signal, value)
+    return stg
+
+
+def parse_g_file(path: str) -> SignalTransitionGraph:
+    """Parse a ``.g`` file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_g(handle.read())
+
+
+def write_g(stg: SignalTransitionGraph) -> str:
+    """Serialise an STG back to ``.g`` text.
+
+    Implicit places created by :meth:`SignalTransitionGraph.connect` (one
+    producer and one consumer) are folded back into direct
+    transition-to-transition arcs; any other place is written explicitly.
+    """
+    lines = [f".model {stg.name}"]
+    if stg.inputs:
+        lines.append(".inputs " + " ".join(stg.inputs))
+    if stg.outputs:
+        lines.append(".outputs " + " ".join(stg.outputs))
+    if stg.internals:
+        lines.append(".internal " + " ".join(stg.internals))
+    dummies = stg.silent_transitions
+    if dummies:
+        lines.append(".dummy " + " ".join(dummies))
+    lines.append(".graph")
+
+    net = stg.net
+    marking_tokens: List[str] = []
+    initial = net.initial_marking
+    for place in net.places:
+        producers = net.place_preset(place.name)
+        consumers = net.place_postset(place.name)
+        implicit = (
+            len(producers) == 1
+            and len(consumers) == 1
+            and place.name.startswith("p_")
+        )
+        if implicit:
+            source, target = producers[0], consumers[0]
+            lines.append(f"{source} {target}")
+            if initial[place.name]:
+                marking_tokens.append(f"<{source},{target}>")
+        else:
+            for producer in producers:
+                lines.append(f"{producer} {place.name}")
+            for consumer in consumers:
+                lines.append(f"{place.name} {consumer}")
+            if initial[place.name]:
+                marking_tokens.append(place.name)
+
+    lines.append(".marking { " + " ".join(marking_tokens) + " }")
+    initial_assignments = " ".join(
+        f"{signal}={stg.initial_value(signal)}" for signal in stg.signals
+    )
+    if initial_assignments:
+        lines.append(".initial " + initial_assignments)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,265 @@
+"""Library of standard STG specifications.
+
+These are the specifications used throughout the paper and its experiments:
+
+* :func:`fifo_controller` -- the FIFO cell of Figure 3: a four-phase
+  handshake on the left (``li``/``lo``) and right (``ri``/``ro``) sides,
+  coupled through a silent transition.
+* :func:`fifo_controller_decoupled` -- a more concurrent variant used to
+  stress the state-encoding step (exhibits a CSC conflict).
+* :func:`celement` -- the static C-element used as the verification example
+  of Section 5.
+* :func:`simple_handshake` -- a minimal request/acknowledge wire.
+* :func:`pipeline_latch_controller` -- a standard 4-phase latch controller.
+* :func:`toggle` / :func:`call_element` / :func:`arbiter_free_mux` --
+  additional controller-scale benchmarks for the test and benchmark suites.
+"""
+
+from __future__ import annotations
+
+from repro.stg.builder import StgBuilder
+from repro.stg.model import SignalTransitionGraph
+
+
+def simple_handshake(name: str = "handshake") -> SignalTransitionGraph:
+    """A single four-phase request/acknowledge handshake.
+
+    ``req`` is an input driven by the environment; ``ack`` is the output.
+    """
+    builder = StgBuilder(name)
+    builder.input("req")
+    builder.output("ack")
+    builder.arc("req+", "ack+")
+    builder.arc("ack+", "req-")
+    builder.arc("req-", "ack-")
+    builder.arc("ack-", "req+", marked=True)
+    return builder.build()
+
+
+def fifo_controller(name: str = "fifo") -> SignalTransitionGraph:
+    """The FIFO cell specification of Figure 3.
+
+    Left handshake: ``li`` (input request), ``lo`` (output acknowledge).
+    Right handshake: ``ro`` (output request), ``ri`` (input acknowledge).
+
+    The left cycle is ``li+ -> lo+ -> li- -> lo- -> li+``; the right cycle is
+    ``ro+ -> ri+ -> ro- -> ri- -> ro+``.  A silent transition couples the
+    two: once the data has been acknowledged on the left the cell issues the
+    request on the right, and the left acknowledge is not released until the
+    right request has been issued (so the data item is safely forwarded).
+    """
+    builder = StgBuilder(name)
+    builder.inputs("li", "ri")
+    builder.outputs("lo", "ro")
+
+    # Left handshake cycle.
+    builder.arc("li+", "lo+")
+    builder.arc("lo+", "li-")
+    builder.arc("li-", "lo-")
+    builder.arc("lo-", "li+", marked=True)
+
+    # Right handshake cycle.
+    builder.arc("ro+", "ri+")
+    builder.arc("ri+", "ro-")
+    builder.arc("ro-", "ri-")
+    builder.arc("ri-", "ro+", marked=True)
+
+    # Coupling through a silent transition (the epsilon of Figure 3):
+    # data latched on the left triggers the right request...
+    eps = builder.silent("eps")
+    builder.arc("lo+", eps)
+    builder.arc(eps, "ro+")
+    # ...and the left acknowledge is held until the right request is issued.
+    builder.arc("ro+", "lo-")
+    return builder.build()
+
+
+def fifo_controller_decoupled(name: str = "fifo_decoupled") -> SignalTransitionGraph:
+    """A more concurrent FIFO cell that exhibits a CSC conflict.
+
+    Compared to :func:`fifo_controller`, the left handshake is allowed to
+    complete (``lo-``) as soon as the silent transition has fired, without
+    waiting for the right request.  The states before and after the right
+    handshake then share binary codes, forcing the state-encoding step to
+    insert an internal signal -- the ``x`` of Figure 5.
+    """
+    builder = StgBuilder(name)
+    builder.inputs("li", "ri")
+    builder.outputs("lo", "ro")
+
+    builder.arc("li+", "lo+")
+    builder.arc("lo+", "li-")
+    builder.arc("li-", "lo-")
+    builder.arc("lo-", "li+", marked=True)
+
+    builder.arc("ro+", "ri+")
+    builder.arc("ri+", "ro-")
+    builder.arc("ro-", "ri-")
+    builder.arc("ri-", "ro+", marked=True)
+
+    eps = builder.silent("eps")
+    builder.arc("lo+", eps)
+    builder.arc(eps, "ro+")
+    # New data may only be accepted after the previous right handshake has
+    # returned to zero, but the left acknowledge may fall early.
+    builder.arc("ro-", "li+")
+    # Balance the ro- -> li+ place: it must be marked initially because no
+    # right handshake precedes the very first left request.
+    marking = builder.build().net.initial_marking.as_dict()
+    stg = builder.build()
+    for place in stg.net.places:
+        producers = stg.net.place_preset(place.name)
+        consumers = stg.net.place_postset(place.name)
+        if producers == ["ro-"] and consumers == ["li+"]:
+            marking[place.name] = 1
+    stg.set_initial_marking(marking)
+    return stg
+
+
+def celement(name: str = "celement") -> SignalTransitionGraph:
+    """The static C-element specification used in Section 5.
+
+    Inputs ``a`` and ``b``; output ``c``.  The output rises after both
+    inputs have risen and falls after both have fallen.
+    """
+    builder = StgBuilder(name)
+    builder.inputs("a", "b")
+    builder.output("c")
+    builder.arc("a+", "c+")
+    builder.arc("b+", "c+")
+    builder.arc("c+", "a-")
+    builder.arc("c+", "b-")
+    builder.arc("a-", "c-")
+    builder.arc("b-", "c-")
+    builder.arc("c-", "a+", marked=True)
+    builder.arc("c-", "b+", marked=True)
+    return builder.build()
+
+
+def pipeline_latch_controller(name: str = "latch_ctrl") -> SignalTransitionGraph:
+    """A four-phase pipeline latch controller.
+
+    Signals: ``rin``/``aout`` towards the producer, ``rout``/``ain`` towards
+    the consumer, and latch enable ``lt``.
+    """
+    builder = StgBuilder(name)
+    builder.inputs("rin", "ain")
+    builder.outputs("aout", "rout", "lt")
+
+    builder.arc("rin+", "lt+")
+    builder.arc("lt+", "aout+")
+    builder.arc("aout+", "rin-")
+    builder.arc("lt+", "rout+")
+    builder.arc("rout+", "ain+")
+    builder.arc("ain+", "rout-")
+    builder.arc("rout-", "ain-")
+    builder.arc("ain-", "rout+", marked=True)
+    builder.arc("rin-", "lt-")
+    builder.arc("ain+", "lt-")
+    builder.arc("lt-", "aout-")
+    builder.arc("aout-", "rin+", marked=True)
+    return builder.build()
+
+
+def toggle(name: str = "toggle") -> SignalTransitionGraph:
+    """A toggle element: alternates two outputs on successive input events."""
+    builder = StgBuilder(name)
+    builder.input("t")
+    builder.outputs("q0", "q1")
+    builder.arc("t+", "q0+", target_key="q0+")
+    builder.arc("q0+", "t-", source_key="q0+", target_key="t-/1")
+    builder.arc("t-", "q0-", source_key="t-/1", target_key="q0-")
+    builder.arc("q0-", "t+", source_key="q0-", target_key="t+/2")
+    builder.arc("t+", "q1+", source_key="t+/2", target_key="q1+")
+    builder.arc("q1+", "t-", source_key="q1+", target_key="t-/2")
+    builder.arc("t-", "q1-", source_key="t-/2", target_key="q1-")
+    builder.arc("q1-", "t+", source_key="q1-", marked=True)
+    return builder.build()
+
+
+def call_element(name: str = "call") -> SignalTransitionGraph:
+    """A call element serialising two clients onto one shared resource.
+
+    Clients issue ``r1``/``r2`` and receive ``a1``/``a2``; the shared
+    resource handshake is ``r``/``a``.  The clients are mutually exclusive
+    by construction of the environment (no arbitration needed).
+    """
+    builder = StgBuilder(name)
+    builder.inputs("r1", "r2", "a")
+    builder.outputs("a1", "a2", "r")
+
+    # Client 1 cycle.
+    builder.arc("r1+", "r+", target_key="r+/1")
+    builder.arc("r+", "a+", source_key="r+/1", target_key="a+/1")
+    builder.arc("a+", "a1+", source_key="a+/1")
+    builder.arc("a1+", "r1-")
+    builder.arc("r1-", "r-", target_key="r-/1")
+    builder.arc("r-", "a-", source_key="r-/1", target_key="a-/1")
+    builder.arc("a-", "a1-", source_key="a-/1")
+    builder.arc("a1-", "r1+", marked=True)
+
+    # Client 2 cycle.
+    builder.arc("r2+", "r+", target_key="r+/2")
+    builder.arc("r+", "a+", source_key="r+/2", target_key="a+/2")
+    builder.arc("a+", "a2+", source_key="a+/2")
+    builder.arc("a2+", "r2-")
+    builder.arc("r2-", "r-", target_key="r-/2")
+    builder.arc("r-", "a-", source_key="r-/2", target_key="a-/2")
+    builder.arc("a-", "a2-", source_key="a-/2")
+    builder.arc("a2-", "r2+", marked=True)
+
+    # Mutual exclusion of the two clients (environment guarantee): only one
+    # client cycle may be in progress at a time.
+    mutex = builder.build().add_place("mutex")
+    stg = builder.build()
+    stg.add_arc("mutex", "r1+")
+    stg.add_arc("a1-", "mutex")
+    stg.add_arc("mutex", "r2+")
+    stg.add_arc("a2-", "mutex")
+    marking = stg.net.initial_marking.as_dict()
+    marking["mutex"] = 1
+    stg.set_initial_marking(marking)
+    return stg
+
+
+def fifo_ring_environment(name: str = "fifo_ring") -> SignalTransitionGraph:
+    """FIFO cell embedded in a ring with a single token (Section 4.2).
+
+    The ring environment guarantees that the right handshake always completes
+    before a new left handshake begins, which is exactly the user-defined
+    relative-timing assumption ``ri- before li+`` of Figure 6.  This spec
+    encodes that guarantee structurally so it can be used to *validate* the
+    user assumption against an environment model.
+    """
+    stg = fifo_controller(name)
+    # Add the environment guarantee as an explicit causal arc ri- -> li+.
+    place = stg.add_place("p_ring_guarantee")
+    stg.add_arc("ri-", place)
+    stg.add_arc(place, "li+")
+    marking = stg.net.initial_marking.as_dict()
+    marking[place] = 1
+    stg.set_initial_marking(marking)
+    return stg
+
+
+ALL_SPECS = {
+    "handshake": simple_handshake,
+    "fifo": fifo_controller,
+    "fifo_decoupled": fifo_controller_decoupled,
+    "fifo_ring": fifo_ring_environment,
+    "celement": celement,
+    "latch_ctrl": pipeline_latch_controller,
+    "toggle": toggle,
+    "call": call_element,
+}
+
+
+def load_spec(name: str) -> SignalTransitionGraph:
+    """Instantiate a named specification from the library."""
+    try:
+        factory = ALL_SPECS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown spec {name!r}; available: {sorted(ALL_SPECS)}"
+        ) from exc
+    return factory()

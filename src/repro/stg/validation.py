@@ -1,0 +1,193 @@
+"""STG well-formedness checks.
+
+Before synthesis, the flow checks that a specification is *implementable*:
+
+* **Boundedness / safeness** of the underlying net.
+* **Consistency**: along every firing sequence the transitions of each
+  signal strictly alternate between rising and falling, and match the
+  declared initial value.
+* **Output persistency**: an enabled output (non-input) transition is never
+  disabled by the firing of another transition; a violation means the
+  implementation would exhibit a hazard even under the speed-independent
+  delay model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.petrinet.net import Marking
+from repro.petrinet.reachability import (
+    UnboundedNetError,
+    build_reachability_graph,
+)
+from repro.stg.model import SignalKind, SignalTransitionGraph, StgError
+
+
+@dataclass
+class ValidationReport:
+    """Result of validating an STG specification."""
+
+    bounded: bool = True
+    safe: bool = True
+    consistent: bool = True
+    output_persistent: bool = True
+    deadlock_free: bool = True
+    consistency_violations: List[str] = field(default_factory=list)
+    persistency_violations: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True if the STG passed every check."""
+        return (
+            self.bounded
+            and self.safe
+            and self.consistent
+            and self.output_persistent
+            and self.deadlock_free
+            and not self.errors
+        )
+
+    def summary(self) -> str:
+        flags = [
+            ("bounded", self.bounded),
+            ("safe", self.safe),
+            ("consistent", self.consistent),
+            ("output persistent", self.output_persistent),
+            ("deadlock free", self.deadlock_free),
+        ]
+        parts = [f"{name}: {'yes' if value else 'NO'}" for name, value in flags]
+        return "; ".join(parts)
+
+
+def _explore_with_values(stg: SignalTransitionGraph, max_states: int = 200_000):
+    """BFS over (marking, signal vector) pairs.
+
+    Returns (states, edges, violations) where ``states`` maps each marking to
+    the set of signal vectors seen with it and ``violations`` is a list of
+    consistency error strings.
+    """
+    net = stg.net
+    initial_vector = tuple(sorted(stg.initial_state_vector().items()))
+    start = (net.initial_marking, initial_vector)
+    seen = {start}
+    queue = [start]
+    edges = []
+    violations: List[str] = []
+
+    while queue:
+        marking, vector = queue.pop()
+        values = dict(vector)
+        for transition in net.enabled_transitions(marking):
+            label = stg.label_of(transition)
+            new_values = dict(values)
+            if label is not None:
+                current = values.get(label.signal, 0)
+                expected = 0 if label.is_rising else 1
+                if current != expected:
+                    violations.append(
+                        f"transition {label} fires while {label.signal}={current}"
+                    )
+                    continue
+                new_values[label.signal] = 1 if label.is_rising else 0
+            successor = net.fire(transition, marking)
+            new_state = (successor, tuple(sorted(new_values.items())))
+            edges.append(((marking, vector), transition, new_state))
+            if new_state not in seen:
+                if len(seen) >= max_states:
+                    raise UnboundedNetError("state cap exceeded during validation")
+                seen.add(new_state)
+                queue.append(new_state)
+    return seen, edges, violations
+
+
+def check_consistency(stg: SignalTransitionGraph) -> List[str]:
+    """Return a list of consistency violations (empty when consistent)."""
+    _states, _edges, violations = _explore_with_values(stg)
+    return violations
+
+
+def check_output_persistency(stg: SignalTransitionGraph) -> List[str]:
+    """Return persistency violations for output/internal signals.
+
+    A violation is reported when a non-input signal transition is enabled in
+    a state and becomes disabled after firing some other transition without
+    having fired itself.
+    """
+    net = stg.net
+    violations: List[str] = []
+    seen_pairs: Set[Tuple[str, str]] = set()
+
+    try:
+        graph = build_reachability_graph(net)
+    except UnboundedNetError:
+        return ["net is unbounded; persistency not checked"]
+
+    for marking in graph.markings:
+        enabled = net.enabled_transitions(marking)
+        for victim in enabled:
+            victim_label = stg.label_of(victim)
+            if victim_label is None:
+                continue
+            if stg.signal_kind(victim_label.signal) is SignalKind.INPUT:
+                continue
+            for aggressor in enabled:
+                if aggressor == victim:
+                    continue
+                aggressor_label = stg.label_of(aggressor)
+                # Two transitions of the same signal competing is a choice,
+                # not a persistency violation.
+                if (
+                    aggressor_label is not None
+                    and victim_label is not None
+                    and aggressor_label.signal == victim_label.signal
+                ):
+                    continue
+                successor = net.fire(aggressor, marking)
+                if not net.is_enabled(victim, successor):
+                    key = (str(victim_label), str(aggressor_label))
+                    if key not in seen_pairs:
+                        seen_pairs.add(key)
+                        violations.append(
+                            f"{victim_label} disabled by firing "
+                            f"{aggressor_label if aggressor_label else aggressor}"
+                        )
+    return violations
+
+
+def validate_stg(stg: SignalTransitionGraph) -> ValidationReport:
+    """Run the full battery of checks and return a :class:`ValidationReport`."""
+    report = ValidationReport()
+    net = stg.net
+
+    if not stg.signals:
+        report.errors.append("STG declares no signals")
+
+    try:
+        graph = build_reachability_graph(net, max_states=200_000, bound=None)
+    except UnboundedNetError as exc:
+        report.bounded = False
+        report.safe = False
+        report.errors.append(str(exc))
+        return report
+
+    bound = 0
+    for marking in graph.markings:
+        for _place, count in marking.items():
+            bound = max(bound, count)
+    report.safe = bound <= 1
+
+    report.deadlock_free = not graph.deadlocks()
+
+    try:
+        report.consistency_violations = check_consistency(stg)
+    except UnboundedNetError as exc:
+        report.errors.append(str(exc))
+        report.consistency_violations = ["unbounded during consistency check"]
+    report.consistent = not report.consistency_violations
+
+    report.persistency_violations = check_output_persistency(stg)
+    report.output_persistent = not report.persistency_violations
+    return report

@@ -1,0 +1,44 @@
+"""Synthesis flows.
+
+* :mod:`repro.synthesis.logic` -- per-signal next-state function derivation
+  and complex-gate netlist construction shared by all flows.
+* :mod:`repro.synthesis.speed_independent` -- the untimed (SI) flow, the
+  baseline of Figure 4.
+* :mod:`repro.synthesis.rt_synthesis` -- the Relative Timing flow of
+  Figure 2: CSC resolution, assumption generation, lazy state graph, logic
+  synthesis and back-annotation.
+* :mod:`repro.synthesis.burst_mode` -- a fundamental-mode (burst-mode style)
+  baseline corresponding to the RT-BM row of Table 2.
+* :mod:`repro.synthesis.pulse_mode` -- the pulse-mode transformation of
+  Figure 7.
+* :mod:`repro.synthesis.techmap` -- decomposition of covers onto the
+  standard gate library.
+"""
+
+from repro.synthesis.logic import (
+    FunctionSpec,
+    derive_function_specs,
+    synthesize_covers,
+    covers_to_netlist,
+)
+from repro.synthesis.speed_independent import SISynthesisResult, synthesize_si
+from repro.synthesis.rt_synthesis import RTSynthesisResult, synthesize_rt
+from repro.synthesis.burst_mode import BurstModeResult, synthesize_burst_mode
+from repro.synthesis.pulse_mode import PulseModeResult, to_pulse_mode
+from repro.synthesis.techmap import decompose_to_library
+
+__all__ = [
+    "FunctionSpec",
+    "derive_function_specs",
+    "synthesize_covers",
+    "covers_to_netlist",
+    "SISynthesisResult",
+    "synthesize_si",
+    "RTSynthesisResult",
+    "synthesize_rt",
+    "BurstModeResult",
+    "synthesize_burst_mode",
+    "PulseModeResult",
+    "to_pulse_mode",
+    "decompose_to_library",
+]

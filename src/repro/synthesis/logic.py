@@ -1,0 +1,156 @@
+"""Next-state function derivation and complex-gate netlist construction.
+
+For every non-input signal ``a`` the synthesis flows derive the *next-state
+function*: in each reachable state the implied value of ``a`` (its current
+value, or the value it is excited towards).  States whose binary codes never
+occur -- or that a relative-timing assumption removes -- are don't cares.
+
+The resulting cover is implemented as a single complex gate (possibly with
+feedback on the signal's own value, the standard "atomic complex gate"
+assumption of speed-independent synthesis).  Decomposition onto a concrete
+library is handled by :mod:`repro.synthesis.techmap`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.boolean.cubes import Cover
+from repro.boolean.expr import cover_to_expression
+from repro.boolean.minimize import minimize
+from repro.circuit.library import GateType, complex_gate_type
+from repro.circuit.netlist import Netlist
+from repro.stg.model import SignalKind, SignalTransitionGraph
+from repro.stategraph.graph import StateGraph
+
+
+class SynthesisError(Exception):
+    """Raised when a specification cannot be synthesized."""
+
+
+@dataclass
+class FunctionSpec:
+    """Incompletely specified next-state function of one signal."""
+
+    signal: str
+    variables: List[str]
+    on_codes: Set[Tuple[int, ...]] = field(default_factory=set)
+    off_codes: Set[Tuple[int, ...]] = field(default_factory=set)
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.variables)
+
+    def dc_codes(self) -> Set[Tuple[int, ...]]:
+        """All codes that are neither ON nor OFF."""
+        universe = set(itertools.product((0, 1), repeat=self.num_vars))
+        return universe - self.on_codes - self.off_codes
+
+    def is_consistent(self) -> bool:
+        return not (self.on_codes & self.off_codes)
+
+    def conflicting_codes(self) -> Set[Tuple[int, ...]]:
+        return self.on_codes & self.off_codes
+
+
+def derive_function_specs(
+    graph: StateGraph,
+    signals: Optional[Sequence[str]] = None,
+    local_dont_cares: Optional[Mapping[str, Set[Tuple[int, ...]]]] = None,
+) -> Dict[str, FunctionSpec]:
+    """Derive per-signal function specs from a (possibly lazy) state graph.
+
+    ``local_dont_cares`` maps a signal to codes that should be treated as
+    don't cares for that signal only -- the early-enabling freedom of the
+    Relative Timing flow.
+    """
+    stg = graph.stg
+    if signals is None:
+        signals = stg.non_input_signals
+    local_dont_cares = local_dont_cares or {}
+
+    specs: Dict[str, FunctionSpec] = {}
+    for signal in signals:
+        spec = FunctionSpec(signal=signal, variables=list(graph.signal_order))
+        lazy_codes = local_dont_cares.get(signal, set())
+        for state in graph.states:
+            if state.code in lazy_codes:
+                continue
+            if graph.next_value(state, signal) == 1:
+                spec.on_codes.add(state.code)
+            else:
+                spec.off_codes.add(state.code)
+        # A code can appear in both sets only if CSC is violated.
+        if not spec.is_consistent():
+            raise SynthesisError(
+                f"signal {signal!r} has a CSC conflict at codes "
+                f"{sorted(spec.conflicting_codes())}; run state encoding first"
+            )
+        specs[signal] = spec
+    return specs
+
+
+def synthesize_covers(specs: Mapping[str, FunctionSpec]) -> Dict[str, Cover]:
+    """Minimize each function spec into a sum-of-products cover."""
+    covers: Dict[str, Cover] = {}
+    for signal, spec in specs.items():
+        covers[signal] = minimize(
+            spec.on_codes, spec.dc_codes(), num_vars=spec.num_vars
+        )
+    return covers
+
+
+def covers_to_netlist(
+    stg: SignalTransitionGraph,
+    covers: Mapping[str, Cover],
+    signal_order: Sequence[str],
+    name: str = "circuit",
+    domino: bool = False,
+) -> Netlist:
+    """Build a complex-gate netlist implementing the covers.
+
+    Each non-input signal becomes one complex gate whose inputs are exactly
+    the signals in the support of its cover (which may include the signal
+    itself -- combinational feedback implementing state holding).
+    """
+    netlist = Netlist(name)
+    for signal in stg.inputs:
+        netlist.add_primary_input(signal, initial=stg.initial_value(signal))
+    for signal in stg.outputs:
+        netlist.add_primary_output(signal)
+
+    for signal, cover in covers.items():
+        if stg.signal_kind(signal) is SignalKind.INPUT:
+            raise SynthesisError(f"cannot synthesize logic for input {signal!r}")
+        support = _cover_support(cover, signal_order)
+        expression = cover_to_expression(cover, signal_order)
+        gate_type = complex_gate_type(
+            name=f"CG_{signal}",
+            expression=expression,
+            input_names=support,
+            domino=domino,
+        )
+        netlist.add_gate(
+            name=f"g_{signal}",
+            gate_type=gate_type,
+            inputs=support,
+            output=signal,
+            output_initial=stg.initial_value(signal),
+        )
+        netlist.set_initial_value(signal, stg.initial_value(signal))
+    for signal in stg.signals:
+        if netlist and signal in netlist.nets:
+            netlist.set_initial_value(signal, stg.initial_value(signal))
+    return netlist
+
+
+def _cover_support(cover: Cover, signal_order: Sequence[str]) -> List[str]:
+    """Signals actually referenced by a cover, in signal order."""
+    used_indices: Set[int] = set()
+    for cube in cover:
+        for index, bit in enumerate(cube.bits):
+            if bit is not None:
+                used_indices.add(index)
+    return [signal_order[index] for index in sorted(used_indices)]

@@ -1,0 +1,254 @@
+"""Pulse-mode transformation (Figure 7 of the paper).
+
+Starting from an RT circuit, the pulse-mode transformation:
+
+1. folds models of the left and right environments into the circuit,
+2. removes the handshake signals made redundant by timing (``lo`` and ``ri``
+   for the FIFO cell), and
+3. re-implements the remaining request path as a self-resetting (pulsed)
+   domino stage.
+
+The interface protocol changes from four-phase handshakes to pulses, which
+is only correct under the pulse-protocol constraints of Figure 7(b): the
+causal arc (1) plus three relative-timing constraints (2-4) governing pulse
+width and separation between the circuit and its environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.library import GateLibrary, STANDARD_LIBRARY
+from repro.circuit.netlist import Netlist
+from repro.core.assumptions import RelativeTimingConstraint
+from repro.stg.model import Direction, SignalKind, SignalTransition, SignalTransitionGraph
+from repro.synthesis.logic import SynthesisError
+from repro.synthesis.rt_synthesis import RTSynthesisResult
+
+
+@dataclass(frozen=True)
+class PulseConstraint:
+    """A constraint of the pulse handshake protocol."""
+
+    name: str
+    kind: str  # "causal" or "timing"
+    description: str
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.kind}): {self.description}"
+
+
+@dataclass
+class PulseModeResult:
+    """Artifacts of the pulse-mode transformation."""
+
+    source: RTSynthesisResult
+    netlist: Netlist
+    hidden_signals: List[str]
+    pulse_inputs: List[str]
+    pulse_outputs: List[str]
+    protocol_constraints: List[PulseConstraint] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [f"pulse-mode transformation of {self.source.stg.name!r}"]
+        lines.append(f"  removed handshake signals: {self.hidden_signals}")
+        lines.append(f"  pulse inputs:  {self.pulse_inputs}")
+        lines.append(f"  pulse outputs: {self.pulse_outputs}")
+        lines.append(f"  transistors: {self.netlist.transistor_count()}")
+        lines.append("  protocol constraints:")
+        for constraint in self.protocol_constraints:
+            lines.append(f"    {constraint}")
+        return "\n".join(lines)
+
+
+def _trigger_inputs(stg: SignalTransitionGraph, output: str, hidden: Sequence[str]) -> List[str]:
+    """Input signals that causally trigger rising transitions of ``output``.
+
+    Determined structurally from the STG: the labelled predecessors of the
+    output's rising transitions, restricted to surviving input signals.
+    """
+    net = stg.net
+    triggers: List[str] = []
+    rising = [
+        name
+        for name in stg.transitions_of_signal(output)
+        if stg.label_of(name) is not None and stg.label_of(name).is_rising
+    ]
+    visited = set()
+    frontier = list(rising)
+    while frontier:
+        transition = frontier.pop()
+        if transition in visited:
+            continue
+        visited.add(transition)
+        for place, _weight in net.preset(transition).items():
+            for producer in net.place_preset(place):
+                label = stg.label_of(producer)
+                if label is None:
+                    frontier.append(producer)
+                    continue
+                signal = label.signal
+                if signal in hidden:
+                    frontier.append(producer)
+                elif stg.signal_kind(signal) is SignalKind.INPUT and signal not in triggers:
+                    triggers.append(signal)
+    return triggers
+
+
+def to_pulse_mode(
+    rt_result: RTSynthesisResult,
+    hidden_signals: Optional[Sequence[str]] = None,
+    pulse_width_ps: float = 180.0,
+    library: GateLibrary = STANDARD_LIBRARY,
+    name: Optional[str] = None,
+) -> PulseModeResult:
+    """Transform an RT circuit into a pulse-mode circuit.
+
+    Parameters
+    ----------
+    rt_result:
+        The RT synthesis result to transform.
+    hidden_signals:
+        Handshake signals to remove.  By default every acknowledge-style
+        signal is removed: input acknowledges of the right environment and
+        output acknowledges towards the left environment -- for the FIFO cell
+        this is ``{lo, ri}`` exactly as in the paper.
+    pulse_width_ps:
+        Width of the self-reset pulse (sets the delay of the reset inverter
+        chain in the behavioural model).
+    """
+    stg = rt_result.encoded_stg
+    if hidden_signals is None:
+        hidden_signals = _default_hidden_signals(stg)
+    hidden = [s for s in hidden_signals if s in stg.signals]
+    if not hidden:
+        raise SynthesisError(
+            "pulse-mode transformation needs at least one handshake signal to remove"
+        )
+
+    surviving_inputs = [s for s in stg.inputs if s not in hidden]
+    surviving_outputs = [s for s in stg.outputs if s not in hidden]
+    if not surviving_inputs or not surviving_outputs:
+        raise SynthesisError(
+            "pulse-mode transformation removed every input or every output"
+        )
+
+    netlist = Netlist(name or f"{rt_result.stg.name}_pulse")
+    for signal in surviving_inputs:
+        netlist.add_primary_input(signal, initial=stg.initial_value(signal))
+    for signal in surviving_outputs:
+        netlist.add_primary_output(signal)
+
+    # One self-resetting unfooted domino stage per surviving output.
+    for output in surviving_outputs:
+        triggers = _trigger_inputs(stg, output, hidden) or surviving_inputs
+        reset_bar = f"{output}_rstb"
+        netlist.add_net(reset_bar, initial=1)
+        fanin = len(triggers) + 1
+        gate_type = library.get(f"UDOMINO_AND{min(fanin, 4)}")
+        netlist.add_gate(
+            name=f"pulse_{output}",
+            gate_type=gate_type,
+            inputs=[*triggers[: 3], reset_bar],
+            output=output,
+            output_initial=stg.initial_value(output),
+        )
+        # Self-reset: the output's own rise, inverted after the pulse width,
+        # collapses the domino stage (modelled as one inverter whose delay is
+        # stretched to the requested pulse width).
+        inverter = library.get("INV")
+        stretched = type(inverter)(
+            name="INV_PULSE",
+            num_inputs=1,
+            eval_fn=inverter.eval_fn,
+            transistors=4,  # inverter plus delay element
+            delay_ps=pulse_width_ps,
+            energy_pj=inverter.energy_pj * 2,
+            description="self-reset inverter with pulse-width delay",
+        )
+        netlist.add_gate(
+            name=f"reset_{output}",
+            gate_type=stretched,
+            inputs=[output],
+            output=reset_bar,
+        )
+
+    constraints = [
+        PulseConstraint(
+            name="arc1",
+            kind="causal",
+            description=(
+                "an input pulse causes the output pulse through the domino stage"
+            ),
+        ),
+        PulseConstraint(
+            name="arc2",
+            kind="timing",
+            description=(
+                "the input pulse must be wide enough to fire the domino stage "
+                "(minimum pulse width at the receiver)"
+            ),
+        ),
+        PulseConstraint(
+            name="arc3",
+            kind="timing",
+            description=(
+                "the self-reset must complete before the environment issues the "
+                "next input pulse (minimum pulse separation)"
+            ),
+        ),
+        PulseConstraint(
+            name="arc4",
+            kind="timing",
+            description=(
+                "the output pulse must be consumed by the environment before the "
+                "stage resets (maximum environment response time)"
+            ),
+        ),
+    ]
+
+    return PulseModeResult(
+        source=rt_result,
+        netlist=netlist,
+        hidden_signals=list(hidden),
+        pulse_inputs=surviving_inputs,
+        pulse_outputs=surviving_outputs,
+        protocol_constraints=constraints,
+    )
+
+
+def _default_hidden_signals(stg: SignalTransitionGraph) -> List[str]:
+    """Heuristic choice of handshake signals to remove.
+
+    Acknowledge-style signals are those that never causally trigger another
+    signal's rising transition except back to the environment: for the FIFO
+    cell these are ``lo`` (output acknowledge to the left) and ``ri`` (input
+    acknowledge from the right).  Internal state signals are also removed --
+    pulse-mode circuits carry their state in the pulse itself.
+    """
+    hidden: List[str] = list(stg.internals)
+    inputs = set(stg.inputs)
+    outputs = set(stg.outputs)
+    # Keep one request input and one request output; hide the rest if they
+    # form acknowledge pairs.  Requests are signals whose rising transition
+    # has a successor rising transition of a non-hidden signal.
+    net = stg.net
+
+    def drives_forward(signal: str) -> bool:
+        for transition in stg.transitions_of_signal(signal):
+            label = stg.label_of(transition)
+            if label is None or not label.is_rising:
+                continue
+            for place in net.postset(transition):
+                for consumer in net.place_postset(place):
+                    consumer_label = stg.label_of(consumer)
+                    if consumer_label is not None and consumer_label.is_rising:
+                        if consumer_label.signal != signal:
+                            return True
+        return False
+
+    for signal in sorted(inputs | outputs):
+        if not drives_forward(signal):
+            hidden.append(signal)
+    return hidden

@@ -1,0 +1,205 @@
+"""Relative Timing synthesis -- the design flow of Figure 2.
+
+Pipeline::
+
+    specification STG
+        -> validation
+        -> reachability analysis / state graph
+        -> timing-aware state encoding (CSC resolution)
+        -> RT assumption generation (automatic) + user assumptions
+        -> lazy state graph (concurrency reduction + early enabling)
+        -> logic synthesis with enlarged don't-care sets
+        -> back-annotation of the assumptions actually used
+        -> RT circuit netlist + required RT constraints
+
+The result carries both the circuit and the constraints the physical design
+must satisfy, exactly as the paper's flow back-annotates "a subset of the
+timing assumptions used for optimization".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.boolean.cubes import Cover
+from repro.circuit.netlist import Netlist
+from repro.core.assumptions import (
+    AssumptionSet,
+    RelativeTimingAssumption,
+    RelativeTimingConstraint,
+)
+from repro.core.backannotation import BackAnnotation, back_annotate
+from repro.core.generation import generate_automatic_assumptions
+from repro.core.lazy import LazyStateGraph, apply_assumptions
+from repro.stg.model import SignalTransitionGraph
+from repro.stg.validation import ValidationReport, validate_stg
+from repro.stategraph.encoding import EncodingResult, resolve_csc
+from repro.stategraph.graph import StateGraph, build_state_graph
+from repro.synthesis.logic import (
+    FunctionSpec,
+    SynthesisError,
+    covers_to_netlist,
+    derive_function_specs,
+    synthesize_covers,
+)
+
+
+@dataclass
+class RTSynthesisResult:
+    """Artifacts of a Relative Timing synthesis run."""
+
+    stg: SignalTransitionGraph
+    encoded_stg: SignalTransitionGraph
+    untimed_graph: StateGraph
+    lazy_graph: LazyStateGraph
+    assumptions: AssumptionSet
+    covers: Dict[str, Cover]
+    netlist: Netlist
+    back_annotation: BackAnnotation
+    validation: ValidationReport
+    encoding: EncodingResult
+    specs: Dict[str, FunctionSpec] = field(default_factory=dict)
+
+    @property
+    def constraints(self) -> List[RelativeTimingConstraint]:
+        """The required (back-annotated) relative timing constraints."""
+        return list(self.back_annotation.constraints)
+
+    @property
+    def inserted_state_signals(self) -> List[str]:
+        return list(self.encoding.inserted_signals)
+
+    def equations(self) -> Dict[str, str]:
+        order = self.untimed_graph.signal_order
+        return {signal: cover.to_string(order) for signal, cover in self.covers.items()}
+
+    def describe(self) -> str:
+        lines = [f"relative-timing synthesis of {self.stg.name!r}"]
+        stats = self.lazy_graph.statistics()
+        lines.append(
+            f"  states: {stats['original_states']} untimed -> "
+            f"{stats['reduced_states']} lazy"
+        )
+        if self.inserted_state_signals:
+            lines.append(f"  state signals inserted: {self.inserted_state_signals}")
+        lines.append(f"  assumptions supplied: {len(self.assumptions)}")
+        for signal, equation in sorted(self.equations().items()):
+            lines.append(f"  {signal} = {equation}")
+        lines.append(f"  transistors: {self.netlist.transistor_count()}")
+        lines.append("  required constraints:")
+        if not self.constraints:
+            lines.append("    (none)")
+        for constraint in self.constraints:
+            lines.append(f"    {constraint}")
+        return "\n".join(lines)
+
+
+def synthesize_rt(
+    stg: SignalTransitionGraph,
+    user_assumptions: Optional[Iterable[RelativeTimingAssumption]] = None,
+    automatic: bool = True,
+    aggressive: bool = False,
+    early_enable: bool = False,
+    validate: bool = True,
+    netlist_name: Optional[str] = None,
+    domino: bool = True,
+) -> RTSynthesisResult:
+    """Run the Relative Timing synthesis flow of Figure 2.
+
+    Parameters
+    ----------
+    stg:
+        The speed-independent specification.
+    user_assumptions:
+        Architectural / environmental orderings only the designer can know
+        (e.g. the ring assumption ``ri- before li+`` of Figure 6).
+    automatic:
+        Run the automatic assumption generator (Figure 5 uses only these).
+    aggressive:
+        Let the generator also order concurrently enabled outputs.
+    early_enable:
+        Also exploit early (lazy) enabling don't cares.  This reproduces the
+        paper's "lazy signal" optimization but, in this implementation, the
+        generated race constraints are not yet propagated to the event
+        simulator's environment model, so closed-loop simulations of the
+        resulting circuits can glitch.  Concurrency reduction alone (the
+        default) already yields the Table 2 improvements.
+    domino:
+        Characterise the complex gates as domino gates (the implementation
+        style used by the paper's RT circuits).
+    """
+    validation = validate_stg(stg) if validate else ValidationReport()
+    if validate and not validation.ok:
+        raise SynthesisError(
+            f"STG {stg.name!r} failed validation: {validation.summary()}"
+        )
+
+    # Timing-aware state encoding: resolve CSC on the untimed specification.
+    # Structural (SI-compatible) encoding is tried first; when it fails, the
+    # timing-aware mode is used and its implied orderings become assumptions.
+    encoding = resolve_csc(stg)
+    if not encoding.resolved:
+        encoding = resolve_csc(stg, timing_aware=True)
+    if not encoding.resolved:
+        raise SynthesisError(
+            f"could not resolve CSC for {stg.name!r}: "
+            f"{len(encoding.remaining_conflicts)} conflicts remain"
+        )
+    encoded = encoding.stg
+    untimed_graph = build_state_graph(encoded)
+
+    # Assemble the assumption set: user first, then the orderings the
+    # timing-aware encoding relies on, then automatic generation.
+    assumptions = AssumptionSet(user_assumptions or [])
+    for before, after in encoding.implied_orderings:
+        assumptions.add(
+            RelativeTimingAssumption(
+                before=before,
+                after=after,
+                rationale="required by timing-aware state encoding",
+            )
+        )
+    if automatic:
+        assumptions = generate_automatic_assumptions(
+            untimed_graph, aggressive=aggressive, existing=assumptions
+        )
+
+    # Lazy state graph: concurrency reduction plus (optional) early enabling.
+    lazy = apply_assumptions(untimed_graph, assumptions, enable_lazy=early_enable)
+
+    # Logic synthesis on the reduced graph with per-signal local don't cares.
+    local_dc = (
+        {
+            signal: lazy.local_dont_cares(signal)
+            for signal in encoded.non_input_signals
+        }
+        if early_enable
+        else None
+    )
+    specs = derive_function_specs(lazy.reduced, local_dont_cares=local_dc)
+    covers = synthesize_covers(specs)
+
+    # Back-annotate the assumptions the covers actually rely on.
+    annotation = back_annotate(untimed_graph, assumptions, covers)
+
+    netlist = covers_to_netlist(
+        encoded,
+        covers,
+        untimed_graph.signal_order,
+        name=netlist_name or f"{stg.name}_rt",
+        domino=domino,
+    )
+    return RTSynthesisResult(
+        stg=stg,
+        encoded_stg=encoded,
+        untimed_graph=untimed_graph,
+        lazy_graph=lazy,
+        assumptions=assumptions,
+        covers=covers,
+        netlist=netlist,
+        back_annotation=annotation,
+        validation=validation,
+        encoding=encoding,
+        specs=specs,
+    )

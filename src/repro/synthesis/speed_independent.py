@@ -1,0 +1,116 @@
+"""Speed-independent (SI) synthesis -- the untimed baseline.
+
+This is the flow the RAPPID team found "not satisfactory for the critical
+path of the design due to area/performance overhead": correct under
+unbounded gate delays, but paying for that robustness with larger gates and
+longer handshake chains.  It serves as the reference point (the SI row of
+Table 2, the circuit of Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.boolean.cubes import Cover
+from repro.circuit.netlist import Netlist
+from repro.stg.model import SignalTransitionGraph
+from repro.stg.validation import ValidationReport, validate_stg
+from repro.stategraph.encoding import EncodingResult, find_csc_conflicts, resolve_csc
+from repro.stategraph.graph import StateGraph, build_state_graph
+from repro.synthesis.logic import (
+    FunctionSpec,
+    SynthesisError,
+    covers_to_netlist,
+    derive_function_specs,
+    synthesize_covers,
+)
+
+
+@dataclass
+class SISynthesisResult:
+    """Artifacts of a speed-independent synthesis run."""
+
+    stg: SignalTransitionGraph
+    encoded_stg: SignalTransitionGraph
+    state_graph: StateGraph
+    covers: Dict[str, Cover]
+    netlist: Netlist
+    validation: ValidationReport
+    encoding: EncodingResult
+    specs: Dict[str, FunctionSpec] = field(default_factory=dict)
+
+    @property
+    def inserted_state_signals(self) -> List[str]:
+        return list(self.encoding.inserted_signals)
+
+    def equations(self) -> Dict[str, str]:
+        """Readable next-state equations, e.g. ``{'lo': "li x'", ...}``."""
+        order = self.state_graph.signal_order
+        return {signal: cover.to_string(order) for signal, cover in self.covers.items()}
+
+    def describe(self) -> str:
+        lines = [f"speed-independent synthesis of {self.stg.name!r}"]
+        lines.append(f"  states: {len(self.state_graph.states)}")
+        if self.inserted_state_signals:
+            lines.append(f"  state signals inserted: {self.inserted_state_signals}")
+        for signal, equation in sorted(self.equations().items()):
+            lines.append(f"  {signal} = {equation}")
+        lines.append(f"  transistors: {self.netlist.transistor_count()}")
+        return "\n".join(lines)
+
+
+def synthesize_si(
+    stg: SignalTransitionGraph,
+    validate: bool = True,
+    resolve_encoding: bool = True,
+    netlist_name: Optional[str] = None,
+) -> SISynthesisResult:
+    """Run the untimed speed-independent synthesis flow.
+
+    Steps: validation, CSC resolution (state-signal insertion if needed),
+    state-graph construction, next-state function derivation with only the
+    unreachable codes as don't cares, minimization, and complex-gate netlist
+    construction.
+    """
+    validation = validate_stg(stg) if validate else ValidationReport()
+    if validate and not validation.ok:
+        raise SynthesisError(
+            f"STG {stg.name!r} failed validation: {validation.summary()}"
+        )
+
+    if resolve_encoding:
+        encoding = resolve_csc(stg)
+        if not encoding.resolved:
+            raise SynthesisError(
+                f"could not resolve CSC for {stg.name!r}: "
+                f"{len(encoding.remaining_conflicts)} conflicts remain"
+            )
+    else:
+        encoding = EncodingResult(stg=stg.copy())
+        graph = build_state_graph(encoding.stg)
+        if find_csc_conflicts(graph):
+            raise SynthesisError(
+                f"STG {stg.name!r} violates CSC and encoding was disabled"
+            )
+
+    encoded = encoding.stg
+    graph = build_state_graph(encoded)
+    specs = derive_function_specs(graph)
+    covers = synthesize_covers(specs)
+    netlist = covers_to_netlist(
+        encoded,
+        covers,
+        graph.signal_order,
+        name=netlist_name or f"{stg.name}_si",
+    )
+    return SISynthesisResult(
+        stg=stg,
+        encoded_stg=encoded,
+        state_graph=graph,
+        covers=covers,
+        netlist=netlist,
+        validation=validation,
+        encoding=encoding,
+        specs=specs,
+    )

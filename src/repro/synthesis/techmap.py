@@ -1,0 +1,167 @@
+"""Technology mapping: decompose covers onto the standard gate library.
+
+The complex-gate netlists produced by :func:`covers_to_netlist` assume each
+next-state function fits one (possibly large) atomic gate.  For library
+implementations -- and for the burst-mode baseline, which traditionally uses
+two-level AND/OR logic -- this module decomposes a sum-of-products cover
+into inverters, AND gates and OR gates of bounded fan-in.
+
+Note the paper's caveat: naive decomposition is *not* hazard-preserving for
+speed-independent circuits ("timing-aware logic decomposition and technology
+mapping for RT circuits" is listed as future work).  The decomposed netlists
+are therefore used for area/delay bookkeeping and fundamental-mode designs,
+not as drop-in SI replacements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.boolean.cubes import Cover, Cube
+from repro.circuit.library import GateLibrary, STANDARD_LIBRARY
+from repro.circuit.netlist import Netlist
+from repro.stg.model import SignalKind, SignalTransitionGraph
+from repro.synthesis.logic import SynthesisError
+
+
+def _tree_reduce(
+    netlist: Netlist,
+    library: GateLibrary,
+    nets: List[str],
+    gate_prefix: str,
+    kind: str,
+    output: Optional[str] = None,
+    max_fanin: int = 4,
+) -> str:
+    """Combine ``nets`` with a tree of ``kind`` gates (AND / OR).
+
+    Returns the net carrying the combined value.  When ``output`` is given,
+    the final gate drives that net.
+    """
+    if not nets:
+        raise SynthesisError("cannot reduce an empty net list")
+    counter = 0
+    current = list(nets)
+    while len(current) > 1:
+        next_level: List[str] = []
+        for start in range(0, len(current), max_fanin):
+            group = current[start : start + max_fanin]
+            if len(group) == 1:
+                next_level.append(group[0])
+                continue
+            is_last = len(current) <= max_fanin and output is not None
+            out_net = output if is_last else f"{gate_prefix}_{kind.lower()}{counter}"
+            gate_type = library.get(f"{kind}{len(group)}")
+            netlist.add_gate(
+                name=f"{gate_prefix}_{kind.lower()}_g{counter}",
+                gate_type=gate_type,
+                inputs=group,
+                output=out_net,
+            )
+            counter += 1
+            next_level.append(out_net)
+        current = next_level
+    final = current[0]
+    if output is not None and final != output:
+        netlist.add_gate(
+            name=f"{gate_prefix}_buf",
+            gate_type=library.get("BUF"),
+            inputs=[final],
+            output=output,
+        )
+        final = output
+    return final
+
+
+def decompose_to_library(
+    stg: SignalTransitionGraph,
+    covers: Mapping[str, Cover],
+    signal_order: Sequence[str],
+    library: GateLibrary = STANDARD_LIBRARY,
+    name: str = "mapped",
+    max_fanin: int = 4,
+) -> Netlist:
+    """Build a two-level (AND-OR) library netlist implementing the covers.
+
+    Complemented literals share one inverter per signal.  Feedback (a signal
+    appearing in its own cover) becomes an ordinary net loop.
+    """
+    netlist = Netlist(name)
+    for signal in stg.inputs:
+        netlist.add_primary_input(signal, initial=stg.initial_value(signal))
+    for signal in stg.outputs:
+        netlist.add_primary_output(signal)
+
+    inverted_nets: Dict[str, str] = {}
+
+    def inverted(net: str) -> str:
+        if net not in inverted_nets:
+            inv_net = f"{net}_b"
+            netlist.add_gate(
+                name=f"inv_{net}",
+                gate_type=library.get("INV"),
+                inputs=[net],
+                output=inv_net,
+            )
+            inverted_nets[net] = inv_net
+        return inverted_nets[net]
+
+    for signal, cover in covers.items():
+        if stg.signal_kind(signal) is SignalKind.INPUT:
+            raise SynthesisError(f"cannot map logic for input signal {signal!r}")
+        if not cover.cubes:
+            # Constant zero: tie the net low via a NOR of a net and its inverse
+            # is overkill; simply leave the net at its initial value.
+            netlist.add_net(signal, initial=stg.initial_value(signal))
+            continue
+        product_nets: List[str] = []
+        for cube_index, cube in enumerate(cover):
+            literal_nets: List[str] = []
+            for index, bit in enumerate(cube.bits):
+                if bit is None:
+                    continue
+                source = signal_order[index]
+                netlist.add_net(source, initial=stg.initial_value(source) if source in stg.signals else 0)
+                literal_nets.append(source if bit == 1 else inverted(source))
+            if not literal_nets:
+                raise SynthesisError(
+                    f"cover of {signal!r} contains a tautological cube"
+                )
+            if len(literal_nets) == 1:
+                product_nets.append(literal_nets[0])
+            else:
+                product_net = f"{signal}_p{cube_index}"
+                _tree_reduce(
+                    netlist,
+                    library,
+                    literal_nets,
+                    gate_prefix=f"{signal}_p{cube_index}",
+                    kind="AND",
+                    output=product_net,
+                    max_fanin=max_fanin,
+                )
+                product_nets.append(product_net)
+        if len(product_nets) == 1 and product_nets[0] != signal:
+            netlist.add_gate(
+                name=f"{signal}_buf",
+                gate_type=library.get("BUF"),
+                inputs=[product_nets[0]],
+                output=signal,
+                output_initial=stg.initial_value(signal),
+            )
+        else:
+            _tree_reduce(
+                netlist,
+                library,
+                product_nets,
+                gate_prefix=f"{signal}_sum",
+                kind="OR",
+                output=signal,
+                max_fanin=max_fanin,
+            )
+            netlist.set_initial_value(signal, stg.initial_value(signal))
+
+    for signal in stg.signals:
+        if signal in netlist.nets:
+            netlist.set_initial_value(signal, stg.initial_value(signal))
+    return netlist

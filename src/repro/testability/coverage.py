@@ -1,0 +1,70 @@
+"""Stuck-at coverage reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Netlist
+from repro.circuit.simulator import HandshakeRule
+from repro.testability.faults import StuckAtFault, enumerate_faults
+from repro.testability.simulation import FaultSimulationResult, simulate_faults
+
+
+@dataclass
+class CoverageReport:
+    """Summary of a fault-simulation campaign."""
+
+    circuit: str
+    total_faults: int
+    detected_faults: int
+    undetected: List[StuckAtFault] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of faults detected (0..1)."""
+        if self.total_faults == 0:
+            return 1.0
+        return self.detected_faults / self.total_faults
+
+    @property
+    def coverage_percent(self) -> float:
+        return 100.0 * self.coverage
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.circuit}: {self.detected_faults}/{self.total_faults} stuck-at "
+            f"faults detected ({self.coverage_percent:.1f}%)"
+        ]
+        for fault in self.undetected[:10]:
+            lines.append(f"  undetected: {fault}")
+        if len(self.undetected) > 10:
+            lines.append(f"  ... and {len(self.undetected) - 10} more")
+        return "\n".join(lines)
+
+
+def stuck_at_coverage(
+    netlist: Netlist,
+    environment_rules: Sequence[HandshakeRule],
+    initial_stimuli: Sequence[Tuple[str, int, float]],
+    observables: Optional[Sequence[str]] = None,
+    duration_ps: float = 30_000.0,
+    faults: Optional[Iterable[StuckAtFault]] = None,
+) -> CoverageReport:
+    """Run fault simulation and return the coverage report."""
+    results = simulate_faults(
+        netlist,
+        environment_rules,
+        initial_stimuli,
+        faults=faults,
+        observables=observables,
+        duration_ps=duration_ps,
+    )
+    detected = [r for r in results if r.detected]
+    undetected = [r.fault for r in results if not r.detected]
+    return CoverageReport(
+        circuit=netlist.name,
+        total_faults=len(results),
+        detected_faults=len(detected),
+        undetected=undetected,
+    )

@@ -1,0 +1,52 @@
+"""Stuck-at fault model.
+
+A stuck-at fault pins one net of the netlist to a constant value.  Faults on
+primary inputs are excluded by default (they are the environment's nets);
+every gate output and internal net is a fault site, matching the
+single-stuck-at model used by the COSMOS runs referenced in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.circuit.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """A single stuck-at fault on a net."""
+
+    net: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("stuck-at value must be 0 or 1")
+
+    def __str__(self) -> str:
+        return f"{self.net} stuck-at-{self.value}"
+
+
+def enumerate_faults(
+    netlist: Netlist,
+    include_primary_inputs: bool = False,
+    nets: Optional[Sequence[str]] = None,
+) -> List[StuckAtFault]:
+    """Enumerate single stuck-at faults on the netlist.
+
+    By default every net except primary inputs is a fault site; pass ``nets``
+    to restrict the list (e.g. only the nets of one module).
+    """
+    if nets is None:
+        nets = [
+            net
+            for net in netlist.nets
+            if include_primary_inputs or net not in netlist.primary_inputs
+        ]
+    faults: List[StuckAtFault] = []
+    for net in nets:
+        faults.append(StuckAtFault(net, 0))
+        faults.append(StuckAtFault(net, 1))
+    return faults

@@ -1,0 +1,160 @@
+"""Functional stuck-at fault simulation.
+
+Asynchronous control circuits are tested functionally: the circuit is run in
+its handshake environment and a fault is considered *detected* when the
+observable behaviour differs from the fault-free run -- either a primary
+output ends at a different value, produces a different number of
+transitions, or the handshake stalls (fewer cycles complete).  This mirrors
+the paper's observation that some transistors added purely to prevent
+hazards have undetectable faults (they never change observable behaviour),
+which is why the SI and burst-mode FIFOs score below 100%.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuit.library import GateType
+from repro.circuit.netlist import GateInstance, Netlist
+from repro.circuit.simulator import (
+    EventDrivenSimulator,
+    HandshakeRule,
+    HandshakeEnvironment,
+    SimulationTrace,
+)
+from repro.testability.faults import StuckAtFault, enumerate_faults
+
+
+@dataclass
+class FaultSimulationResult:
+    """Outcome of simulating one fault."""
+
+    fault: StuckAtFault
+    detected: bool
+    reason: str = ""
+
+
+def _stuck_gate_type(original: GateType, value: int) -> GateType:
+    """A gate type that ignores its inputs and drives a constant."""
+    return GateType(
+        name=f"{original.name}_SA{value}",
+        num_inputs=original.num_inputs,
+        eval_fn=lambda inputs, prev, _v=value: _v,
+        transistors=original.transistors,
+        delay_ps=original.delay_ps,
+        energy_pj=original.energy_pj,
+        is_sequential=original.is_sequential,
+        is_domino=original.is_domino,
+        description=f"{original.description} (stuck at {value})",
+    )
+
+
+def _inject_fault(netlist: Netlist, fault: StuckAtFault) -> Netlist:
+    """Build a copy of ``netlist`` with the fault injected.
+
+    A fault on a gate output replaces that gate with a constant driver; a
+    fault on an undriven (input) net is modelled by pinning its initial value
+    and stripping it from every fanout evaluation via a constant buffer.
+    """
+    faulty = Netlist(f"{netlist.name}__{fault.net}_sa{fault.value}")
+    for net in netlist.primary_inputs:
+        faulty.add_primary_input(net, initial=netlist.initial_value(net))
+    for net in netlist.primary_outputs:
+        faulty.add_primary_output(net)
+    for net in netlist.nets:
+        faulty.add_net(net, initial=netlist.initial_value(net))
+
+    for gate in netlist.gates:
+        gate_type = gate.gate_type
+        if gate.output == fault.net:
+            gate_type = _stuck_gate_type(gate.gate_type, fault.value)
+        faulty.add_gate(
+            gate.name,
+            gate_type,
+            gate.inputs,
+            gate.output,
+            output_initial=netlist.initial_value(gate.output),
+        )
+    if fault.net in faulty.nets:
+        faulty.set_initial_value(fault.net, fault.value)
+    return faulty
+
+
+def _observable_signature(
+    trace: SimulationTrace, observables: Sequence[str]
+) -> Tuple[Tuple[str, int, int], ...]:
+    """(net, final value, transition count) for each observable net."""
+    signature = []
+    for net in observables:
+        waveform = trace.waveforms.get(net)
+        final = trace.final_values.get(net, 0)
+        transitions = waveform.transition_count() if waveform else 0
+        signature.append((net, final, transitions))
+    return tuple(signature)
+
+
+def _run(
+    netlist: Netlist,
+    environment_rules: Sequence[HandshakeRule],
+    initial_stimuli: Sequence[Tuple[str, int, float]],
+    duration_ps: float,
+    seed: int,
+) -> SimulationTrace:
+    environment = HandshakeEnvironment(
+        environment_rules, jitter=0.0, seed=seed, initial_stimuli=initial_stimuli
+    )
+    simulator = EventDrivenSimulator(netlist, [environment], delay_jitter=0.0, seed=seed)
+    return simulator.run(duration_ps=duration_ps, max_events=500_000)
+
+
+def simulate_faults(
+    netlist: Netlist,
+    environment_rules: Sequence[HandshakeRule],
+    initial_stimuli: Sequence[Tuple[str, int, float]],
+    faults: Optional[Iterable[StuckAtFault]] = None,
+    observables: Optional[Sequence[str]] = None,
+    duration_ps: float = 30_000.0,
+    seed: int = 7,
+) -> List[FaultSimulationResult]:
+    """Simulate each fault and classify it as detected or undetected.
+
+    Parameters
+    ----------
+    netlist:
+        Fault-free circuit.
+    environment_rules, initial_stimuli:
+        The functional test: the circuit's natural handshake environment.
+    observables:
+        Nets compared against the golden run (default: primary outputs).
+    """
+    if faults is None:
+        faults = enumerate_faults(netlist)
+    if observables is None:
+        observables = netlist.primary_outputs or netlist.nets
+
+    golden = _run(netlist, environment_rules, initial_stimuli, duration_ps, seed)
+    golden_signature = _observable_signature(golden, observables)
+
+    results: List[FaultSimulationResult] = []
+    for fault in faults:
+        faulty_netlist = _inject_fault(netlist, fault)
+        try:
+            trace = _run(
+                faulty_netlist, environment_rules, initial_stimuli, duration_ps, seed
+            )
+        except RuntimeError as exc:
+            # Oscillation or event explosion is observable behaviour.
+            results.append(
+                FaultSimulationResult(fault, True, f"abnormal behaviour: {exc}")
+            )
+            continue
+        signature = _observable_signature(trace, observables)
+        if signature != golden_signature:
+            results.append(FaultSimulationResult(fault, True, "observable difference"))
+        else:
+            results.append(
+                FaultSimulationResult(fault, False, "no observable difference")
+            )
+    return results

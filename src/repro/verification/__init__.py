@@ -1,0 +1,42 @@
+"""Verification of (relative-timed) asynchronous circuits.
+
+Implements the two verification approaches discussed in Section 5 of the
+paper:
+
+* :mod:`repro.verification.conformance` -- unbounded-delay conformance
+  checking of a gate-level circuit against its STG specification, including
+  extraction of candidate relative-timing requirements from failure traces
+  ("assume the errors are due to timing faults ... avoid the erroneous
+  firing through relative timing in the verifier").
+* :mod:`repro.verification.rt_verify` -- the RT-enhanced verifier: the same
+  exploration with a set of relative-timing constraints pruning the
+  orderings the physical design guarantees.
+* :mod:`repro.verification.paths` -- conversion of event-order requirements
+  into *path constraints* via the earliest common enabling signal (the
+  C-element example: ``c+ -> b+ -> bc+`` must be faster than
+  ``c+ -> a- -> ab-``).
+* :mod:`repro.verification.separation` -- min/max separation analysis of the
+  resulting paths against the gate-library delay bounds.
+"""
+
+from repro.verification.conformance import (
+    ConformanceResult,
+    Failure,
+    extract_rt_requirements,
+    verify_conformance,
+)
+from repro.verification.rt_verify import verify_with_constraints
+from repro.verification.paths import PathConstraint, derive_path_constraint
+from repro.verification.separation import SeparationReport, check_path_constraint
+
+__all__ = [
+    "ConformanceResult",
+    "Failure",
+    "verify_conformance",
+    "extract_rt_requirements",
+    "verify_with_constraints",
+    "PathConstraint",
+    "derive_path_constraint",
+    "SeparationReport",
+    "check_path_constraint",
+]

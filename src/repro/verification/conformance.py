@@ -1,0 +1,323 @@
+"""Unbounded-delay conformance checking.
+
+The circuit is composed with the environment described by its STG
+specification.  Under the unbounded (speed-independent) delay model every
+excited gate may switch at any time; every input may change whenever the
+specification allows it.  A *failure* is recorded when the circuit switches
+an interface output at a moment the specification does not allow, or when a
+gate output glitches (is excited and then disabled without firing -- a
+hazard).
+
+Failures do not necessarily mean the silicon is broken: as Section 5 of the
+paper puts it, the errors may be due to orderings that physical delays
+already guarantee.  :func:`extract_rt_requirements` turns each failure into
+candidate relative-timing requirements that would rule it out; the
+RT-enhanced verifier (:mod:`repro.verification.rt_verify`) then re-checks
+the circuit under those requirements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.circuit.netlist import GateInstance, Netlist
+from repro.core.assumptions import RelativeTimingConstraint
+from repro.petrinet.net import Marking
+from repro.stg.model import (
+    Direction,
+    SignalKind,
+    SignalTransition,
+    SignalTransitionGraph,
+)
+
+
+@dataclass(frozen=True)
+class Failure:
+    """A conformance failure found during exploration."""
+
+    kind: str  # "unexpected_output" or "hazard"
+    event: SignalTransition
+    net_values: Tuple[Tuple[str, int], ...]
+    spec_enabled: Tuple[str, ...]
+    concurrent_events: Tuple[str, ...]
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}: {self.event} fired while the specification only "
+            f"allows {list(self.spec_enabled)}"
+        )
+
+
+@dataclass
+class ConformanceResult:
+    """Outcome of a conformance check."""
+
+    conforms: bool
+    failures: List[Failure] = field(default_factory=list)
+    states_explored: int = 0
+    deadlocks: int = 0
+
+    def describe(self) -> str:
+        status = "conforms" if self.conforms else "FAILS"
+        lines = [
+            f"circuit {status} to its specification "
+            f"({self.states_explored} composed states explored)"
+        ]
+        for failure in self.failures[:10]:
+            lines.append(f"  {failure.describe()}")
+        if len(self.failures) > 10:
+            lines.append(f"  ... and {len(self.failures) - 10} more failures")
+        return "\n".join(lines)
+
+
+_CircuitState = Tuple[Tuple[str, int], ...]
+_ComposedState = Tuple[_CircuitState, Marking]
+
+
+def _net_values(values: Dict[str, int]) -> _CircuitState:
+    return tuple(sorted(values.items()))
+
+
+def _excited_gates(netlist: Netlist, values: Dict[str, int]) -> List[Tuple[GateInstance, int]]:
+    """Gates whose computed output differs from the current net value."""
+    excited = []
+    for gate in netlist.gates:
+        inputs = [values[n] for n in gate.inputs]
+        new_value = gate.gate_type.evaluate(inputs, values[gate.output])
+        if new_value != values[gate.output]:
+            excited.append((gate, new_value))
+    return excited
+
+
+def _spec_enabled_inputs(
+    stg: SignalTransitionGraph, marking: Marking
+) -> List[Tuple[str, SignalTransition]]:
+    """Input (or silent) transitions the specification may fire."""
+    enabled = []
+    for transition in stg.net.enabled_transitions(marking):
+        label = stg.label_of(transition)
+        if label is None or stg.signal_kind(label.signal) is SignalKind.INPUT:
+            enabled.append((transition, label))
+    return enabled
+
+
+def _spec_transition_for(
+    stg: SignalTransitionGraph, marking: Marking, signal: str, direction: Direction
+) -> Optional[str]:
+    """An enabled spec transition matching the given signal change, if any."""
+    for transition in stg.net.enabled_transitions(marking):
+        label = stg.label_of(transition)
+        if label is not None and label.signal == signal and label.direction is direction:
+            return transition
+    return None
+
+
+def verify_conformance(
+    netlist: Netlist,
+    stg: SignalTransitionGraph,
+    max_states: int = 200_000,
+    check_hazards: bool = True,
+    allowed_orderings: Optional[Sequence[Tuple[SignalTransition, SignalTransition]]] = None,
+) -> ConformanceResult:
+    """Check a circuit against its STG under unbounded gate delays.
+
+    ``allowed_orderings`` is used by the RT-enhanced verifier: each entry
+    ``(before, after)`` removes interleavings where ``after`` fires while
+    ``before`` is still pending, both in the circuit and in the environment.
+    """
+    stg_signals = set(stg.signals)
+    interface_outputs = set(stg.outputs) | set(stg.internals)
+    orderings = [(str(b), str(a)) for b, a in (allowed_orderings or [])]
+
+    initial_values = {net: netlist.initial_value(net) for net in netlist.nets}
+    for signal in stg.signals:
+        if signal in initial_values:
+            initial_values[signal] = stg.initial_value(signal)
+    initial: _ComposedState = (_net_values(initial_values), stg.net.initial_marking)
+
+    seen: Set[_ComposedState] = {initial}
+    queue = deque([initial])
+    failures: List[Failure] = []
+    failure_keys: Set[Tuple[str, str]] = set()
+    deadlocks = 0
+    result = ConformanceResult(conforms=True)
+
+    while queue:
+        circuit_state, marking = queue.popleft()
+        values = dict(circuit_state)
+
+        # Candidate moves: excited gates and specification-enabled inputs.
+        moves: List[Tuple[str, object]] = []
+        excited = _excited_gates(netlist, values)
+        for gate, new_value in excited:
+            moves.append(("gate", (gate, new_value)))
+        for transition, label in _spec_enabled_inputs(stg, marking):
+            moves.append(("input", (transition, label)))
+
+        # Pending events (for RT pruning and requirement extraction): every
+        # excited gate output -- interface or internal -- plus enabled spec
+        # inputs, expressed as signal transitions.
+        pending: Dict[str, bool] = {}
+        for gate, new_value in excited:
+            direction = Direction.RISE if new_value == 1 else Direction.FALL
+            pending[f"{gate.output}{direction.value}"] = True
+        for _transition, label in _spec_enabled_inputs(stg, marking):
+            if label is not None:
+                pending[label.base_name()] = True
+
+        def blocked(event_name: Optional[str]) -> bool:
+            if event_name is None:
+                return False
+            for before, after in orderings:
+                if after == event_name and before in pending and before != event_name:
+                    return True
+            return False
+
+        if not moves:
+            deadlocks += 1
+            continue
+
+        for kind, payload in moves:
+            if kind == "gate":
+                gate, new_value = payload
+                direction = Direction.RISE if new_value == 1 else Direction.FALL
+                event_name = f"{gate.output}{direction.value}"
+                if blocked(event_name):
+                    continue
+                new_values = dict(values)
+                new_values[gate.output] = new_value
+                new_marking = marking
+                if gate.output in interface_outputs:
+                    spec_transition = _spec_transition_for(
+                        stg, marking, gate.output, direction
+                    )
+                    if spec_transition is None:
+                        event = SignalTransition(gate.output, direction)
+                        key = ("unexpected_output", str(event) + "|" + ",".join(sorted(pending)))
+                        if key not in failure_keys:
+                            failure_keys.add(key)
+                            failures.append(
+                                Failure(
+                                    kind="unexpected_output",
+                                    event=event,
+                                    net_values=circuit_state,
+                                    spec_enabled=tuple(
+                                        str(stg.label_of(t))
+                                        for t in stg.net.enabled_transitions(marking)
+                                        if stg.label_of(t) is not None
+                                    ),
+                                    concurrent_events=tuple(sorted(pending)),
+                                )
+                            )
+                        continue
+                    new_marking = stg.net.fire(spec_transition, marking)
+                successor = (_net_values(new_values), new_marking)
+            else:
+                transition, label = payload
+                if label is None:
+                    new_marking = stg.net.fire(transition, marking)
+                    successor = (circuit_state, new_marking)
+                else:
+                    if blocked(label.base_name()):
+                        continue
+                    new_values = dict(values)
+                    if label.signal in new_values:
+                        new_values[label.signal] = 1 if label.is_rising else 0
+                    new_marking = stg.net.fire(transition, marking)
+                    successor = (_net_values(new_values), new_marking)
+
+            if successor not in seen:
+                if len(seen) >= max_states:
+                    raise RuntimeError(
+                        f"conformance exploration exceeded {max_states} states"
+                    )
+                seen.add(successor)
+                queue.append(successor)
+
+        # Hazard check: a gate excited here must not be disabled by any single
+        # other move without having fired (semi-modularity).
+        if check_hazards:
+            for gate, new_value in excited:
+                if gate.output not in interface_outputs:
+                    continue
+                hazard_direction = Direction.RISE if new_value == 1 else Direction.FALL
+                if blocked(f"{gate.output}{hazard_direction.value}"):
+                    # A relative-timing constraint keeps this gate from firing
+                    # before it is disabled again, so the glitch cannot occur.
+                    continue
+                for kind, payload in moves:
+                    if kind == "gate":
+                        other, other_value = payload
+                        if other.name == gate.name:
+                            continue
+                        trial = dict(values)
+                        trial[other.output] = other_value
+                    else:
+                        _transition, label = payload
+                        if label is None or label.signal not in values:
+                            continue
+                        trial = dict(values)
+                        trial[label.signal] = 1 if label.is_rising else 0
+                    inputs = [trial[n] for n in gate.inputs]
+                    still = gate.gate_type.evaluate(inputs, trial[gate.output])
+                    if still == trial[gate.output]:
+                        direction = Direction.RISE if new_value == 1 else Direction.FALL
+                        event = SignalTransition(gate.output, direction)
+                        key = ("hazard", str(event))
+                        if key not in failure_keys:
+                            failure_keys.add(key)
+                            failures.append(
+                                Failure(
+                                    kind="hazard",
+                                    event=event,
+                                    net_values=circuit_state,
+                                    spec_enabled=tuple(
+                                        str(stg.label_of(t))
+                                        for t in stg.net.enabled_transitions(marking)
+                                        if stg.label_of(t) is not None
+                                    ),
+                                    concurrent_events=tuple(sorted(pending)),
+                                )
+                            )
+
+    result.failures = failures
+    result.conforms = not failures
+    result.states_explored = len(seen)
+    result.deadlocks = deadlocks
+    return result
+
+
+def extract_rt_requirements(
+    result: ConformanceResult,
+) -> List[RelativeTimingConstraint]:
+    """Turn conformance failures into candidate relative-timing requirements.
+
+    For every failure, each event that was concurrently pending becomes a
+    candidate ordering "pending event before failing event": if the physical
+    circuit guarantees any of those orderings, the erroneous firing cannot
+    happen.  The candidates are exactly what the designer (or the separation
+    analysis) must then confirm.
+    """
+    requirements: List[RelativeTimingConstraint] = []
+    seen: Set[Tuple[str, str]] = set()
+    for failure in result.failures:
+        after = failure.event
+        for pending in failure.concurrent_events:
+            if pending == str(after) or pending == after.base_name():
+                continue
+            key = (pending, after.base_name())
+            if key in seen:
+                continue
+            seen.add(key)
+            requirements.append(
+                RelativeTimingConstraint(
+                    before=SignalTransition.parse(pending),
+                    after=SignalTransition(after.signal, after.direction),
+                    rationale=f"rules out {failure.kind} of {after}",
+                    disjunction_group=f"failure:{failure.kind}:{after}",
+                )
+            )
+    return requirements

@@ -1,0 +1,141 @@
+"""Path constraints from relative-timing requirements.
+
+An RT requirement "event a before event b" is turned into a *path
+constraint* by finding the **earliest common enabling signal**: the latest
+circuit node from which both events are causally derived.  The requirement
+then holds if the path from the common source to ``a`` is faster than the
+path from the common source to ``b`` (Section 5's C-element example:
+``c+ -> b+ -> bc+`` must beat ``c+ -> a- -> ab-``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.circuit.netlist import Netlist
+from repro.core.assumptions import RelativeTimingConstraint
+from repro.stg.model import SignalTransition
+
+
+@dataclass
+class PathConstraint:
+    """A delay-ordering requirement between two structural paths.
+
+    The ``fast_path`` (ending at the event that must occur first) must have a
+    smaller delay than the ``slow_path``; both start at ``common_source``.
+    Paths are lists of net names from the common source to each event's net.
+    """
+
+    requirement: RelativeTimingConstraint
+    common_source: Optional[str]
+    fast_path: List[str] = field(default_factory=list)
+    slow_path: List[str] = field(default_factory=list)
+    environment_nets: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if self.common_source is None:
+            return (
+                f"{self.requirement}: no common enabling signal found -- the two "
+                "events are triggered from independent sources (environment "
+                "timing must guarantee the ordering)"
+            )
+        fast = " -> ".join(self.fast_path)
+        slow = " -> ".join(self.slow_path)
+        return (
+            f"{self.requirement}: path {fast} must be faster than path {slow} "
+            f"(common source {self.common_source})"
+        )
+
+
+def _fanin_graph(netlist: Netlist) -> Dict[str, List[str]]:
+    """Net -> list of nets that drive it (through one gate)."""
+    graph: Dict[str, List[str]] = {}
+    for gate in netlist.gates:
+        graph.setdefault(gate.output, []).extend(gate.inputs)
+    return graph
+
+
+def _ancestor_distances(
+    fanin: Dict[str, List[str]], target: str, max_depth: int = 64
+) -> Dict[str, int]:
+    """Minimum number of gate hops from each ancestor net to ``target``."""
+    distances: Dict[str, int] = {target: 0}
+    queue = deque([target])
+    while queue:
+        net = queue.popleft()
+        depth = distances[net]
+        if depth >= max_depth:
+            continue
+        for driver in fanin.get(net, []):
+            if driver not in distances:
+                distances[driver] = depth + 1
+                queue.append(driver)
+    return distances
+
+
+def _shortest_path(
+    fanin: Dict[str, List[str]], source: str, target: str
+) -> List[str]:
+    """A shortest chain of nets from ``source`` to ``target`` (inclusive)."""
+    if source == target:
+        return [source]
+    # BFS backwards from target over fanin edges.
+    parents: Dict[str, str] = {}
+    queue = deque([target])
+    while queue:
+        net = queue.popleft()
+        for driver in fanin.get(net, []):
+            if driver in parents or driver == target:
+                continue
+            parents[driver] = net
+            if driver == source:
+                path = [source]
+                while path[-1] != target:
+                    path.append(parents[path[-1]])
+                return path
+            queue.append(driver)
+    return []
+
+
+def derive_path_constraint(
+    netlist: Netlist,
+    requirement: RelativeTimingConstraint,
+) -> PathConstraint:
+    """Derive the structural path constraint implied by an RT requirement.
+
+    The earliest common enabling signal is the common fan-in net closest to
+    the two event nets (smallest combined distance); primary inputs count as
+    environment-driven sources.
+    """
+    fanin = _fanin_graph(netlist)
+    fast_net = requirement.before.signal
+    slow_net = requirement.after.signal
+
+    fast_ancestors = _ancestor_distances(fanin, fast_net)
+    slow_ancestors = _ancestor_distances(fanin, slow_net)
+    common = set(fast_ancestors) & set(slow_ancestors) - {fast_net, slow_net}
+
+    environment_nets = [
+        net for net in (fast_net, slow_net) if net in netlist.primary_inputs
+    ]
+
+    if not common:
+        return PathConstraint(
+            requirement=requirement,
+            common_source=None,
+            environment_nets=environment_nets,
+        )
+
+    def closeness(net: str) -> Tuple[int, str]:
+        return (fast_ancestors[net] + slow_ancestors[net], net)
+
+    source = min(common, key=closeness)
+    return PathConstraint(
+        requirement=requirement,
+        common_source=source,
+        fast_path=_shortest_path(fanin, source, fast_net),
+        slow_path=_shortest_path(fanin, source, slow_net),
+        environment_nets=environment_nets,
+    )

@@ -1,0 +1,97 @@
+"""The RT-enhanced verifier.
+
+Given a circuit, its specification and a set of relative-timing constraints
+(from back-annotation, from the designer, or extracted from a previous
+failing run), re-run the unbounded-delay conformance check with the
+constrained orderings enforced.  A circuit that fails plain conformance but
+passes under its constraints is correct *provided* the physical design meets
+those constraints -- which is then checked by path/separation analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Netlist
+from repro.core.assumptions import RelativeTimingConstraint
+from repro.stg.model import SignalTransition, SignalTransitionGraph
+from repro.verification.conformance import (
+    ConformanceResult,
+    extract_rt_requirements,
+    verify_conformance,
+)
+
+
+@dataclass
+class RtVerificationResult:
+    """Outcome of verifying a circuit under relative-timing constraints."""
+
+    untimed: ConformanceResult
+    constrained: ConformanceResult
+    constraints: List[RelativeTimingConstraint] = field(default_factory=list)
+    suggested_requirements: List[RelativeTimingConstraint] = field(default_factory=list)
+
+    @property
+    def correct_under_constraints(self) -> bool:
+        return self.constrained.conforms
+
+    @property
+    def untimed_correct(self) -> bool:
+        return self.untimed.conforms
+
+    def describe(self) -> str:
+        lines = []
+        if self.untimed.conforms:
+            lines.append("circuit is speed-independent correct (no constraints needed)")
+        else:
+            lines.append(
+                f"untimed verification fails with {len(self.untimed.failures)} "
+                "failure(s)"
+            )
+            status = "PASSES" if self.constrained.conforms else "still FAILS"
+            lines.append(
+                f"under {len(self.constraints)} relative-timing constraint(s) the "
+                f"circuit {status}"
+            )
+            if not self.constrained.conforms and self.suggested_requirements:
+                lines.append("additional candidate requirements:")
+                for requirement in self.suggested_requirements[:10]:
+                    lines.append(f"  {requirement}")
+        return "\n".join(lines)
+
+
+def verify_with_constraints(
+    netlist: Netlist,
+    stg: SignalTransitionGraph,
+    constraints: Iterable[RelativeTimingConstraint] = (),
+    max_states: int = 200_000,
+) -> RtVerificationResult:
+    """Verify a circuit both untimed and under relative-timing constraints.
+
+    The untimed run documents which failures the constraints are responsible
+    for removing; the constrained run establishes correctness relative to the
+    constraint set.  When the constrained run still fails, the result carries
+    newly-extracted candidate requirements so the designer can iterate
+    (exactly the loop used to check RAPPID's hand-designed timed circuits).
+    """
+    constraints = list(constraints)
+    untimed = verify_conformance(netlist, stg, max_states=max_states)
+    if untimed.conforms:
+        constrained = untimed
+    else:
+        orderings: List[Tuple[SignalTransition, SignalTransition]] = [
+            (c.before, c.after) for c in constraints
+        ]
+        constrained = verify_conformance(
+            netlist, stg, max_states=max_states, allowed_orderings=orderings
+        )
+    suggestions = (
+        extract_rt_requirements(constrained) if not constrained.conforms else []
+    )
+    return RtVerificationResult(
+        untimed=untimed,
+        constrained=constrained,
+        constraints=constraints,
+        suggested_requirements=suggestions,
+    )

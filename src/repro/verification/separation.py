@@ -1,0 +1,125 @@
+"""Separation analysis of path constraints.
+
+Once a relative-timing requirement has been converted into a pair of paths
+(:mod:`repro.verification.paths`), the physical question is whether the
+fast path's *maximum* delay is smaller than the slow path's *minimum* delay,
+with an adequate race margin.  On silicon this is answered with SPICE or a
+static timing engine; here the gate library's nominal delays with a
+plus/minus tolerance play that role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Netlist
+from repro.verification.paths import PathConstraint
+
+
+@dataclass
+class SeparationReport:
+    """Result of checking one path constraint against delay bounds."""
+
+    constraint: PathConstraint
+    fast_max_ps: float
+    slow_min_ps: float
+    margin_ps: float
+    environment_delay_ps: float = 0.0
+
+    @property
+    def satisfied(self) -> bool:
+        """True when the fast path beats the slow path by the margin."""
+        return self.fast_max_ps + self.margin_ps <= self.slow_min_ps
+
+    @property
+    def slack_ps(self) -> float:
+        return self.slow_min_ps - self.fast_max_ps - self.margin_ps
+
+    def describe(self) -> str:
+        verdict = "MET" if self.satisfied else "VIOLATED"
+        return (
+            f"{verdict}: fast path max {self.fast_max_ps:.0f} ps + margin "
+            f"{self.margin_ps:.0f} ps vs slow path min {self.slow_min_ps:.0f} ps "
+            f"(slack {self.slack_ps:+.0f} ps)"
+        )
+
+
+def _path_delay(
+    netlist: Netlist,
+    path: Sequence[str],
+    scale: float,
+    extra_per_stage_ps: float = 0.0,
+) -> float:
+    """Sum of driving-gate delays along a net path (source excluded)."""
+    total = 0.0
+    for net in path[1:]:
+        driver = netlist.driver_of(net)
+        if driver is not None:
+            total += driver.gate_type.delay_ps * scale
+        total += extra_per_stage_ps
+    return total
+
+
+def check_path_constraint(
+    netlist: Netlist,
+    constraint: PathConstraint,
+    delay_tolerance: float = 0.25,
+    margin_ps: float = 20.0,
+    environment_delay_ps: float = 200.0,
+) -> SeparationReport:
+    """Check a path constraint using bounded gate delays.
+
+    ``delay_tolerance`` expands/contracts nominal gate delays to model
+    process variation; ``margin_ps`` is the race margin the sizing tool must
+    preserve.  When an event sits on a primary input (environment-driven),
+    ``environment_delay_ps`` is used as that side's minimum response time,
+    matching the paper's observation that constraints such as "x before ri"
+    require the circuit to be faster than the environment round trip.
+    """
+    fast_scale = 1.0 + delay_tolerance
+    slow_scale = 1.0 - delay_tolerance
+
+    fast_path = constraint.fast_path
+    slow_path = constraint.slow_path
+
+    fast_max = _path_delay(netlist, fast_path, fast_scale) if fast_path else 0.0
+    slow_min = _path_delay(netlist, slow_path, slow_scale) if slow_path else 0.0
+
+    # Environment-driven events: add the environment's response time to the
+    # slow side (the input arrives no earlier than that), and nothing to the
+    # fast side (conservative).
+    after_net = constraint.requirement.after.signal
+    if after_net in netlist.primary_inputs:
+        slow_min += environment_delay_ps
+    before_net = constraint.requirement.before.signal
+    if before_net in netlist.primary_inputs and not fast_path:
+        fast_max += environment_delay_ps
+
+    return SeparationReport(
+        constraint=constraint,
+        fast_max_ps=fast_max,
+        slow_min_ps=slow_min,
+        margin_ps=margin_ps,
+        environment_delay_ps=environment_delay_ps,
+    )
+
+
+def check_all_constraints(
+    netlist: Netlist,
+    constraints: Sequence[PathConstraint],
+    delay_tolerance: float = 0.25,
+    margin_ps: float = 20.0,
+    environment_delay_ps: float = 200.0,
+) -> List[SeparationReport]:
+    """Run separation analysis for every path constraint."""
+    return [
+        check_path_constraint(
+            netlist,
+            constraint,
+            delay_tolerance=delay_tolerance,
+            margin_ps=margin_ps,
+            environment_delay_ps=environment_delay_ps,
+        )
+        for constraint in constraints
+    ]

@@ -1,0 +1,80 @@
+"""Shared fixtures.
+
+Synthesis runs a few seconds for the FIFO specification, so the expensive
+results are computed once per session and shared across test modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.library import STANDARD_LIBRARY
+from repro.circuit.netlist import Netlist
+from repro.core.assumptions import assume
+from repro.stg import specs
+from repro.synthesis import (
+    synthesize_burst_mode,
+    synthesize_rt,
+    synthesize_si,
+    to_pulse_mode,
+)
+
+
+@pytest.fixture(scope="session")
+def fifo_stg():
+    return specs.fifo_controller()
+
+
+@pytest.fixture(scope="session")
+def handshake_stg():
+    return specs.simple_handshake()
+
+
+@pytest.fixture(scope="session")
+def celement_stg():
+    return specs.celement()
+
+
+@pytest.fixture(scope="session")
+def fifo_si(fifo_stg):
+    return synthesize_si(fifo_stg)
+
+
+@pytest.fixture(scope="session")
+def fifo_rt(fifo_stg):
+    return synthesize_rt(fifo_stg)
+
+
+@pytest.fixture(scope="session")
+def fifo_rt_user():
+    return synthesize_rt(
+        specs.fifo_controller(),
+        user_assumptions=[
+            assume("ri-", "li+", rationale="ring with a single token (Figure 6)")
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def fifo_bm(fifo_stg):
+    return synthesize_burst_mode(fifo_stg)
+
+
+@pytest.fixture(scope="session")
+def fifo_pulse(fifo_rt_user):
+    return to_pulse_mode(fifo_rt_user)
+
+
+@pytest.fixture(scope="session")
+def celement_netlist():
+    """The AND-OR static C-element of the Section 5 verification example."""
+    library = STANDARD_LIBRARY
+    netlist = Netlist("celement_gates")
+    netlist.add_primary_input("a")
+    netlist.add_primary_input("b")
+    netlist.add_primary_output("c")
+    netlist.add_gate("g_ab", library.get("AND2"), ["a", "b"], "ab")
+    netlist.add_gate("g_ac", library.get("AND2"), ["a", "c"], "ac")
+    netlist.add_gate("g_bc", library.get("AND2"), ["b", "c"], "bc")
+    netlist.add_gate("g_c", library.get("OR3"), ["ab", "ac", "bc"], "c")
+    return netlist

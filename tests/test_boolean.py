@@ -1,0 +1,173 @@
+"""Unit and property-based tests for the Boolean engine."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean import (
+    AndExpr,
+    ConstExpr,
+    Cover,
+    Cube,
+    NotExpr,
+    OrExpr,
+    VarExpr,
+    complement_cover,
+    cover_to_expression,
+    cube_from_code,
+    minimize,
+)
+from repro.boolean.cubes import cube_from_string
+from repro.boolean.minimize import covers_equal
+
+
+class TestCube:
+    def test_contains_and_literals(self):
+        cube = cube_from_string("1-0")
+        assert cube.num_literals == 2
+        assert cube.contains((1, 0, 0))
+        assert cube.contains((1, 1, 0))
+        assert not cube.contains((0, 1, 0))
+
+    def test_merge_adjacent(self):
+        a = cube_from_string("101")
+        b = cube_from_string("100")
+        merged = a.merge(b)
+        assert merged is not None
+        assert str(merged) == "10-"
+
+    def test_merge_non_adjacent_returns_none(self):
+        assert cube_from_string("101").merge(cube_from_string("010")) is None
+        assert cube_from_string("1-1").merge(cube_from_string("11-")) is None
+
+    def test_covers_and_intersects(self):
+        wide = cube_from_string("1--")
+        narrow = cube_from_string("101")
+        assert wide.covers(narrow)
+        assert not narrow.covers(wide)
+        assert wide.intersects(narrow)
+        assert not cube_from_string("0--").intersects(narrow)
+
+    def test_expand_minterms(self):
+        cube = cube_from_string("1-")
+        assert set(cube.expand_minterms()) == {(1, 0), (1, 1)}
+
+    def test_to_string(self):
+        assert cube_from_string("10-").to_string(["a", "b", "c"]) == "a b'"
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Cube((0, 2, 1))
+
+
+class TestMinimize:
+    def test_single_variable(self):
+        cover = minimize([(1,)], num_vars=1)
+        assert cover.evaluate((1,)) and not cover.evaluate((0,))
+
+    def test_xor_is_not_simplified(self):
+        on = [(0, 1), (1, 0)]
+        cover = minimize(on, num_vars=2)
+        assert len(cover) == 2
+        for minterm in on:
+            assert cover.evaluate(minterm)
+        assert not cover.evaluate((0, 0)) and not cover.evaluate((1, 1))
+
+    def test_dont_cares_enable_merging(self):
+        # f = on {11}, dc {10} over (a,b) should reduce to just 'a'.
+        cover = minimize([(1, 1)], [(1, 0)], num_vars=2)
+        assert cover.num_literals == 1
+        assert cover.evaluate((1, 1))
+
+    def test_tautology(self):
+        on = list(itertools.product((0, 1), repeat=3))
+        cover = minimize(on, num_vars=3)
+        assert len(cover) == 1 and cover.cubes[0].num_literals == 0
+
+    def test_empty_function(self):
+        cover = minimize([], num_vars=3)
+        assert len(cover) == 0
+        assert not cover.evaluate((0, 0, 0))
+
+    def test_empty_needs_width(self):
+        with pytest.raises(ValueError):
+            minimize([])
+
+    def test_complement(self):
+        cover = minimize([(1, 1)], num_vars=2)
+        complement = complement_cover(cover)
+        for bits in itertools.product((0, 1), repeat=2):
+            assert complement.evaluate(bits) == (not cover.evaluate(bits))
+
+
+@st.composite
+def _function_spec(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=4))
+    universe = list(itertools.product((0, 1), repeat=num_vars))
+    on = draw(st.sets(st.sampled_from(universe)))
+    remaining = [m for m in universe if m not in on]
+    dc = draw(st.sets(st.sampled_from(remaining))) if remaining else set()
+    return num_vars, on, dc
+
+
+class TestMinimizeProperties:
+    @given(_function_spec())
+    @settings(max_examples=120, deadline=None)
+    def test_cover_is_correct_on_care_set(self, spec):
+        """The minimized cover matches the spec on ON and OFF sets."""
+        num_vars, on, dc = spec
+        cover = minimize(on, dc, num_vars=num_vars)
+        for minterm in itertools.product((0, 1), repeat=num_vars):
+            if minterm in on:
+                assert cover.evaluate(minterm)
+            elif minterm not in dc:
+                assert not cover.evaluate(minterm)
+
+    @given(_function_spec())
+    @settings(max_examples=60, deadline=None)
+    def test_cover_never_larger_than_minterm_cover(self, spec):
+        num_vars, on, dc = spec
+        cover = minimize(on, dc, num_vars=num_vars)
+        assert len(cover) <= max(len(on), 1)
+
+    @given(_function_spec())
+    @settings(max_examples=60, deadline=None)
+    def test_expression_agrees_with_cover(self, spec):
+        num_vars, on, dc = spec
+        variables = [f"v{i}" for i in range(num_vars)]
+        cover = minimize(on, dc, num_vars=num_vars)
+        expression = cover_to_expression(cover, variables)
+        for minterm in itertools.product((0, 1), repeat=num_vars):
+            values = dict(zip(variables, minterm))
+            assert expression.evaluate(values) == int(cover.evaluate(minterm))
+
+
+class TestExpressions:
+    def test_literal_count_and_str(self):
+        expression = OrExpr(
+            (
+                AndExpr((VarExpr("a"), NotExpr(VarExpr("b")))),
+                VarExpr("c"),
+            )
+        )
+        assert expression.literal_count() == 3
+        assert "a" in str(expression) and "+" in str(expression)
+
+    def test_const_simplification(self):
+        from repro.boolean.expr import make_and, make_or
+
+        assert isinstance(make_and([ConstExpr(0), VarExpr("a")]), ConstExpr)
+        assert make_and([ConstExpr(1), VarExpr("a")]) == VarExpr("a")
+        assert isinstance(make_or([ConstExpr(1), VarExpr("a")]), ConstExpr)
+        assert make_or([ConstExpr(0), VarExpr("a")]) == VarExpr("a")
+
+    def test_variables_listing(self):
+        expression = AndExpr((VarExpr("x"), OrExpr((VarExpr("y"), VarExpr("x")))))
+        assert expression.variables() == ["x", "y"]
+
+    def test_covers_equal_helper(self):
+        a = minimize([(1, 1), (1, 0)], num_vars=2)
+        b = minimize([(1, 0), (1, 1)], num_vars=2)
+        assert covers_equal(a, b)

@@ -1,0 +1,186 @@
+"""Tests for the gate library, netlists, simulator and analysis helpers."""
+
+import pytest
+
+from repro.boolean.expr import AndExpr, NotExpr, OrExpr, VarExpr
+from repro.circuit import (
+    EventDrivenSimulator,
+    GateType,
+    Netlist,
+    NetlistError,
+    STANDARD_LIBRARY,
+    complex_gate_type,
+    count_transistors,
+    estimate_energy,
+)
+from repro.circuit.analysis import fifo_environment_rules, measure_cycle_metrics
+from repro.circuit.simulator import HandshakeEnvironment, HandshakeRule
+
+
+class TestLibrary:
+    def test_standard_gates_present(self):
+        for name in ("INV", "NAND2", "NOR2", "C2", "DOMINO_AND2", "UDOMINO_AND2"):
+            assert name in STANDARD_LIBRARY
+
+    def test_gate_evaluation(self):
+        library = STANDARD_LIBRARY
+        assert library.get("NAND2").evaluate([1, 1]) == 0
+        assert library.get("NOR2").evaluate([0, 0]) == 1
+        assert library.get("INV").evaluate([1]) == 0
+        assert library.get("XOR2").evaluate([1, 0]) == 1
+
+    def test_celement_holds_state(self):
+        celement = STANDARD_LIBRARY.get("C2")
+        assert celement.evaluate([1, 1], previous_output=0) == 1
+        assert celement.evaluate([1, 0], previous_output=1) == 1
+        assert celement.evaluate([1, 0], previous_output=0) == 0
+        assert celement.evaluate([0, 0], previous_output=1) == 0
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            STANDARD_LIBRARY.get("NAND2").evaluate([1])
+
+    def test_domino_gates_are_cheaper_and_faster(self):
+        static = STANDARD_LIBRARY.get("AND2")
+        domino = STANDARD_LIBRARY.get("DOMINO_AND2")
+        unfooted = STANDARD_LIBRARY.get("UDOMINO_AND2")
+        assert domino.delay_ps < static.delay_ps
+        assert unfooted.delay_ps < domino.delay_ps
+        assert unfooted.transistors < domino.transistors
+
+    def test_complex_gate_from_expression(self):
+        expression = OrExpr((AndExpr((VarExpr("a"), VarExpr("b"))), VarExpr("c")))
+        gate = complex_gate_type("CG", expression, ["a", "b", "c"])
+        assert gate.evaluate([1, 1, 0]) == 1
+        assert gate.evaluate([0, 1, 0]) == 0
+        assert gate.evaluate([0, 0, 1]) == 1
+        assert gate.transistors >= 2 * 3
+
+
+class TestNetlist:
+    def build_inverter_chain(self) -> Netlist:
+        netlist = Netlist("chain")
+        netlist.add_primary_input("a")
+        netlist.add_primary_output("y")
+        inv = STANDARD_LIBRARY.get("INV")
+        netlist.add_gate("g0", inv, ["a"], "n0")
+        netlist.add_gate("g1", inv, ["n0"], "y", output_initial=0)
+        return netlist
+
+    def test_structure_queries(self):
+        netlist = self.build_inverter_chain()
+        assert netlist.gate_count() == 2
+        assert netlist.driver_of("y").name == "g1"
+        assert [g.name for g in netlist.fanout_of("a")] == ["g0"]
+        assert netlist.transistor_count() == 4
+
+    def test_double_driver_rejected(self):
+        netlist = self.build_inverter_chain()
+        with pytest.raises(NetlistError):
+            netlist.add_gate("bad", STANDARD_LIBRARY.get("INV"), ["a"], "y")
+
+    def test_driving_primary_input_rejected(self):
+        netlist = self.build_inverter_chain()
+        with pytest.raises(NetlistError):
+            netlist.add_gate("bad", STANDARD_LIBRARY.get("INV"), ["y"], "a")
+
+    def test_validate_catches_undriven_nets(self):
+        netlist = Netlist("broken")
+        netlist.add_primary_output("y")
+        netlist.add_gate("g", STANDARD_LIBRARY.get("INV"), ["floating"], "y")
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_describe_mentions_gates(self):
+        text = self.build_inverter_chain().describe()
+        assert "g0" in text and "INV" in text
+
+
+class TestSimulator:
+    def test_inverter_chain_propagates(self):
+        netlist = TestNetlist().build_inverter_chain()
+        simulator = EventDrivenSimulator(netlist)
+        simulator.schedule("a", 1, 10.0)
+        trace = simulator.settle()
+        assert trace.final_values["n0"] == 0
+        assert trace.final_values["y"] == 1
+        assert trace.transition_count("y") >= 1
+
+    def test_initial_settling_pass(self):
+        # n0 starts inconsistent (should be 1 when a=0); the settling pass
+        # fixes it without any input stimulus.
+        netlist = TestNetlist().build_inverter_chain()
+        simulator = EventDrivenSimulator(netlist)
+        trace = simulator.settle()
+        assert trace.final_values["n0"] == 1
+
+    def test_celement_gate_in_netlist(self):
+        netlist = Netlist("c")
+        netlist.add_primary_input("a")
+        netlist.add_primary_input("b")
+        netlist.add_primary_output("y")
+        netlist.add_gate("c", STANDARD_LIBRARY.get("C2"), ["a", "b"], "y")
+        simulator = EventDrivenSimulator(netlist)
+        simulator.schedule("a", 1, 10.0)
+        simulator.schedule("b", 1, 400.0)
+        trace = simulator.settle()
+        assert trace.final_values["y"] == 1
+        waveform = trace.waveforms["y"]
+        # y rises only after both inputs are high.
+        assert waveform.rising_edges()[0] > 400.0
+
+    def test_handshake_environment_closes_loop(self):
+        # A buffer driven as "ack" with an environment that raises req when
+        # ack is low and lowers it when ack is high: oscillates forever, so
+        # run with a time bound.
+        netlist = Netlist("loop")
+        netlist.add_primary_input("req")
+        netlist.add_primary_output("ack")
+        netlist.add_gate("buf", STANDARD_LIBRARY.get("BUF"), ["req"], "ack")
+        rules = [
+            HandshakeRule("ack", 1, "req", 0, 100.0),
+            HandshakeRule("ack", 0, "req", 1, 100.0),
+        ]
+        environment = HandshakeEnvironment(rules, initial_stimuli=[("req", 1, 10.0)])
+        simulator = EventDrivenSimulator(netlist, [environment])
+        trace = simulator.run(duration_ps=5000.0)
+        assert trace.transition_count("ack") >= 10
+
+    def test_oscillation_guard(self):
+        netlist = Netlist("osc")
+        netlist.add_primary_output("y")
+        netlist.add_gate("inv", STANDARD_LIBRARY.get("INV"), ["y"], "y")
+        simulator = EventDrivenSimulator(netlist)
+        simulator.schedule("y", 1, 1.0)
+        with pytest.raises(RuntimeError):
+            simulator.run(max_events=500)
+
+    def test_unknown_net_schedule_rejected(self):
+        netlist = TestNetlist().build_inverter_chain()
+        simulator = EventDrivenSimulator(netlist)
+        with pytest.raises(NetlistError):
+            simulator.schedule("nope", 1, 0.0)
+
+
+class TestAnalysis:
+    def test_cycle_metrics_on_rt_fifo(self, fifo_rt):
+        metrics = measure_cycle_metrics(
+            fifo_rt.netlist,
+            fifo_environment_rules(),
+            reference_net="lo",
+            initial_stimuli=[("li", 1, 50.0)],
+        )
+        assert metrics.worst_delay_ps >= metrics.average_delay_ps > 0
+        assert metrics.energy_per_cycle_pj > 0
+        assert metrics.transistors == fifo_rt.netlist.transistor_count()
+
+    def test_energy_counts_gate_transitions(self, fifo_rt):
+        from repro.circuit.simulator import HandshakeEnvironment
+
+        environment = HandshakeEnvironment(
+            fifo_environment_rules(), initial_stimuli=[("li", 1, 50.0)]
+        )
+        simulator = EventDrivenSimulator(fifo_rt.netlist, [environment])
+        trace = simulator.run(duration_ps=20_000.0)
+        assert estimate_energy(fifo_rt.netlist, trace) > 0
+        assert count_transistors(fifo_rt.netlist) == fifo_rt.netlist.transistor_count()

@@ -1,0 +1,177 @@
+"""Tests for the Relative Timing core: assumptions, lazy graphs, generation,
+back-annotation."""
+
+import pytest
+
+from repro.core import (
+    AssumptionKind,
+    AssumptionSet,
+    RelativeTimingAssumption,
+    apply_assumptions,
+    assume,
+    back_annotate,
+    early_enable_candidates,
+    generate_automatic_assumptions,
+)
+from repro.stg import specs
+from repro.stg.model import SignalTransition
+from repro.stategraph import build_state_graph, resolve_csc
+from repro.synthesis.logic import derive_function_specs, synthesize_covers
+
+
+class TestAssumptions:
+    def test_assume_parses_events(self):
+        assumption = assume("ri-", "li+")
+        assert assumption.before.signal == "ri" and assumption.before.is_falling
+        assert assumption.after.signal == "li" and assumption.after.is_rising
+        assert assumption.kind is AssumptionKind.USER
+
+    def test_occurrence_indices_are_normalised(self):
+        assumption = RelativeTimingAssumption(
+            before=SignalTransition.parse("a+/2"), after=SignalTransition.parse("b-")
+        )
+        assert assumption.before.index == 0
+
+    def test_set_deduplicates(self):
+        assumptions = AssumptionSet()
+        assert assumptions.add(assume("a+", "b+"))
+        assert not assumptions.add(assume("a+", "b+"))
+        assert len(assumptions) == 1
+        assert ("a+", "b+") in assumptions
+
+    def test_contradiction_rejected(self):
+        assumptions = AssumptionSet([assume("a+", "b+")])
+        with pytest.raises(ValueError):
+            assumptions.add(assume("b+", "a+"))
+
+    def test_user_vs_automatic_partition(self):
+        assumptions = AssumptionSet(
+            [assume("a+", "b+"), assume("c-", "d-", kind=AssumptionKind.AUTOMATIC)]
+        )
+        assert len(assumptions.user_assumptions) == 1
+        assert len(assumptions.automatic_assumptions) == 1
+
+    def test_merged_with(self):
+        first = AssumptionSet([assume("a+", "b+")])
+        second = AssumptionSet([assume("c+", "d+")])
+        merged = first.merged_with(second)
+        assert len(merged) == 2
+
+
+class TestLazyStateGraph:
+    def test_concurrency_reduction_removes_states(self):
+        stg = specs.fifo_controller()
+        graph = build_state_graph(stg)
+        # In the FIFO, li- and ro+ can be concurrently enabled; forcing ro+
+        # first removes interleavings.
+        assumptions = AssumptionSet([assume("ro+", "li-")])
+        lazy = apply_assumptions(graph, assumptions)
+        assert len(lazy.reduced.edges) < len(graph.edges)
+        assert len(lazy.reduced.states) <= len(graph.states)
+        assert lazy.removed_edges
+        assert lazy.statistics()["original_states"] == len(graph.states)
+
+    def test_reduction_preserves_initial_state(self):
+        graph = build_state_graph(specs.fifo_controller())
+        lazy = apply_assumptions(graph, AssumptionSet([assume("ro+", "li-")]))
+        assert lazy.reduced.initial_state == graph.initial_state
+
+    def test_no_assumptions_is_identity(self):
+        graph = build_state_graph(specs.simple_handshake())
+        lazy = apply_assumptions(graph, AssumptionSet())
+        assert len(lazy.reduced.states) == len(graph.states)
+        assert not lazy.removed_edges
+        assert not lazy.early_enablings
+
+    def test_early_enabling_candidates_exist_for_fifo(self):
+        encoded = resolve_csc(specs.fifo_controller()).stg
+        graph = build_state_graph(encoded)
+        candidates = early_enable_candidates(graph)
+        assert candidates
+        # Candidates only target non-input signals.
+        non_inputs = set(encoded.non_input_signals)
+        assert all(lazy.signal in non_inputs for _trigger, lazy in candidates)
+
+    def test_local_dont_cares_recorded_per_signal(self):
+        encoded = resolve_csc(specs.fifo_controller()).stg
+        graph = build_state_graph(encoded)
+        assumptions = generate_automatic_assumptions(graph)
+        lazy = apply_assumptions(graph, assumptions)
+        internal = encoded.internals
+        assert internal
+        assert any(lazy.local_dont_cares(signal) for signal in internal)
+
+
+class TestGeneration:
+    def test_automatic_assumptions_target_state_signals(self):
+        encoded = resolve_csc(specs.fifo_controller()).stg
+        graph = build_state_graph(encoded)
+        assumptions = generate_automatic_assumptions(graph)
+        assert len(assumptions) > 0
+        internals = set(encoded.internals)
+        inputs = set(encoded.inputs)
+        for assumption in assumptions:
+            assert assumption.kind is AssumptionKind.AUTOMATIC
+            # Every generated ordering involves a state signal or orders the
+            # circuit before the environment.
+            assert (
+                assumption.before.signal in internals
+                or assumption.after.signal in internals
+                or assumption.after.signal in inputs
+            )
+
+    def test_existing_user_assumptions_preserved(self):
+        encoded = resolve_csc(specs.fifo_controller()).stg
+        graph = build_state_graph(encoded)
+        user = AssumptionSet([assume("ri-", "li+")])
+        assumptions = generate_automatic_assumptions(graph, existing=user)
+        assert ("ri-", "li+") in assumptions
+        assert len(assumptions.user_assumptions) == 1
+
+    def test_no_assumptions_for_csc_free_simple_spec(self):
+        graph = build_state_graph(specs.simple_handshake())
+        assumptions = generate_automatic_assumptions(graph)
+        # The plain handshake has no internal signals and no simultaneous
+        # internal/input enabling, so the basic rules stay silent.
+        assert len(assumptions) == 0
+
+
+class TestBackAnnotation:
+    def test_untimed_covers_need_no_constraints(self):
+        encoded = resolve_csc(specs.fifo_controller()).stg
+        graph = build_state_graph(encoded)
+        specs_map = derive_function_specs(graph)
+        covers = synthesize_covers(specs_map)
+        assumptions = generate_automatic_assumptions(graph)
+        annotation = back_annotate(graph, assumptions, covers)
+        assert annotation.constraints == []
+        assert len(annotation.unused_assumptions) == len(assumptions)
+
+    def test_rt_covers_backannotate_constraints(self, fifo_rt):
+        # The RT synthesis result's constraints must be consistent with its
+        # own assumption set and make the circuit correct.
+        constraints = fifo_rt.constraints
+        assert constraints
+        orderings = {a.ordering() for a in fifo_rt.assumptions}
+        for constraint in constraints:
+            assert (constraint.before, constraint.after) in orderings
+
+    def test_constraint_set_is_sufficient(self, fifo_rt):
+        from repro.core.assumptions import AssumptionSet, RelativeTimingAssumption
+        from repro.core.lazy import apply_assumptions
+
+        selected = AssumptionSet(
+            RelativeTimingAssumption(before=c.before, after=c.after)
+            for c in fifo_rt.constraints
+        )
+        lazy = apply_assumptions(fifo_rt.untimed_graph, selected)
+        dont_cares = {
+            signal: lazy.local_dont_cares(signal) for signal in fifo_rt.covers
+        }
+        for signal, cover in fifo_rt.covers.items():
+            for state in lazy.reduced.states:
+                if state.code in dont_cares[signal]:
+                    continue
+                assert int(cover.evaluate(state.code)) == lazy.reduced.next_value(
+                    state, signal
+                )

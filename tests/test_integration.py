@@ -1,0 +1,90 @@
+"""End-to-end integration tests across the whole flow."""
+
+import pytest
+
+from repro.circuit.analysis import fifo_environment_rules, measure_cycle_metrics
+from repro.core.assumptions import assume
+from repro.stg import parse_g, specs, write_g
+from repro.synthesis import synthesize_rt, synthesize_si, to_pulse_mode
+from repro.testability import stuck_at_coverage
+from repro.verification import verify_conformance
+
+
+class TestFigureFlow:
+    """The FIFO case study of Section 4, end to end."""
+
+    def test_table2_shape(self, fifo_si, fifo_bm, fifo_rt, fifo_rt_user, fifo_pulse):
+        """Table 2's qualitative shape: RT transformations give the big wins."""
+        si_area = fifo_si.netlist.transistor_count()
+        rt_area = fifo_rt.netlist.transistor_count()
+        pulse_area = fifo_pulse.netlist.transistor_count()
+        assert pulse_area < rt_area < si_area
+
+        environment = fifo_environment_rules()
+        si_metrics = measure_cycle_metrics(
+            fifo_si.netlist, environment, "lo", initial_stimuli=[("li", 1, 50.0)]
+        )
+        rt_metrics = measure_cycle_metrics(
+            fifo_rt.netlist, environment, "lo", initial_stimuli=[("li", 1, 50.0)]
+        )
+        assert rt_metrics.average_delay_ps < si_metrics.average_delay_ps
+        assert rt_metrics.energy_per_cycle_pj < si_metrics.energy_per_cycle_pj
+
+    def test_si_circuit_verifies_untimed(self, fifo_si):
+        result = verify_conformance(fifo_si.netlist, fifo_si.encoded_stg)
+        assert result.conforms, result.describe()
+
+    def test_rt_flow_from_g_format_roundtrip(self):
+        """Specs survive serialisation and still synthesize."""
+        text = write_g(specs.fifo_controller())
+        stg = parse_g(text)
+        result = synthesize_rt(stg)
+        assert result.netlist.transistor_count() > 0
+        assert result.constraints is not None
+
+    def test_user_assumption_changes_nothing_structural(self, fifo_rt, fifo_rt_user):
+        """Figure 6's user assumption keeps the interface identical."""
+        assert fifo_rt.netlist.primary_inputs == fifo_rt_user.netlist.primary_inputs
+        assert fifo_rt.netlist.primary_outputs == fifo_rt_user.netlist.primary_outputs
+
+    def test_rt_testability_at_least_si(self, fifo_si, fifo_rt):
+        """Table 2: the RT transformations tend to improve testability."""
+        environment = fifo_environment_rules()
+        stimuli = [("li", 1, 50.0)]
+        si_cov = stuck_at_coverage(
+            fifo_si.netlist, environment, stimuli, duration_ps=12_000.0
+        )
+        rt_cov = stuck_at_coverage(
+            fifo_rt.netlist, environment, stimuli, duration_ps=12_000.0
+        )
+        assert rt_cov.coverage >= si_cov.coverage - 0.15
+
+    def test_pulse_mode_docs(self, fifo_pulse):
+        text = fifo_pulse.describe()
+        assert "protocol constraints" in text
+        assert "transistors" in text
+
+
+class TestOtherSpecs:
+    @pytest.mark.parametrize("name", ["handshake", "celement", "call"])
+    def test_si_synthesis_of_csc_clean_specs(self, name):
+        result = synthesize_si(specs.load_spec(name))
+        assert result.encoding.resolved
+        result.netlist.validate()
+
+    def test_rt_with_explicit_user_assumption_on_ring(self):
+        result = synthesize_rt(
+            specs.fifo_controller(),
+            user_assumptions=[assume("ri-", "li+", rationale="ring, single token")],
+        )
+        # The ring assumption is available to the optimizer; whether it ends up
+        # as a required constraint depends on whether the logic exploited it.
+        orderings = {a.ordering() for a in result.assumptions}
+        assert any(str(b) == "ri-" and str(a) == "li+" for b, a in orderings)
+
+    def test_pulse_transform_requires_removable_handshake(self):
+        from repro.synthesis.logic import SynthesisError
+
+        handshake_rt = synthesize_rt(specs.simple_handshake())
+        with pytest.raises(SynthesisError):
+            to_pulse_mode(handshake_rt, hidden_signals=["req", "ack"])

@@ -1,0 +1,188 @@
+"""Unit tests for the Petri net substrate."""
+
+import pytest
+
+from repro.petrinet import (
+    Marking,
+    PetriNet,
+    build_reachability_graph,
+    deadlock_markings,
+    is_bounded,
+    is_live,
+    is_safe,
+    max_bound,
+)
+from repro.petrinet.net import PetriNetError
+from repro.petrinet.properties import is_deadlock_free, is_reversible
+from repro.petrinet.reachability import UnboundedNetError
+
+
+def simple_cycle_net() -> PetriNet:
+    """p0 -> t0 -> p1 -> t1 -> p0 with one token on p0."""
+    net = PetriNet("cycle")
+    net.add_place("p0")
+    net.add_place("p1")
+    net.add_transition("t0")
+    net.add_transition("t1")
+    net.add_arc("p0", "t0")
+    net.add_arc("t0", "p1")
+    net.add_arc("p1", "t1")
+    net.add_arc("t1", "p0")
+    net.set_initial_marking({"p0": 1})
+    return net
+
+
+def producer_net() -> PetriNet:
+    """A transition with no inputs: unbounded token growth."""
+    net = PetriNet("producer")
+    net.add_place("p")
+    net.add_transition("t")
+    net.add_arc("t", "p")
+    net.set_initial_marking({})
+    return net
+
+
+class TestMarking:
+    def test_zero_counts_are_dropped(self):
+        marking = Marking({"a": 0, "b": 2})
+        assert marking["a"] == 0
+        assert marking["b"] == 2
+        assert list(marking.places()) == ["b"]
+
+    def test_equality_and_hash(self):
+        assert Marking({"a": 1}) == Marking({"a": 1, "b": 0})
+        assert hash(Marking({"a": 1})) == hash(Marking({"a": 1}))
+        assert Marking({"a": 1}) != Marking({"a": 2})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(PetriNetError):
+            Marking({"a": -1})
+
+    def test_add_and_covers(self):
+        marking = Marking({"a": 1})
+        bigger = marking.add({"a": 1, "b": 1})
+        assert bigger["a"] == 2 and bigger["b"] == 1
+        assert bigger.covers(marking)
+        assert bigger.strictly_covers(marking)
+        assert not marking.covers(bigger)
+
+    def test_add_rejects_going_negative(self):
+        with pytest.raises(PetriNetError):
+            Marking({"a": 1}).add({"a": -2})
+
+    def test_total_tokens(self):
+        assert Marking({"a": 2, "b": 1}).total_tokens() == 3
+
+
+class TestPetriNetStructure:
+    def test_duplicate_place_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(PetriNetError):
+            net.add_place("p")
+
+    def test_place_transition_name_collision_rejected(self):
+        net = PetriNet()
+        net.add_place("n")
+        with pytest.raises(PetriNetError):
+            net.add_transition("n")
+
+    def test_arc_must_connect_place_and_transition(self):
+        net = PetriNet()
+        net.add_place("p0")
+        net.add_place("p1")
+        with pytest.raises(PetriNetError):
+            net.add_arc("p0", "p1")
+
+    def test_presets_and_postsets(self):
+        net = simple_cycle_net()
+        assert net.preset("t0") == {"p0": 1}
+        assert net.postset("t0") == {"p1": 1}
+        assert net.place_preset("p1") == ["t0"]
+        assert net.place_postset("p1") == ["t1"]
+
+    def test_copy_is_independent(self):
+        net = simple_cycle_net()
+        clone = net.copy()
+        clone.add_place("extra")
+        assert not net.has_place("extra")
+        assert clone.initial_marking == net.initial_marking
+
+
+class TestFiringRule:
+    def test_enabled_and_fire(self):
+        net = simple_cycle_net()
+        marking = net.initial_marking
+        assert net.is_enabled("t0", marking)
+        assert not net.is_enabled("t1", marking)
+        after = net.fire("t0", marking)
+        assert after["p0"] == 0 and after["p1"] == 1
+
+    def test_fire_disabled_raises(self):
+        net = simple_cycle_net()
+        with pytest.raises(PetriNetError):
+            net.fire("t1", net.initial_marking)
+
+    def test_fire_sequence_returns_to_initial(self):
+        net = simple_cycle_net()
+        final = net.fire_sequence(["t0", "t1"])
+        assert final == net.initial_marking
+
+    def test_enabled_transitions_listing(self):
+        net = simple_cycle_net()
+        assert net.enabled_transitions(net.initial_marking) == ["t0"]
+
+
+class TestReachability:
+    def test_cycle_has_two_markings(self):
+        graph = build_reachability_graph(simple_cycle_net())
+        assert len(graph) == 2
+        assert len(graph.edges) == 2
+
+    def test_unbounded_net_detected_by_cap(self):
+        with pytest.raises(UnboundedNetError):
+            build_reachability_graph(producer_net(), max_states=50)
+
+    def test_bound_parameter_detects_overflow(self):
+        with pytest.raises(UnboundedNetError):
+            build_reachability_graph(producer_net(), bound=1, max_states=10_000)
+
+    def test_deadlock_detection(self):
+        net = PetriNet("dead")
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.set_initial_marking({"p": 1})
+        graph = build_reachability_graph(net)
+        deadlocks = graph.deadlocks()
+        assert len(deadlocks) == 1
+        assert deadlocks[0].total_tokens() == 0
+
+
+class TestProperties:
+    def test_cycle_is_safe_live_reversible(self):
+        net = simple_cycle_net()
+        assert is_safe(net)
+        assert is_bounded(net)
+        assert is_live(net)
+        assert is_reversible(net)
+        assert is_deadlock_free(net)
+        assert max_bound(net) == 1
+
+    def test_producer_is_unbounded(self):
+        assert not is_bounded(producer_net(), limit=64)
+
+    def test_dead_transition_breaks_liveness(self):
+        net = simple_cycle_net()
+        net.add_transition("never")
+        net.add_place("unmarked")
+        net.add_arc("unmarked", "never")
+        assert not is_live(net)
+
+    def test_deadlock_markings_for_terminating_net(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.set_initial_marking({"p": 1})
+        assert len(deadlock_markings(net)) == 1

@@ -1,0 +1,115 @@
+"""Property-based tests on core data structures and flow invariants."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.petrinet import Marking
+from repro.stg import StgBuilder, validate_stg
+from repro.stategraph import build_state_graph, find_csc_conflicts
+from repro.synthesis.logic import derive_function_specs, synthesize_covers
+
+
+# ---------------------------------------------------------------------------
+# Markings behave like multisets
+# ---------------------------------------------------------------------------
+
+place_names = st.sampled_from(["p0", "p1", "p2", "p3", "p4"])
+token_maps = st.dictionaries(place_names, st.integers(min_value=0, max_value=3))
+
+
+class TestMarkingProperties:
+    @given(token_maps)
+    @settings(max_examples=100, deadline=None)
+    def test_total_tokens_matches_sum(self, tokens):
+        marking = Marking(tokens)
+        assert marking.total_tokens() == sum(tokens.values())
+
+    @given(token_maps, token_maps)
+    @settings(max_examples=100, deadline=None)
+    def test_add_is_componentwise(self, base, delta):
+        marking = Marking(base)
+        combined = marking.add(delta)
+        for place in set(base) | set(delta):
+            assert combined[place] == base.get(place, 0) + delta.get(place, 0)
+
+    @given(token_maps, token_maps)
+    @settings(max_examples=100, deadline=None)
+    def test_covers_is_a_partial_order(self, a, b):
+        ma, mb = Marking(a), Marking(b)
+        if ma.covers(mb) and mb.covers(ma):
+            assert ma == mb
+
+
+# ---------------------------------------------------------------------------
+# Randomly generated handshake pipelines stay well-formed through the flow
+# ---------------------------------------------------------------------------
+
+@st.composite
+def pipeline_spec(draw):
+    """A chain of N four-phase handshakes, each driving the next."""
+    stages = draw(st.integers(min_value=1, max_value=3))
+    return stages
+
+
+def build_pipeline(stages: int):
+    builder = StgBuilder(f"pipe{stages}")
+    builder.input("r0")
+    for stage in range(stages):
+        builder.output(f"a{stage}")
+        if stage < stages - 1:
+            builder.output(f"r{stage + 1}")
+    for stage in range(stages):
+        req = f"r{stage}"
+        ack = f"a{stage}"
+        builder.arc(f"{req}+", f"{ack}+")
+        builder.arc(f"{ack}+", f"{req}-")
+        builder.arc(f"{req}-", f"{ack}-")
+        builder.arc(f"{ack}-", f"{req}+", marked=True)
+        if stage < stages - 1:
+            builder.arc(f"{ack}+", f"r{stage + 1}+")
+            builder.arc(f"r{stage + 1}-", f"{ack}-")
+    return builder.build()
+
+
+class TestFlowInvariants:
+    @given(pipeline_spec())
+    @settings(max_examples=6, deadline=None)
+    def test_pipeline_specs_are_valid_and_synthesizable(self, stages):
+        stg = build_pipeline(stages)
+        report = validate_stg(stg)
+        assert report.bounded and report.consistent
+
+        graph = build_state_graph(stg)
+        assert graph.initial_state is not None
+        # Codes have one bit per signal.
+        assert all(len(s.code) == len(graph.signal_order) for s in graph.states)
+
+        if not find_csc_conflicts(graph):
+            covers = synthesize_covers(derive_function_specs(graph))
+            # The synthesized cover reproduces the next-state value in every
+            # reachable state.
+            for signal, cover in covers.items():
+                for state in graph.states:
+                    assert int(cover.evaluate(state.code)) == graph.next_value(
+                        state, signal
+                    )
+
+    @given(st.integers(min_value=1, max_value=3))
+    @settings(max_examples=6, deadline=None)
+    def test_state_codes_are_consistent_with_transitions(self, stages):
+        stg = build_pipeline(stages)
+        graph = build_state_graph(stg)
+        for (state, transition), successor in graph.edges.items():
+            label = graph.stg.label_of(transition)
+            if label is None:
+                assert state.code == successor.code
+                continue
+            index = graph.signal_index(label.signal)
+            assert state.code[index] == (0 if label.is_rising else 1)
+            assert successor.code[index] == (1 if label.is_rising else 0)
+            # All other bits unchanged.
+            for position, (before, after) in enumerate(zip(state.code, successor.code)):
+                if position != index:
+                    assert before == after

@@ -1,0 +1,125 @@
+"""Tests for state graphs, regions and CSC encoding."""
+
+import pytest
+
+from repro.stg import specs
+from repro.stg.model import Direction
+from repro.stategraph import (
+    build_state_graph,
+    excitation_region,
+    find_csc_conflicts,
+    find_usc_conflicts,
+    quiescent_region,
+    resolve_csc,
+)
+from repro.stategraph.graph import StateGraphError
+from repro.stategraph.regions import backward_closure, forward_closure, region_entry_states
+
+
+class TestStateGraph:
+    def test_handshake_has_four_states(self):
+        graph = build_state_graph(specs.simple_handshake())
+        assert len(graph) == 4
+        assert graph.initial_state is not None
+        assert graph.code_string(graph.initial_state) == "00"
+
+    def test_codes_follow_transitions(self):
+        graph = build_state_graph(specs.simple_handshake())
+        state = graph.initial_state
+        (transition, successor) = graph.successors(state)[0]
+        label = graph.stg.label_of(transition)
+        assert label.signal == "req" and label.is_rising
+        assert graph.value(successor, "req") == 1
+
+    def test_next_value_reflects_excitation(self):
+        graph = build_state_graph(specs.simple_handshake())
+        state = graph.initial_state
+        # In the initial state req+ is enabled: next value of req is 1,
+        # ack is stable at 0.
+        assert graph.next_value(state, "req") == 1
+        assert graph.next_value(state, "ack") == 0
+
+    def test_on_off_sets_partition_states(self):
+        graph = build_state_graph(specs.simple_handshake())
+        on = graph.on_set("ack")
+        off = graph.off_set("ack")
+        assert on | off == graph.reachable_codes()
+
+    def test_fifo_state_count(self):
+        graph = build_state_graph(specs.fifo_controller())
+        assert len(graph) == 32
+
+    def test_state_cap_enforced(self):
+        with pytest.raises(StateGraphError):
+            build_state_graph(specs.fifo_controller(), max_states=5)
+
+    def test_copy_without_edges_prunes_unreachable(self):
+        graph = build_state_graph(specs.simple_handshake())
+        # Remove the only edge out of the initial state: everything else
+        # becomes unreachable.
+        transition, _target = graph.successors(graph.initial_state)[0]
+        reduced = graph.copy_without_edges({(graph.initial_state, transition)})
+        assert len(reduced) == 1
+
+
+class TestRegions:
+    def test_excitation_and_quiescent_partition(self):
+        graph = build_state_graph(specs.simple_handshake())
+        rising = excitation_region(graph, "ack", Direction.RISE)
+        falling = excitation_region(graph, "ack", Direction.FALL)
+        stable0 = quiescent_region(graph, "ack", 0)
+        stable1 = quiescent_region(graph, "ack", 1)
+        total = len(rising) + len(falling) + len(stable0) + len(stable1)
+        assert total == len(graph)
+
+    def test_forward_and_backward_closure(self):
+        graph = build_state_graph(specs.simple_handshake())
+        assert forward_closure(graph, [graph.initial_state]) == set(graph.states)
+        assert backward_closure(graph, [graph.initial_state]) == set(graph.states)
+
+    def test_region_entry_states(self):
+        graph = build_state_graph(specs.simple_handshake())
+        region = excitation_region(graph, "ack", Direction.RISE)
+        entries = region_entry_states(graph, region)
+        assert entries <= region
+        assert entries
+
+
+class TestEncoding:
+    def test_handshake_has_csc(self):
+        graph = build_state_graph(specs.simple_handshake())
+        assert not find_csc_conflicts(graph)
+        assert not find_usc_conflicts(graph)
+
+    def test_fifo_violates_csc(self):
+        graph = build_state_graph(specs.fifo_controller())
+        conflicts = find_csc_conflicts(graph)
+        assert conflicts
+        assert find_usc_conflicts(graph)
+        # Conflicts are on non-input signals only.
+        assert all(c.signal in ("lo", "ro") for c in conflicts)
+
+    def test_resolution_inserts_internal_signals(self):
+        result = resolve_csc(specs.fifo_controller())
+        assert result.resolved
+        assert result.inserted_signals
+        graph = build_state_graph(result.stg)
+        assert not find_csc_conflicts(graph)
+        # Inserted signals are internal, not visible at the interface.
+        for signal in result.inserted_signals:
+            assert signal in result.stg.internals
+
+    def test_resolution_is_noop_when_csc_holds(self):
+        result = resolve_csc(specs.simple_handshake())
+        assert result.resolved
+        assert result.inserted_signals == []
+
+    def test_insertion_points_reported(self):
+        result = resolve_csc(specs.fifo_controller())
+        assert len(result.insertion_points) == 2 * len(result.inserted_signals)
+        for point in result.insertion_points:
+            assert point.signal in result.inserted_signals
+
+    def test_timing_aware_mode_flags_result(self):
+        result = resolve_csc(specs.fifo_controller(), timing_aware=True)
+        assert result.timing_aware

@@ -1,0 +1,226 @@
+"""Unit tests for the STG model, builder, parser and spec library."""
+
+import pytest
+
+from repro.stg import (
+    Direction,
+    SignalKind,
+    SignalTransition,
+    StgBuilder,
+    StgError,
+    parse_g,
+    specs,
+    validate_stg,
+    write_g,
+)
+from repro.stg.validation import check_consistency, check_output_persistency
+
+
+class TestSignalTransition:
+    def test_parse_rising_and_falling(self):
+        rise = SignalTransition.parse("req+")
+        fall = SignalTransition.parse("ack-")
+        assert rise.signal == "req" and rise.direction is Direction.RISE
+        assert fall.signal == "ack" and fall.is_falling
+
+    def test_parse_with_index(self):
+        event = SignalTransition.parse("a+/2")
+        assert event.index == 2
+        assert str(event) == "a+/2"
+        assert event.base_name() == "a+"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(StgError):
+            SignalTransition.parse("notatransition")
+
+    def test_opposite_direction(self):
+        assert Direction.RISE.opposite is Direction.FALL
+        assert Direction.FALL.opposite is Direction.RISE
+
+
+class TestBuilder:
+    def test_handshake_structure(self):
+        stg = specs.simple_handshake()
+        assert set(stg.inputs) == {"req"}
+        assert set(stg.outputs) == {"ack"}
+        assert len(stg.transition_names) == 4
+
+    def test_duplicate_signal_rejected(self):
+        builder = StgBuilder()
+        builder.input("a")
+        with pytest.raises(StgError):
+            builder.input("a")
+
+    def test_undeclared_signal_rejected(self):
+        builder = StgBuilder()
+        builder.input("a")
+        with pytest.raises(StgError):
+            builder.arc("a+", "b+")
+
+    def test_silent_transition_reuse_by_key(self):
+        builder = StgBuilder()
+        builder.inputs("a")
+        builder.output("b")
+        eps = builder.silent("eps")
+        builder.arc("a+", eps)
+        builder.arc(eps, "b+")
+        stg = builder.build()
+        # Only one silent transition should exist.
+        assert stg.silent_transitions == ["eps"]
+
+    def test_chain_helper(self):
+        builder = StgBuilder()
+        builder.input("r")
+        builder.output("a")
+        builder.chain("r+", "a+", "r-", "a-", close=True, marked_last=True)
+        report = validate_stg(builder.build())
+        assert report.ok
+
+    def test_initial_values(self):
+        builder = StgBuilder()
+        builder.input("r", initial=1)
+        builder.output("a")
+        stg = builder.build()
+        assert stg.initial_value("r") == 1
+        assert stg.initial_value("a") == 0
+        stg.set_initial_value("a", 1)
+        assert stg.initial_value("a") == 1
+
+    def test_hide_signal(self):
+        stg = specs.fifo_controller()
+        stg.hide_signal("lo")
+        assert "lo" not in stg.signals
+        assert all(
+            stg.label_of(name) is None or stg.label_of(name).signal != "lo"
+            for name in stg.transition_names
+        )
+
+
+class TestSpecsLibrary:
+    @pytest.mark.parametrize("name", sorted(specs.ALL_SPECS))
+    def test_all_specs_are_valid(self, name):
+        stg = specs.load_spec(name)
+        report = validate_stg(stg)
+        assert report.ok, f"{name}: {report.summary()}"
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(KeyError):
+            specs.load_spec("nonexistent")
+
+    def test_fifo_signal_roles(self):
+        stg = specs.fifo_controller()
+        assert set(stg.inputs) == {"li", "ri"}
+        assert set(stg.outputs) == {"lo", "ro"}
+        assert stg.silent_transitions  # the epsilon of Figure 3
+
+    def test_celement_structure(self):
+        stg = specs.celement()
+        assert set(stg.inputs) == {"a", "b"}
+        assert stg.outputs == ["c"]
+
+    def test_ring_spec_adds_guarantee(self):
+        ring = specs.fifo_ring_environment()
+        assert ring.net.has_place("p_ring_guarantee")
+
+
+class TestValidation:
+    def test_inconsistent_stg_detected(self):
+        builder = StgBuilder()
+        builder.input("a")
+        builder.output("b")
+        # Two consecutive rising transitions of b: inconsistent.
+        builder.arc("a+", "b+", target_key="b+/1")
+        builder.arc("b+", "b+", source_key="b+/1", target_key="b+/2")
+        builder.arc("b+", "a+", source_key="b+/2", marked=True)
+        violations = check_consistency(builder.build())
+        assert violations
+
+    def test_persistency_violation_detected(self):
+        # Output y+ enabled, then disabled by input a- (choice place).
+        builder = StgBuilder()
+        builder.input("a")
+        builder.output("y")
+        stg = builder.build()
+        stg.add_transition(SignalTransition.parse("a+"), name="a+")
+        stg.add_transition(SignalTransition.parse("a-"), name="a-")
+        stg.add_transition(SignalTransition.parse("y+"), name="y+")
+        start = stg.add_place("start")
+        stg.add_arc(start, "a+")
+        choice = stg.add_place("choice")
+        stg.add_arc("a+", choice)
+        stg.add_arc(choice, "y+")
+        stg.add_arc(choice, "a-")
+        stg.set_initial_marking({"start": 1})
+        violations = check_output_persistency(stg)
+        assert any("y+" in violation for violation in violations)
+
+    def test_full_report_fields(self):
+        report = validate_stg(specs.simple_handshake())
+        assert report.ok
+        assert report.bounded and report.safe
+        assert report.consistent and report.output_persistent
+        assert "yes" in report.summary()
+
+
+class TestParser:
+    FIFO_G = """
+    .model fifo_example
+    .inputs li ri
+    .outputs lo ro
+    .graph
+    li+ lo+
+    lo+ li-
+    li- lo-
+    lo- li+
+    lo+ ro+
+    ro+ ri+
+    ri+ ro-
+    ro- ri-
+    ri- ro+
+    ro+ lo-
+    .marking { <lo-,li+> <ri-,ro+> }
+    .end
+    """
+
+    def test_parse_basic_file(self):
+        stg = parse_g(self.FIFO_G)
+        assert set(stg.inputs) == {"li", "ri"}
+        assert set(stg.outputs) == {"lo", "ro"}
+        report = validate_stg(stg)
+        assert report.ok
+
+    def test_roundtrip_preserves_behaviour(self):
+        original = parse_g(self.FIFO_G)
+        text = write_g(original)
+        reparsed = parse_g(text)
+        from repro.stategraph import build_state_graph
+
+        assert len(build_state_graph(original)) == len(build_state_graph(reparsed))
+
+    def test_explicit_places_and_initial_values(self):
+        text = """
+        .model toy
+        .inputs a
+        .outputs b
+        .graph
+        a+ p1
+        p1 b+
+        b+ a-
+        a- b-
+        b- a+
+        .marking { <b-,a+> }
+        .initial a=0 b=0
+        .end
+        """
+        stg = parse_g(text)
+        assert stg.net.has_place("p1")
+        assert validate_stg(stg).ok
+
+    def test_malformed_graph_line_rejected(self):
+        with pytest.raises(StgError):
+            parse_g(".model x\n.inputs a\n.graph\nonlyonetoken\n.end\n")
+
+    def test_marking_with_unknown_place_rejected(self):
+        text = ".model x\n.inputs a\n.outputs b\n.graph\na+ b+\n.marking { nowhere }\n.end\n"
+        with pytest.raises(StgError):
+            parse_g(text)

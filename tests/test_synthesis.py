@@ -1,0 +1,182 @@
+"""Tests for the synthesis flows: SI, RT, burst-mode, pulse-mode, techmap."""
+
+import pytest
+
+from repro.boolean.cubes import Cover
+from repro.stg import specs
+from repro.stategraph import build_state_graph
+from repro.synthesis import (
+    decompose_to_library,
+    synthesize_burst_mode,
+    synthesize_rt,
+    synthesize_si,
+    to_pulse_mode,
+)
+from repro.synthesis.logic import (
+    SynthesisError,
+    covers_to_netlist,
+    derive_function_specs,
+    synthesize_covers,
+)
+
+
+class TestLogicDerivation:
+    def test_handshake_equation(self):
+        graph = build_state_graph(specs.simple_handshake())
+        covers = synthesize_covers(derive_function_specs(graph))
+        # The acknowledge simply follows the request: ack = req.
+        cover = covers["ack"]
+        assert cover.to_string(graph.signal_order) in ("req", "req ")
+
+    def test_csc_violation_raises(self):
+        graph = build_state_graph(specs.fifo_controller())
+        with pytest.raises(SynthesisError):
+            derive_function_specs(graph)
+
+    def test_function_spec_dc_partition(self):
+        graph = build_state_graph(specs.simple_handshake())
+        spec = derive_function_specs(graph)["ack"]
+        assert spec.is_consistent()
+        universe = 2 ** spec.num_vars
+        assert len(spec.on_codes) + len(spec.off_codes) + len(spec.dc_codes()) == universe
+
+    def test_netlist_construction(self):
+        graph = build_state_graph(specs.simple_handshake())
+        stg = specs.simple_handshake()
+        covers = synthesize_covers(derive_function_specs(graph))
+        netlist = covers_to_netlist(stg, covers, graph.signal_order)
+        netlist.validate()
+        assert netlist.primary_inputs == ["req"]
+        assert netlist.primary_outputs == ["ack"]
+
+
+class TestSpeedIndependent:
+    def test_fifo_si_result(self, fifo_si):
+        assert fifo_si.validation.ok
+        assert fifo_si.inserted_state_signals  # CSC needed a state signal
+        assert set(fifo_si.covers) == set(fifo_si.encoded_stg.non_input_signals)
+        fifo_si.netlist.validate()
+        assert fifo_si.netlist.transistor_count() > 0
+        assert "lo" in fifo_si.equations()
+
+    def test_celement_si_is_majority_like(self):
+        result = synthesize_si(specs.celement())
+        cover = result.covers["c"]
+        order = result.state_graph.signal_order
+        text = cover.to_string(order)
+        # The C-element next-state function: c = ab + c(a + b).
+        assert "a b" in text
+        assert result.netlist.transistor_count() > 0
+
+    def test_invalid_stg_rejected(self):
+        from repro.stg import StgBuilder
+
+        builder = StgBuilder("broken")
+        builder.input("a")
+        builder.output("b")
+        builder.arc("a+", "b+")
+        builder.arc("b+", "a+")  # never marked: deadlocked spec
+        with pytest.raises(SynthesisError):
+            synthesize_si(builder.build())
+
+    def test_describe_output(self, fifo_si):
+        text = fifo_si.describe()
+        assert "transistors" in text and "states" in text
+
+
+class TestRelativeTiming:
+    def test_rt_is_smaller_than_si(self, fifo_si, fifo_rt):
+        assert fifo_rt.netlist.transistor_count() < fifo_si.netlist.transistor_count()
+
+    def test_rt_constraints_backannotated(self, fifo_rt):
+        assert fifo_rt.constraints
+        text = fifo_rt.describe()
+        assert "required constraints" in text
+
+    def test_lazy_graph_statistics(self, fifo_rt):
+        stats = fifo_rt.lazy_graph.statistics()
+        assert stats["reduced_states"] <= stats["original_states"]
+        assert stats["early_enablings"] >= 0
+
+    def test_user_assumption_flow(self, fifo_rt_user):
+        # The Figure 6 flow: one user assumption plus automatic ones.
+        assert fifo_rt_user.assumptions.user_assumptions
+        assert fifo_rt_user.netlist.transistor_count() > 0
+
+    def test_rt_on_csc_free_spec_matches_si(self):
+        si = synthesize_si(specs.simple_handshake())
+        rt = synthesize_rt(specs.simple_handshake(), automatic=True)
+        # No timing assumptions are generated for the plain handshake, so the
+        # equations must coincide.
+        assert rt.equations() == si.equations()
+        assert rt.constraints == []
+
+
+class TestBurstMode:
+    def test_burst_mode_reduces_concurrency(self, fifo_bm):
+        stats = fifo_bm.lazy_graph.statistics()
+        assert stats["reduced_states"] < stats["original_states"]
+        assert len(fifo_bm.fundamental_mode_assumptions) > 0
+
+    def test_burst_mode_netlist_is_mapped(self, fifo_bm):
+        fifo_bm.netlist.validate()
+        # The mapped netlist uses library gates (INV/AND/OR), not complex gates.
+        names = {gate.gate_type.name for gate in fifo_bm.netlist.gates}
+        assert any(name.startswith(("AND", "OR", "INV", "BUF", "NOR", "NAND")) for name in names)
+
+    def test_fundamental_mode_orders_circuit_before_inputs(self, fifo_bm):
+        inputs = set(fifo_bm.stg.inputs)
+        for assumption in fifo_bm.fundamental_mode_assumptions:
+            assert assumption.after.signal in inputs
+            assert assumption.before.signal not in inputs
+
+
+class TestPulseMode:
+    def test_pulse_removes_handshake_signals(self, fifo_pulse):
+        assert "lo" in fifo_pulse.hidden_signals
+        assert "ri" in fifo_pulse.hidden_signals
+        assert fifo_pulse.pulse_inputs == ["li"]
+        assert fifo_pulse.pulse_outputs == ["ro"]
+
+    def test_pulse_is_smallest(self, fifo_si, fifo_rt, fifo_pulse):
+        assert (
+            fifo_pulse.netlist.transistor_count()
+            < fifo_rt.netlist.transistor_count()
+            < fifo_si.netlist.transistor_count()
+        )
+
+    def test_four_protocol_constraints(self, fifo_pulse):
+        assert len(fifo_pulse.protocol_constraints) == 4
+        kinds = [c.kind for c in fifo_pulse.protocol_constraints]
+        assert kinds.count("causal") == 1
+        assert kinds.count("timing") == 3
+
+    def test_pulse_behaviour_generates_output_pulse(self, fifo_pulse):
+        from repro.circuit.simulator import EventDrivenSimulator
+
+        simulator = EventDrivenSimulator(fifo_pulse.netlist)
+        simulator.schedule("li", 1, 100.0)
+        simulator.schedule("li", 0, 400.0)
+        trace = simulator.run(duration_ps=5_000.0)
+        waveform = trace.waveforms["ro"]
+        assert waveform.rising_edges(), "the output pulse never fired"
+        assert waveform.falling_edges(), "the output pulse never self-reset"
+
+
+class TestTechmap:
+    def test_decomposition_matches_complex_gate_function(self):
+        stg = specs.simple_handshake()
+        graph = build_state_graph(stg)
+        covers = synthesize_covers(derive_function_specs(graph))
+        mapped = decompose_to_library(stg, covers, graph.signal_order)
+        mapped.validate()
+        assert mapped.transistor_count() > 0
+
+    def test_decomposition_of_celement(self):
+        result = synthesize_si(specs.celement())
+        mapped = decompose_to_library(
+            result.encoded_stg, result.covers, result.state_graph.signal_order
+        )
+        mapped.validate()
+        # Two-level mapping of c = ab + ac + bc needs at least 4 gates.
+        assert mapped.gate_count() >= 4

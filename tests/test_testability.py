@@ -1,0 +1,102 @@
+"""Tests for the stuck-at fault model, fault simulation and coverage."""
+
+import pytest
+
+from repro.circuit.analysis import fifo_environment_rules
+from repro.circuit.library import STANDARD_LIBRARY
+from repro.circuit.netlist import Netlist
+from repro.testability import (
+    StuckAtFault,
+    enumerate_faults,
+    simulate_faults,
+    stuck_at_coverage,
+)
+from repro.circuit.simulator import HandshakeRule
+
+
+def buffer_netlist() -> Netlist:
+    netlist = Netlist("buffer")
+    netlist.add_primary_input("a")
+    netlist.add_primary_output("y")
+    netlist.add_gate("buf", STANDARD_LIBRARY.get("BUF"), ["a"], "y")
+    return netlist
+
+
+TOGGLE_RULES = [
+    HandshakeRule("y", 1, "a", 0, 150.0),
+    HandshakeRule("y", 0, "a", 1, 150.0),
+]
+
+
+class TestFaultModel:
+    def test_enumerate_excludes_primary_inputs(self):
+        faults = enumerate_faults(buffer_netlist())
+        nets = {fault.net for fault in faults}
+        assert "a" not in nets
+        assert "y" in nets
+        assert len(faults) == 2  # y stuck-at-0 and stuck-at-1
+
+    def test_enumerate_can_include_inputs(self):
+        faults = enumerate_faults(buffer_netlist(), include_primary_inputs=True)
+        assert {fault.net for fault in faults} == {"a", "y"}
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError):
+            StuckAtFault("y", 2)
+
+
+class TestFaultSimulation:
+    def test_buffer_faults_all_detected(self):
+        netlist = buffer_netlist()
+        results = simulate_faults(
+            netlist,
+            TOGGLE_RULES,
+            initial_stimuli=[("a", 1, 50.0)],
+            duration_ps=5_000.0,
+        )
+        assert results
+        assert all(result.detected for result in results)
+
+    def test_unobservable_gate_fault_undetected(self):
+        # An inverter whose output drives nothing observable: its stuck-at
+        # faults cannot be detected at the primary outputs.
+        netlist = Netlist("dangling")
+        netlist.add_primary_input("a")
+        netlist.add_primary_output("y")
+        netlist.add_gate("buf", STANDARD_LIBRARY.get("BUF"), ["a"], "y")
+        netlist.add_gate("orphan", STANDARD_LIBRARY.get("INV"), ["a"], "n")
+        rules = [
+            HandshakeRule("y", 1, "a", 0, 150.0),
+            HandshakeRule("y", 0, "a", 1, 150.0),
+        ]
+        report = stuck_at_coverage(
+            netlist,
+            rules,
+            initial_stimuli=[("a", 1, 50.0)],
+            duration_ps=5_000.0,
+        )
+        assert report.coverage < 1.0
+        assert any(fault.net == "n" for fault in report.undetected)
+
+
+class TestCoverageOnFifos:
+    def test_rt_fifo_has_high_coverage(self, fifo_rt):
+        report = stuck_at_coverage(
+            fifo_rt.netlist,
+            fifo_environment_rules(),
+            initial_stimuli=[("li", 1, 50.0)],
+            duration_ps=15_000.0,
+        )
+        assert report.total_faults > 0
+        assert report.coverage_percent > 50.0
+        assert "stuck-at" in report.describe()
+
+    def test_coverage_report_consistency(self, fifo_rt):
+        report = stuck_at_coverage(
+            fifo_rt.netlist,
+            fifo_environment_rules(),
+            initial_stimuli=[("li", 1, 50.0)],
+            duration_ps=8_000.0,
+        )
+        assert report.detected_faults + len(report.undetected) == report.total_faults
+        assert 0.0 <= report.coverage <= 1.0
