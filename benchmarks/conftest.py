@@ -3,11 +3,33 @@
 Each benchmark module regenerates one table or figure of the paper.  The
 expensive synthesis results are shared session-wide; the pytest-benchmark
 fixture times the core regeneration step of each experiment.
+
+Quick mode: setting ``REPRO_BENCH_QUICK=1`` (as scripts/check.sh does)
+disables pytest-benchmark's calibration rounds and makes the engine
+benchmarks (benchmarks/test_bench_engine.py) shrink their workloads and
+skip their timing assertions -- every benchmark still runs end to end as
+a functional smoke test.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+BENCH_QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+
+def pytest_configure(config):
+    if BENCH_QUICK and hasattr(config.option, "benchmark_disable"):
+        # pytest-benchmark then calls each benchmarked function exactly once.
+        config.option.benchmark_disable = True
+
+
+@pytest.fixture(scope="session")
+def bench_quick() -> bool:
+    """True when the harness runs in REPRO_BENCH_QUICK smoke mode."""
+    return BENCH_QUICK
 
 from repro.core.assumptions import assume
 from repro.stg import specs

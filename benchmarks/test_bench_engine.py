@@ -1,0 +1,145 @@
+"""Engine speedup benchmarks: fast paths vs the retained reference code.
+
+Two claims, each checked against the naive implementation the engine
+replaced (and which remains in-tree for differential testing):
+
+* reachability of the paper's FIFO/ring STGs via the interned marking
+  encoding is >= 3x faster than the Marking-object BFS;
+* a 10k-cache-line RAPPID workload through the batched runner is >= 3x
+  faster than the per-instruction reference loop.
+
+Timing methodology: the two sides are measured interleaved (reference,
+fast, reference, fast, ...) taking each side's best round, so a noisy
+neighbour slows both rather than biasing the ratio; the comparison
+retries a few times before failing.  Results are additionally asserted
+identical, so the benchmark doubles as an end-to-end differential check
+at realistic scale.
+
+``REPRO_BENCH_QUICK=1`` (see benchmarks/conftest.py and scripts/check.sh)
+shrinks the workloads and skips the timing assertions -- parity is still
+checked, making the quick mode a functional smoke test.
+"""
+
+import gc
+import os
+import time
+
+from repro.petrinet.reachability import (
+    _reference_build_reachability_graph,
+    build_reachability_graph,
+)
+from repro.rappid.microarch import RappidDecoder
+from repro.rappid.workload import WorkloadGenerator
+from repro.stg import specs
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+REQUIRED_SPEEDUP = 3.0
+ATTEMPTS = 4
+
+
+def _interleaved_best(reference, fast, rounds):
+    """Best wall time of each callable, measured round-robin, GC paused."""
+    best_reference = best_fast = float("inf")
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            start = time.perf_counter()
+            reference()
+            best_reference = min(best_reference, time.perf_counter() - start)
+            start = time.perf_counter()
+            fast()
+            best_fast = min(best_fast, time.perf_counter() - start)
+    finally:
+        gc.enable()
+    return best_reference, best_fast
+
+
+def _compare_with_retries(reference, fast, rounds, label):
+    """Measure with retries; returns (ref_time, fast_time, speedup)."""
+    speedup = 0.0
+    for _attempt in range(ATTEMPTS):
+        reference_time, fast_time = _interleaved_best(reference, fast, rounds)
+        speedup = reference_time / fast_time
+        if speedup >= REQUIRED_SPEEDUP:
+            break
+    print(
+        f"\n[bench-engine] {label}: reference {reference_time * 1e3:.2f} ms, "
+        f"engine {fast_time * 1e3:.2f} ms -> {speedup:.2f}x"
+    )
+    return reference_time, fast_time, speedup
+
+
+def test_bench_engine_reachability_speedup():
+    """FIFO/ring spec reachability on the interned encoding."""
+    nets = [specs.load_spec(name).net for name in ("fifo", "fifo_ring")]
+    iterations = 10 if QUICK else 120
+
+    # Parity at full fidelity before timing anything.
+    for net in nets:
+        fast_graph = build_reachability_graph(net, bound=1)
+        reference_graph = _reference_build_reachability_graph(net, bound=1)
+        assert fast_graph.markings == reference_graph.markings
+        assert fast_graph.edges == reference_graph.edges
+
+    def run_reference():
+        for net in nets:
+            for _ in range(iterations):
+                _reference_build_reachability_graph(net, bound=1)
+
+    def run_fast():
+        for net in nets:
+            for _ in range(iterations):
+                build_reachability_graph(net, bound=1)
+
+    _ref, _fast, speedup = _compare_with_retries(
+        run_reference, run_fast, rounds=3 if QUICK else 5, label="fifo/ring reachability"
+    )
+    if not QUICK:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"reachability engine speedup {speedup:.2f}x below "
+            f"{REQUIRED_SPEEDUP}x target"
+        )
+
+
+def test_bench_engine_rappid_speedup():
+    """10k-cache-line RAPPID workload through the batched runner."""
+    generator = WorkloadGenerator(seed=7)
+    instructions = generator.instructions(4_600 if QUICK else 45_600)
+    lines = generator.cache_lines(instructions)
+    if not QUICK:
+        assert len(lines) >= 10_000, "workload must span at least 10k cache lines"
+    decoder = RappidDecoder()
+
+    fast_result = decoder.run(instructions, lines)
+    reference_result = decoder._reference_run(instructions, lines)
+    assert fast_result.issue_times_ps == reference_result.issue_times_ps
+    assert (
+        fast_result.instruction_latencies_ps
+        == reference_result.instruction_latencies_ps
+    )
+    assert fast_result.tag_intervals_ps == reference_result.tag_intervals_ps
+    assert fast_result.total_time_ps == reference_result.total_time_ps
+    del fast_result, reference_result  # keep the timed heap small
+
+    _ref, _fast, speedup = _compare_with_retries(
+        lambda: decoder._reference_run(instructions, lines),
+        lambda: decoder.run(instructions, lines),
+        rounds=3 if QUICK else 7,
+        label=f"rappid {len(lines)} lines / {len(instructions)} instructions",
+    )
+    if not QUICK:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"rappid engine speedup {speedup:.2f}x below {REQUIRED_SPEEDUP}x target"
+        )
+
+
+def test_bench_engine_rappid_throughput_summary():
+    """Sanity: the batched runner reproduces the paper-scale throughput."""
+    generator = WorkloadGenerator(seed=11)
+    instructions, lines = generator.workload(2_000 if QUICK else 20_000)
+    result = RappidDecoder().run(instructions, lines)
+    summary = result.summary()
+    print(f"\n[bench-engine] rappid summary: {summary}")
+    assert summary["throughput_per_ns"] > 0
+    assert result.tag_rate_ghz > result.steering_rate_ghz

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repository check: tier-1 tests plus a quick-mode benchmark smoke.
+#
+#   ./scripts/check.sh          # tests, then benchmarks in quick mode
+#   ./scripts/check.sh --full   # tests, then full benchmarks (timing asserts on)
+#
+# Quick mode sets REPRO_BENCH_QUICK=1, which benchmarks/conftest.py and
+# benchmarks/test_bench_engine.py honour by shrinking workloads and
+# skipping speedup assertions (documented in ROADMAP.md, Open items).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q tests
+
+if [[ "${1:-}" == "--full" ]]; then
+    echo "== benchmarks (full) =="
+    python -m pytest -q benchmarks
+else
+    echo "== benchmarks (quick smoke) =="
+    REPRO_BENCH_QUICK=1 python -m pytest -q benchmarks
+fi
+echo "check.sh: OK"

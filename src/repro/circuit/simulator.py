@@ -17,10 +17,12 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import GateInstance, Netlist, NetlistError
+from repro.engine.events import CompiledNetlist, EventQueue
 
 
 @dataclass
@@ -34,12 +36,18 @@ class Waveform:
         self.changes.append((time, value))
 
     def value_at(self, time: float) -> int:
-        value = self.changes[0][1] if self.changes else 0
-        for change_time, change_value in self.changes:
-            if change_time > time:
-                break
-            value = change_value
-        return value
+        """Value of the net at ``time``.
+
+        A change recorded *exactly at* ``time`` is visible (``<=``
+        semantics, pinned by a regression test); querying before the first
+        change returns the first recorded value, matching the reference
+        linear scan in :func:`_reference_value_at`.
+        """
+        changes = self.changes
+        if not changes:
+            return 0
+        index = bisect_right(changes, (time, float("inf")))
+        return changes[index - 1][1] if index else changes[0][1]
 
     def transition_count(self) -> int:
         """Number of value changes excluding the initial assignment."""
@@ -140,7 +148,195 @@ class CallbackEnvironment(Environment):
 
 
 class EventDrivenSimulator:
-    """Discrete-event simulator over a :class:`~repro.circuit.netlist.Netlist`."""
+    """Discrete-event simulator over a :class:`~repro.circuit.netlist.Netlist`.
+
+    The netlist is compiled once into the index-based
+    :class:`~repro.engine.events.CompiledNetlist` (current-value arrays,
+    per-net fanout adjacency) and events flow through the slab-backed
+    :class:`~repro.engine.events.EventQueue`; the observable behaviour --
+    commit order, waveforms, RNG draw order under jitter -- is identical to
+    the retained :class:`_ReferenceEventDrivenSimulator`.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        environments: Optional[Sequence[Environment]] = None,
+        delay_jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        netlist.validate()
+        self.netlist = netlist
+        self.environments = list(environments or [])
+        self.delay_jitter = delay_jitter
+        self._rng = random.Random(seed)
+        self._compiled = CompiledNetlist(netlist)
+        self.reset()
+
+    # -- state management -----------------------------------------------------------
+    def reset(self) -> None:
+        compiled = self._compiled
+        self.time = 0.0
+        self._values: List[int] = list(compiled.initial_values)
+        self._pending: List[int] = list(self._values)
+        self._queue = EventQueue()
+        self.waveforms: Dict[str, Waveform] = {}
+        self._wave_slots: List[Waveform] = []
+        for slot, net in enumerate(compiled.net_names):
+            waveform = Waveform(net, [(0.0, self._values[slot])])
+            self.waveforms[net] = waveform
+            self._wave_slots.append(waveform)
+        self.event_count = 0
+        # Gate internal state (previous output) for sequential gates.
+        self._gate_state: List[int] = [
+            self._values[output] for output in compiled.gate_output
+        ]
+
+    @property
+    def values(self) -> Dict[str, int]:
+        """Snapshot of current net values keyed by net name."""
+        return dict(zip(self._compiled.net_names, self._values))
+
+    def value(self, net: str) -> int:
+        return self._values[self._compiled.net_index[net]]
+
+    # -- scheduling -------------------------------------------------------------------
+    def schedule(self, net: str, value: int, time: float) -> None:
+        """Schedule a net change at an absolute time."""
+        slot = self._compiled.net_index.get(net)
+        if slot is None:
+            raise NetlistError(f"unknown net {net!r}")
+        value = int(bool(value))
+        self._queue.push(time, slot, value)
+        self._pending[slot] = value
+
+    def _gate_delay(self, gate_slot: int) -> float:
+        nominal = self._compiled.gate_delay[gate_slot]
+        if self.delay_jitter <= 0:
+            return nominal
+        return self._rng.uniform(
+            nominal * (1.0 - self.delay_jitter), nominal * (1.0 + self.delay_jitter)
+        )
+
+    def _evaluate_gate(self, gate_slot: int) -> int:
+        compiled = self._compiled
+        values = self._values
+        inputs = [values[slot] for slot in compiled.gate_inputs[gate_slot]]
+        return compiled.gate_eval[gate_slot](inputs, self._gate_state[gate_slot])
+
+    def _settle_initial_state(self) -> None:
+        """Schedule corrections for gates whose initial output is inconsistent.
+
+        Netlists built from decomposed logic may declare initial values only
+        for interface nets; intermediate nets then need one settling pass
+        (the equivalent of releasing reset on silicon).
+        """
+        compiled = self._compiled
+        for gate_slot in range(len(compiled.gates)):
+            output = self._evaluate_gate(gate_slot)
+            output_slot = compiled.gate_output[gate_slot]
+            if output != self._values[output_slot]:
+                self._queue.push(
+                    self.time + self._gate_delay(gate_slot), output_slot, output
+                )
+                self._pending[output_slot] = output
+
+    # -- main loop -----------------------------------------------------------------------
+    def run(self, duration_ps: Optional[float] = None, max_events: int = 1_000_000) -> SimulationTrace:
+        """Run until the event queue drains, a time limit, or an event cap."""
+        self._settle_initial_state()
+        for environment in self.environments:
+            environment.start(self)
+
+        compiled = self._compiled
+        net_names = compiled.net_names
+        fanout = compiled.fanout
+        gate_inputs = compiled.gate_inputs
+        gate_eval = compiled.gate_eval
+        gate_output = compiled.gate_output
+        gate_state = self._gate_state
+        values = self._values
+        pending = self._pending
+        wave_slots = self._wave_slots
+        queue = self._queue
+        environments = self.environments
+
+        end_time = self.time + duration_ps if duration_ps is not None else None
+        processed = 0
+        while queue:
+            if end_time is not None and queue.peek_time() > end_time:
+                break
+            event_time, net_slot, value = queue.pop()
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; "
+                    "the circuit is probably oscillating"
+                )
+            self.time = event_time
+            if values[net_slot] == value:
+                continue
+            values[net_slot] = value
+            wave_slots[net_slot].changes.append((event_time, value))
+            self.event_count += 1
+
+            # Propagate through fanout gates.
+            for gate_slot in fanout[net_slot]:
+                inputs = [values[slot] for slot in gate_inputs[gate_slot]]
+                new_output = gate_eval[gate_slot](inputs, gate_state[gate_slot])
+                gate_state[gate_slot] = new_output
+                output_slot = gate_output[gate_slot]
+                if new_output != pending[output_slot]:
+                    queue.push(
+                        event_time + self._gate_delay(gate_slot),
+                        output_slot,
+                        new_output,
+                    )
+                    pending[output_slot] = new_output
+
+            # Environments react to the committed change.
+            if environments:
+                net = net_names[net_slot]
+                for environment in environments:
+                    environment.on_change(self, net, value, event_time)
+
+        final_time = self.time if end_time is None else max(self.time, end_time if queue else self.time)
+        return SimulationTrace(
+            waveforms=dict(self.waveforms),
+            final_values=self.values,
+            end_time=final_time,
+            event_count=self.event_count,
+        )
+
+    # -- convenience -----------------------------------------------------------------------
+    def settle(self, max_events: int = 100_000) -> SimulationTrace:
+        """Run without a time limit until no events remain."""
+        return self.run(duration_ps=None, max_events=max_events)
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations retained for the differential test suite.
+# ---------------------------------------------------------------------------
+
+
+def _reference_value_at(waveform: Waveform, time: float) -> int:
+    """Pre-engine linear scan defining :meth:`Waveform.value_at` semantics."""
+    changes = waveform.changes
+    value = changes[0][1] if changes else 0
+    for change_time, change_value in changes:
+        if change_time > time:
+            break
+        value = change_value
+    return value
+
+
+class _ReferenceEventDrivenSimulator:
+    """Pre-engine simulator: dict-keyed values, per-event fanout scans.
+
+    Oracle for the differential tests; given the same netlist, stimuli,
+    seed and jitter it must produce waveforms identical to
+    :class:`EventDrivenSimulator`.
+    """
 
     def __init__(
         self,
@@ -157,7 +353,6 @@ class EventDrivenSimulator:
         self._counter = itertools.count()
         self.reset()
 
-    # -- state management -----------------------------------------------------------
     def reset(self) -> None:
         self.time = 0.0
         self.values: Dict[str, int] = dict(self.netlist.initial_values())
@@ -169,7 +364,6 @@ class EventDrivenSimulator:
             net: Waveform(net, [(0.0, self.values[net])]) for net in self.netlist.nets
         }
         self.event_count = 0
-        # Gate internal state (previous output) for sequential gates.
         self._gate_state: Dict[str, int] = {
             gate.name: self.values.get(gate.output, 0) for gate in self.netlist.gates
         }
@@ -177,9 +371,7 @@ class EventDrivenSimulator:
     def value(self, net: str) -> int:
         return self.values[net]
 
-    # -- scheduling -------------------------------------------------------------------
     def schedule(self, net: str, value: int, time: float) -> None:
-        """Schedule a net change at an absolute time."""
         if net not in self.values:
             raise NetlistError(f"unknown net {net!r}")
         value = int(bool(value))
@@ -197,24 +389,15 @@ class EventDrivenSimulator:
     def _evaluate_gate(self, gate: GateInstance) -> int:
         inputs = [self.values[net] for net in gate.inputs]
         previous = self._gate_state[gate.name]
-        output = gate.gate_type.evaluate(inputs, previous)
-        return output
+        return gate.gate_type.evaluate(inputs, previous)
 
     def _settle_initial_state(self) -> None:
-        """Schedule corrections for gates whose initial output is inconsistent.
-
-        Netlists built from decomposed logic may declare initial values only
-        for interface nets; intermediate nets then need one settling pass
-        (the equivalent of releasing reset on silicon).
-        """
         for gate in self.netlist.gates:
             output = self._evaluate_gate(gate)
             if output != self.values[gate.output]:
                 self.schedule(gate.output, output, self.time + self._gate_delay(gate))
 
-    # -- main loop -----------------------------------------------------------------------
     def run(self, duration_ps: Optional[float] = None, max_events: int = 1_000_000) -> SimulationTrace:
-        """Run until the event queue drains, a time limit, or an event cap."""
         self._settle_initial_state()
         for environment in self.environments:
             environment.start(self)
@@ -239,7 +422,6 @@ class EventDrivenSimulator:
             self.waveforms[net].record(event_time, value)
             self.event_count += 1
 
-            # Propagate through fanout gates.
             for gate in self.netlist.fanout_of(net):
                 new_output = self._evaluate_gate(gate)
                 self._gate_state[gate.name] = new_output
@@ -248,7 +430,6 @@ class EventDrivenSimulator:
                         gate.output, new_output, event_time + self._gate_delay(gate)
                     )
 
-            # Environments react to the committed change.
             for environment in self.environments:
                 environment.on_change(self, net, value, event_time)
 
@@ -260,7 +441,5 @@ class EventDrivenSimulator:
             event_count=self.event_count,
         )
 
-    # -- convenience -----------------------------------------------------------------------
     def settle(self, max_events: int = 100_000) -> SimulationTrace:
-        """Run without a time limit until no events remain."""
         return self.run(duration_ps=None, max_events=max_events)

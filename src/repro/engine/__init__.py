@@ -1,0 +1,81 @@
+"""Shared performance core for exploration and simulation hot paths.
+
+The reproduction has three hot loops: explicit-state reachability over STG
+marking graphs (:mod:`repro.petrinet.reachability` and
+:mod:`repro.stategraph.graph`), event-driven gate simulation
+(:mod:`repro.circuit.simulator`), and RAPPID trace evaluation
+(:mod:`repro.rappid.microarch`).  This package holds the engine they all
+delegate to.  The public APIs of those modules are unchanged -- the old
+entry points now compile their inputs into the interned representations
+below and decode the results back; callers never see engine types unless
+they import them explicitly.
+
+Marking encoding scheme (``engine.marking``)
+--------------------------------------------
+:class:`~repro.engine.marking.NetEncoding` is built once per Petri net.
+Every place gets a fixed *slot* (its index in net insertion order) and
+every transition a fixed index with its pre/post-sets flattened to
+``(slot, weight)`` tuples.  During exploration a marking is either:
+
+* an ``int`` bitmask, one bit per place slot (**safe path**, used when the
+  caller explores with ``bound=1`` on a unit-weight, capacity-free net --
+  the STG flow).  The enabled test for transition ``t`` is
+  ``marking & need_mask[t] == need_mask[t]`` against the precomputed
+  enabled-transition mask, and firing is two bit operations.  A produced
+  token landing on a marked place the fire did not consume is exactly a
+  safety (bound) violation and raises immediately.
+* a tuple of per-slot token counts (**general path**: weighted arcs,
+  capacities, other bounds).  Enabledness walks the flattened pre-set,
+  firing copies the tuple once.
+
+Both keys hash and compare in C.  ``Marking`` objects -- which sort and
+hash their place-name strings on every construction -- are materialised
+only once per *distinct* reachable marking, after exploration finishes,
+instead of once per fired edge.
+
+When delegation kicks in
+------------------------
+* ``build_reachability_graph`` always delegates; it picks the safe path
+  when called with ``bound=1`` (what STG validation uses) and falls back
+  to the general path otherwise, including when the initial marking is
+  itself unsafe.  The pre-engine BFS is retained as
+  ``_reference_build_reachability_graph`` for differential testing.
+* ``build_state_graph`` runs its BFS over ``(marking key, code int)``
+  pairs where the code int packs one bit per signal in
+  ``signal_order``; ``State``/``Marking`` objects are materialised after
+  exploration in the same BFS discovery order the naive code produced.
+* ``EventDrivenSimulator`` compiles its netlist once
+  (:class:`~repro.engine.events.CompiledNetlist`): net names become array
+  slots, and the per-event ``fanout_of`` scan over every gate becomes a
+  precomputed adjacency list.  Events live in a slab-backed
+  :class:`~repro.engine.events.EventQueue`.  The naive simulator is
+  retained as ``_ReferenceEventDrivenSimulator``.
+* ``RappidDecoder.run`` delegates to
+  :func:`~repro.engine.rappid_batch.run_batched`, which performs the same
+  floating-point operations in the same order as the retained
+  ``RappidDecoder._reference_run`` (bit-identical results) after
+  collapsing the latency models into lookup tables and the instruction
+  stream into flat arrays.  ``run_sharded`` adds an optional,
+  explicitly approximate multiprocessing path for very large workloads.
+
+Invariants relied on by the differential suite
+----------------------------------------------
+Exploration visits markings in the same BFS order, fires transitions in
+net insertion order, and reports bound/capacity violations for the same
+place (sorted-name order) as the reference implementations, so results --
+including raised errors -- are indistinguishable from the naive code.
+"""
+
+from repro.engine.events import CompiledNetlist, EventQueue
+from repro.engine.marking import EncodingError, NetEncoding, explore_net
+from repro.engine.rappid_batch import run_batched, run_sharded
+
+__all__ = [
+    "CompiledNetlist",
+    "EncodingError",
+    "EventQueue",
+    "NetEncoding",
+    "explore_net",
+    "run_batched",
+    "run_sharded",
+]

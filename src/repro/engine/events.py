@@ -1,0 +1,104 @@
+"""Indexed event-queue core for gate-level simulation.
+
+Two pieces:
+
+* :class:`CompiledNetlist` -- a per-netlist compilation pass that interns
+  net names to array slots and builds the fanout adjacency **once**,
+  replacing the reference simulator's per-event linear scan over every
+  gate (``Netlist.fanout_of``) with a list lookup.
+* :class:`EventQueue` -- a time-ordered queue whose payloads live in a
+  slab of parallel lists.  Heap entries are small ``(time, seq, slot)``
+  tuples ordered by C tuple comparison; freed slots are recycled through
+  a free list so long simulations do not churn allocations.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.circuit
+    from repro.circuit.netlist import GateInstance, Netlist
+
+
+class CompiledNetlist:
+    """Immutable, index-based view of a :class:`~repro.circuit.netlist.Netlist`.
+
+    Net slots follow ``netlist.nets`` (sorted) order; gate slots follow gate
+    insertion order so that event-processing visits fanout gates exactly as
+    the reference simulator does.
+    """
+
+    __slots__ = (
+        "net_names",
+        "net_index",
+        "initial_values",
+        "fanout",
+        "gates",
+        "gate_inputs",
+        "gate_output",
+        "gate_eval",
+        "gate_delay",
+    )
+
+    def __init__(self, netlist: "Netlist") -> None:
+        self.net_names: List[str] = netlist.nets
+        self.net_index: Dict[str, int] = {
+            name: slot for slot, name in enumerate(self.net_names)
+        }
+        initial = netlist.initial_values()
+        self.initial_values: List[int] = [
+            initial.get(name, 0) for name in self.net_names
+        ]
+
+        index = self.net_index
+        self.gates: List["GateInstance"] = netlist.gates
+        self.gate_inputs: List[Tuple[int, ...]] = []
+        self.gate_output: List[int] = []
+        self.gate_eval: List[Callable] = []
+        self.gate_delay: List[float] = []
+        self.fanout: List[List[int]] = [[] for _ in self.net_names]
+        for slot, gate in enumerate(self.gates):
+            self.gate_inputs.append(tuple(index[net] for net in gate.inputs))
+            self.gate_output.append(index[gate.output])
+            self.gate_eval.append(gate.gate_type.evaluate)
+            self.gate_delay.append(gate.gate_type.delay_ps)
+            for net in dict.fromkeys(gate.inputs):  # dedupe, keep order
+                self.fanout[index[net]].append(slot)
+
+
+class EventQueue:
+    """Min-heap of ``(time, net_slot, value)`` events with slab storage."""
+
+    __slots__ = ("_heap", "_nets", "_values", "_free", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int]] = []
+        self._nets: List[int] = []
+        self._values: List[int] = []
+        self._free: List[int] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, net: int, value: int) -> None:
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._nets[slot] = net
+            self._values[slot] = value
+        else:
+            slot = len(self._nets)
+            self._nets.append(net)
+            self._values.append(value)
+        heappush(self._heap, (time, self._seq, slot))
+        self._seq += 1
+
+    def peek_time(self) -> float:
+        return self._heap[0][0]
+
+    def pop(self) -> Tuple[float, int, int]:
+        time, _seq, slot = heappop(self._heap)
+        self._free.append(slot)
+        return time, self._nets[slot], self._values[slot]

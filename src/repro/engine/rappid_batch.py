@@ -1,0 +1,533 @@
+"""Batched RAPPID front-end evaluation.
+
+:func:`run_batched` computes exactly what the reference per-instruction
+loop in :mod:`repro.rappid.microarch` computes -- the same floating point
+operations in the same order for every per-instruction time, so those
+results are bit-identical -- while stripping the interpreter overhead:
+
+* the three latency models (:func:`~repro.rappid.isa.decode_latency_ps`,
+  ``tag_latency_ps``, ``steering_latency_ps``) collapse into lookup
+  tables built once per call;
+* instruction attributes are decoded into flat arrays by C-level
+  ``map`` passes instead of per-iteration dataclass attribute chains;
+* the per-column (cache-line) arrival recursion is flattened into dict
+  lookups with a recursive slow path only for lines in which no
+  instruction starts;
+* interval/latency reductions run vectorised (numpy, exact float64 ops)
+  when numpy is importable, with pure-Python fallbacks.
+
+``energy_pj`` alone is accumulated as one closed-form sum instead of four
+adds per instruction, so it may differ from the reference in the last
+ulp; everything else compares equal with ``==``.
+
+:func:`run_sharded` splits a large stream into line-aligned shards and
+evaluates them in parallel worker processes.  Shards are stitched
+sequentially (each shard's clock starts where the previous one ended),
+which ignores cross-shard tag/buffer warm-up -- an approximation suitable
+for throughput estimates on very large workloads, not for cycle-accurate
+differential testing.
+"""
+
+from __future__ import annotations
+
+from operator import attrgetter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.rappid.isa import (
+    decode_latency_ps,
+    steering_latency_ps,
+    tag_latency_ps,
+)
+from repro.rappid.workload import CacheLine, Instruction
+
+try:  # optional: same IEEE float64 ops, just faster; the image has it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is baked into the toolchain
+    _np = None
+
+
+def _stream_arrays(instructions: Sequence[Instruction]) -> tuple:
+    """(lengths, classes, start_bytes, first_lines) as flat arrays.
+
+    One C-level ``map`` pass per attribute; ``first_lines`` replicates
+    ``Instruction.line_index`` (which hard-codes 16-byte lines) with a
+    shift instead of a property call per element.
+    """
+    lengths = list(map(attrgetter("length"), instructions))
+    classes = list(map(attrgetter("instruction_class"), instructions))
+    start_bytes = list(map(attrgetter("start_byte"), instructions))
+    first_lines = [sb >> 4 for sb in start_bytes]
+    return lengths, classes, start_bytes, first_lines
+
+
+def _intervals(times: Sequence[float]) -> List[float]:
+    """``[b - a for consecutive pairs if b > a]`` (IEEE-identical in numpy)."""
+    if _np is not None and len(times) > 64:
+        deltas = _np.diff(_np.asarray(times))
+        return deltas[deltas > 0.0].tolist()
+    return [b - a for a, b in zip(times, times[1:]) if b > a]
+
+
+def run_batched(config, instructions: Sequence[Instruction], lines: Sequence[CacheLine]) -> Optional[dict]:
+    """Evaluate an instruction stream in one batched pass.
+
+    Returns the measurement fields of
+    :class:`~repro.rappid.microarch.RappidResult` as a dict (the caller
+    owns the result type, avoiding a circular import), or ``None`` for an
+    empty stream.
+    """
+    if not instructions:
+        return None
+
+    line_bytes = config.line_bytes
+    prefetch_depth = config.prefetch_depth
+
+    lengths, classes, start_bytes, first_lines = _stream_arrays(instructions)
+    if line_bytes == 16:
+        last_lines = [(sb + length - 1) >> 4 for sb, length in zip(start_bytes, lengths)]
+    else:
+        last_lines = [
+            (sb + length - 1) // line_bytes
+            for sb, length in zip(start_bytes, lengths)
+        ]
+    size = max(lengths) + 1
+    tag_table = [0.0] * size
+    steer_table = [0.0] * size
+    for length in set(lengths):
+        tag_table[length] = tag_latency_ps(length)
+        steer_table[length] = steering_latency_ps(length)
+
+    # Deferring a line's ``line_consumed`` store to the line change is
+    # observable only if a straddling fetch can read the *current* line's
+    # consumption, i.e. when an instruction can span at least
+    # prefetch_depth line boundaries.  The common regime takes the hot
+    # loop; the exotic one keeps per-instruction stores.
+    if line_bytes == 16 and prefetch_depth > (14 + size - 1) // 16:
+        loop = _hot_loop
+    else:
+        loop = _general_loop
+    avail_times, tag_times, line_consumed = loop(
+        lengths,
+        classes,
+        first_lines,
+        last_lines,
+        tag_table,
+        steer_table,
+        prefetch_depth,
+        config.line_fetch_latency_ps,
+    )
+
+    rows = config.rows
+    issue_times, row_issues = _steer(
+        tag_times, lengths, steer_table, rows, config.output_buffer_cycle_ps
+    )
+
+    steer_intervals: List[float] = []
+    if _np is not None and len(issue_times) > 64:
+        issue_arr = _np.asarray(issue_times)
+        latencies = _np.subtract(issue_arr, _np.asarray(avail_times)).tolist()
+        total_time = float(issue_arr.max())
+        tag_deltas = _np.diff(_np.asarray(tag_times))
+        tag_intervals = tag_deltas[tag_deltas > 0.0].tolist()
+        for first in range(rows):
+            # Round-robin row assignment: row r's issues are issue_times[r::rows].
+            row_arr = row_issues[first] if row_issues else issue_arr[first::rows]
+            row_deltas = _np.diff(row_arr)
+            steer_intervals.extend(row_deltas[row_deltas > 0.0].tolist())
+    else:
+        latencies = [issue - avail for issue, avail in zip(issue_times, avail_times)]
+        total_time = max(issue_times)
+        tag_intervals = _intervals(tag_times)
+        for first in range(rows):
+            steer_intervals.extend(_intervals(issue_times[first::rows]))
+    energy = (
+        len(instructions)
+        * (config.decode_energy_pj + config.tag_energy_pj + config.steer_energy_pj)
+        + config.byte_latch_energy_pj * sum(lengths)
+    )
+    line_intervals = _intervals(sorted(line_consumed.values()))
+
+    return {
+        "instruction_count": len(instructions),
+        "line_count": len(lines),
+        "total_time_ps": total_time,
+        "issue_times_ps": issue_times,
+        "instruction_latencies_ps": latencies,
+        "tag_intervals_ps": tag_intervals,
+        "line_intervals_ps": line_intervals,
+        "steer_intervals_ps": steer_intervals,
+        "energy_pj": energy,
+    }
+
+
+def _decode_tables(size: int) -> Tuple[List[object], List[float], Dict]:
+    """Empty lazy decode-latency caches (see the loop bodies)."""
+    return [None] * size, [0.0] * size, {}
+
+
+# Magnitude bound under which sums of exactly-representable integers stay
+# exactly representable in float64 through every intermediate below.
+_EXACT_BOUND = float(2**50)
+
+
+def _steer(
+    tag_times: List[float],
+    lengths: List[int],
+    steer_table: List[float],
+    rows: int,
+    cycle: float,
+) -> Tuple[List[float], Optional[list]]:
+    """Issue times for round-robin steering into ``rows`` output buffers.
+
+    The recurrence per row is ``issue[k] = max(tag[k], issue[k-1] + cycle)
+    + steer[k]``, a max-plus scan.  When every input is an integer-valued
+    float within :data:`_EXACT_BOUND` -- true for the calibration tables,
+    whose picosecond latencies are whole numbers -- every intermediate of
+    both the sequential reference loop and the ``cumsum``/
+    ``maximum.accumulate`` transform below is an exactly-representable
+    integer, so the vectorised result is bit-identical and the scan runs
+    per row in C.  Anything else (fractional user calibrations, no numpy)
+    falls back to the sequential loop.
+
+    Returns ``(issue_times, per-row issue arrays or None)``.
+    """
+    n = len(tag_times)
+    use_np = _np is not None and n > 64
+    if use_np:
+        tag_arr = _np.asarray(tag_times)
+        steer_arr = _np.asarray(steer_table)[_np.asarray(lengths)]
+        exact = (
+            float(cycle).is_integer()
+            and cycle >= 0.0
+            and bool(_np.isfinite(tag_arr).all())
+            and bool((tag_arr == _np.floor(tag_arr)).all())
+            and bool((steer_arr == _np.floor(steer_arr)).all())
+            and float(_np.abs(tag_arr).max(initial=0.0)) < _EXACT_BOUND
+            and float(_np.abs(steer_arr).max(initial=0.0)) < _EXACT_BOUND
+            and n * (float(_np.abs(steer_arr).max(initial=0.0)) + cycle)
+            < _EXACT_BOUND
+        )
+        if exact:
+            issue_arr = _np.empty(n)
+            row_issues = []
+            for first in range(rows):
+                tag_row = tag_arr[first::rows]
+                if not len(tag_row):
+                    row_issues.append(tag_row)
+                    continue
+                steer_row = steer_arr[first::rows]
+                ceiling = tag_row + steer_row
+                # Initial buffer_free of 0.0 enters only the first element.
+                ceiling[0] = max(ceiling[0], steer_row[0])
+                offsets = _np.empty(len(tag_row))
+                offsets[0] = 0.0
+                _np.cumsum(steer_row[1:] + cycle, out=offsets[1:])
+                issue_row = (
+                    _np.maximum.accumulate(ceiling - offsets) + offsets
+                )
+                issue_arr[first::rows] = issue_row
+                row_issues.append(issue_row)
+            return issue_arr.tolist(), row_issues
+
+    steer_lats = list(map(steer_table.__getitem__, lengths))
+    issue_times: List[float] = []
+    issue_append = issue_times.append
+    buffer_free = [0.0] * rows
+    row = 0
+    for tag_time, steer_lat in zip(tag_times, steer_lats):
+        free = buffer_free[row]
+        steer_start = tag_time if tag_time >= free else free
+        issue = steer_start + steer_lat
+        buffer_free[row] = issue + cycle
+        row += 1
+        if row == rows:
+            row = 0
+        issue_append(issue)
+    return issue_times, None
+
+
+def _hot_loop(
+    lengths: List[int],
+    classes: List[object],
+    first_lines: List[int],
+    last_lines: List[int],
+    tag_table: List[float],
+    steer_table: List[float],
+    prefetch_depth: int,
+    fetch_latency: float,
+) -> Tuple[List[float], List[float], Dict[int, float]]:
+    """Per-instruction recurrence with line-consumption stores deferred.
+
+    Tag times are nondecreasing, so one store per line (of the line's last
+    tag) equals the reference's per-instruction running max; the caller
+    guarantees no straddling fetch can observe the deferral.
+    """
+    decode_class, decode_lat_of, decode_overflow = _decode_tables(len(tag_table))
+    line_arrival: Dict[int, float] = {}
+    line_consumed: Dict[int, float] = {}
+    arrival_get = line_arrival.get
+    consumed_get = line_consumed.get
+
+    def arrival_of(line_index: int) -> float:
+        """Recursive slow path: only lines with no instruction start in them."""
+        cached = arrival_get(line_index)
+        if cached is not None:
+            return cached
+        if line_index < prefetch_depth:
+            arrival = 0.0
+        else:
+            blocker = line_index - prefetch_depth
+            previous_done = consumed_get(blocker)
+            if previous_done is None:
+                previous_done = arrival_of(blocker)
+            arrival = previous_done + fetch_latency
+        line_arrival[line_index] = arrival
+        return arrival
+
+    avail_times: List[float] = []
+    tag_times: List[float] = []
+    avail_append = avail_times.append
+    tag_append = tag_times.append
+
+    # -inf makes the first tag collapse to `ready` without a branch, exactly
+    # as the reference's position-0 special case does.
+    previous_tag_time = float("-inf")
+    previous_length = 0
+    current_line = -1
+    current_avail = 0.0
+    for length, instruction_class, first_line, last_line in zip(
+        lengths, classes, first_lines, last_lines
+    ):
+        if first_line == current_line:
+            bytes_available = current_avail
+        else:
+            if current_line >= 0:
+                line_consumed[current_line] = previous_tag_time
+            bytes_available = arrival_get(first_line)
+            if bytes_available is None:
+                if first_line < prefetch_depth:
+                    bytes_available = 0.0
+                else:
+                    previous_done = consumed_get(first_line - prefetch_depth)
+                    if previous_done is None:
+                        previous_done = arrival_of(first_line - prefetch_depth)
+                    bytes_available = previous_done + fetch_latency
+                line_arrival[first_line] = bytes_available
+            current_line = first_line
+            current_avail = bytes_available
+        if last_line != first_line:
+            for line in range(first_line + 1, last_line + 1):
+                arrival = arrival_get(line)
+                if arrival is None:
+                    if line < prefetch_depth:
+                        arrival = 0.0
+                    else:
+                        previous_done = consumed_get(line - prefetch_depth)
+                        if previous_done is None:
+                            previous_done = arrival_of(line - prefetch_depth)
+                        arrival = previous_done + fetch_latency
+                    line_arrival[line] = arrival
+                if arrival > bytes_available:
+                    bytes_available = arrival
+        avail_append(bytes_available)
+
+        if decode_class[length] is instruction_class:
+            decode_lat = decode_lat_of[length]
+        else:
+            decode_lat = decode_overflow.get((length, instruction_class))
+            if decode_lat is None:
+                decode_lat = decode_latency_ps(length, instruction_class)
+                decode_overflow[(length, instruction_class)] = decode_lat
+            if decode_class[length] is None:
+                decode_class[length] = instruction_class
+                decode_lat_of[length] = decode_lat
+        ready = bytes_available + decode_lat
+
+        tag_time = previous_tag_time + tag_table[previous_length]
+        if tag_time < ready:
+            tag_time = ready
+        tag_append(tag_time)
+
+        previous_tag_time = tag_time
+        previous_length = length
+    if current_line >= 0:
+        line_consumed[current_line] = previous_tag_time
+    return avail_times, tag_times, line_consumed
+
+
+def _general_loop(
+    lengths: List[int],
+    classes: List[object],
+    first_lines: List[int],
+    last_lines: List[int],
+    tag_table: List[float],
+    steer_table: List[float],
+    prefetch_depth: int,
+    fetch_latency: float,
+) -> Tuple[List[float], List[float], Dict[int, float]]:
+    """Reference-shaped loop with per-instruction line_consumed stores.
+
+    Used for exotic configurations (non-16-byte lines, instructions that
+    can span prefetch_depth boundaries) where the deferred store of
+    :func:`_hot_loop` could be observed.
+    """
+    decode_class, decode_lat_of, decode_overflow = _decode_tables(len(tag_table))
+    line_arrival: Dict[int, float] = {}
+    line_consumed: Dict[int, float] = {}
+
+    def arrival_of(line_index: int) -> float:
+        cached = line_arrival.get(line_index)
+        if cached is not None:
+            return cached
+        if line_index < prefetch_depth:
+            arrival = 0.0
+        else:
+            blocker = line_index - prefetch_depth
+            previous_done = line_consumed.get(blocker)
+            if previous_done is None:
+                previous_done = arrival_of(blocker)
+            arrival = previous_done + fetch_latency
+        line_arrival[line_index] = arrival
+        return arrival
+
+    avail_times: List[float] = []
+    tag_times: List[float] = []
+    previous_tag_time = float("-inf")
+    previous_length = 0
+    for length, instruction_class, first_line, last_line in zip(
+        lengths, classes, first_lines, last_lines
+    ):
+        bytes_available = arrival_of(first_line)
+        for line in range(first_line + 1, last_line + 1):
+            arrival = arrival_of(line)
+            if arrival > bytes_available:
+                bytes_available = arrival
+        avail_times.append(bytes_available)
+
+        if decode_class[length] is instruction_class:
+            decode_lat = decode_lat_of[length]
+        else:
+            decode_lat = decode_overflow.get((length, instruction_class))
+            if decode_lat is None:
+                decode_lat = decode_latency_ps(length, instruction_class)
+                decode_overflow[(length, instruction_class)] = decode_lat
+            if decode_class[length] is None:
+                decode_class[length] = instruction_class
+                decode_lat_of[length] = decode_lat
+        ready = bytes_available + decode_lat
+
+        tag_time = previous_tag_time + tag_table[previous_length]
+        if tag_time < ready:
+            tag_time = ready
+        tag_times.append(tag_time)
+
+        consumed = line_consumed.get(first_line, 0.0)
+        line_consumed[first_line] = consumed if consumed >= tag_time else tag_time
+
+        previous_tag_time = tag_time
+        previous_length = length
+    return avail_times, tag_times, line_consumed
+
+
+# -- multiprocessing shard path ------------------------------------------------------
+
+
+def _shard_boundaries(first_lines: Sequence[int], shards: int) -> List[int]:
+    """Split instruction indices into contiguous, line-aligned chunks."""
+    n = len(first_lines)
+    boundaries = [0]
+    for shard in range(1, shards):
+        cut = n * shard // shards
+        while cut < n and cut > 0 and first_lines[cut] == first_lines[cut - 1]:
+            cut += 1
+        if cut > boundaries[-1] and cut < n:
+            boundaries.append(cut)
+    boundaries.append(n)
+    return boundaries
+
+
+def _rebase_shard(
+    instructions: Sequence[Instruction], line_bytes: int
+) -> List[Instruction]:
+    """Shift a shard so its first line becomes line 0 of a fresh stream."""
+    base = instructions[0].line_index * line_bytes
+    return [
+        Instruction(
+            index=pos,
+            length=i.length,
+            instruction_class=i.instruction_class,
+            start_byte=i.start_byte - base,
+        )
+        for pos, i in enumerate(instructions)
+    ]
+
+
+def _run_shard(args) -> dict:
+    config, instructions, line_count = args
+    result = run_batched(config, instructions, [None] * line_count)
+    assert result is not None
+    return result
+
+
+def run_sharded(
+    config,
+    instructions: Sequence[Instruction],
+    lines: Sequence[CacheLine],
+    shards: int = 2,
+) -> Optional[dict]:
+    """Approximate sharded evaluation of a large stream.
+
+    Falls back to :func:`run_batched` for a single shard, a small stream,
+    or when worker processes cannot be spawned in the host environment.
+    """
+    if not instructions:
+        return None
+    # Below ~1k instructions per shard the stitching error dominates and the
+    # worker/IPC overhead can never pay off: evaluate exactly instead.
+    if len(instructions) < 1_024 * max(1, shards):
+        return run_batched(config, instructions, lines)
+    first_lines = [i.line_index for i in instructions]
+    boundaries = _shard_boundaries(first_lines, max(1, shards))
+    if len(boundaries) <= 2:
+        return run_batched(config, instructions, lines)
+
+    line_bytes = config.line_bytes
+    jobs = []
+    for start, stop in zip(boundaries, boundaries[1:]):
+        shard_instructions = _rebase_shard(instructions[start:stop], line_bytes)
+        shard_lines = first_lines[stop - 1] - first_lines[start] + 1
+        jobs.append((config, shard_instructions, shard_lines))
+
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=len(jobs)) as pool:
+            results = list(pool.map(_run_shard, jobs))
+    except (OSError, ImportError, RuntimeError):
+        results = [_run_shard(job) for job in jobs]
+
+    # Sequential stitching: shard k starts when shard k-1 issued its last
+    # instruction.  Tag/buffer state does not carry across the seam.
+    merged = {
+        "instruction_count": 0,
+        "line_count": len(lines),
+        "total_time_ps": 0.0,
+        "issue_times_ps": [],
+        "instruction_latencies_ps": [],
+        "tag_intervals_ps": [],
+        "line_intervals_ps": [],
+        "steer_intervals_ps": [],
+        "energy_pj": 0.0,
+    }
+    offset = 0.0
+    for result in results:
+        merged["instruction_count"] += result["instruction_count"]
+        merged["energy_pj"] += result["energy_pj"]
+        merged["issue_times_ps"].extend(t + offset for t in result["issue_times_ps"])
+        merged["instruction_latencies_ps"].extend(result["instruction_latencies_ps"])
+        merged["tag_intervals_ps"].extend(result["tag_intervals_ps"])
+        merged["line_intervals_ps"].extend(result["line_intervals_ps"])
+        merged["steer_intervals_ps"].extend(result["steer_intervals_ps"])
+        offset += result["total_time_ps"]
+    merged["total_time_ps"] = offset
+    return merged

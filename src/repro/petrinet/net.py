@@ -160,6 +160,9 @@ class PetriNet:
         # output arcs: transition -> {place: weight}
         self._outputs: Dict[str, Dict[str, int]] = {}
         self._initial_marking = Marking()
+        # Bumped on every structural mutation; lets the engine cache its
+        # interned encoding per net (see repro.engine.marking.NetEncoding).
+        self._structure_version = 0
 
     # -- construction ------------------------------------------------------------
     def add_place(self, name: str, capacity: Optional[int] = None) -> Place:
@@ -169,6 +172,7 @@ class PetriNet:
             raise PetriNetError(f"name {name!r} already used by a transition")
         place = Place(name, capacity)
         self._places[name] = place
+        self._structure_version += 1
         return place
 
     def add_transition(self, name: str, label: Optional[str] = None) -> Transition:
@@ -180,6 +184,7 @@ class PetriNet:
         self._transitions[name] = transition
         self._inputs[name] = {}
         self._outputs[name] = {}
+        self._structure_version += 1
         return transition
 
     def add_arc(self, source: str, target: str, weight: int = 1) -> None:
@@ -198,6 +203,7 @@ class PetriNet:
             raise PetriNetError(
                 f"arc must connect a place and a transition: {source!r} -> {target!r}"
             )
+        self._structure_version += 1
 
     def set_initial_marking(self, marking: Mapping[str, int]) -> None:
         for place in marking:

@@ -79,6 +79,11 @@ def build_reachability_graph(
 ) -> ReachabilityGraph:
     """Explore all reachable markings of ``net`` breadth-first.
 
+    Exploration runs on the interned integer encoding of
+    :mod:`repro.engine.marking`; markings and edges come back in the same
+    BFS order (and with the same error behaviour) as the retained
+    :func:`_reference_build_reachability_graph`.
+
     Parameters
     ----------
     net:
@@ -89,6 +94,29 @@ def build_reachability_graph(
     bound:
         If given, raise :class:`UnboundedNetError` as soon as any place
         exceeds ``bound`` tokens.  The STG flow uses ``bound=1`` (safe nets).
+    """
+    from repro.engine.marking import explore_net
+
+    codec, markings, edges = explore_net(net, max_states, bound, UnboundedNetError)
+    graph = ReachabilityGraph(net=net, markings=markings)
+    transition_names = codec.transition_names
+    graph.edges = {
+        (markings[source], transition_names[t]): markings[target]
+        for source, t, target in edges
+    }
+    return graph
+
+
+def _reference_build_reachability_graph(
+    net: PetriNet,
+    max_states: int = 1_000_000,
+    bound: Optional[int] = None,
+) -> ReachabilityGraph:
+    """Pre-engine BFS over :class:`Marking` objects.
+
+    Kept as the oracle for the differential test suite; behaviour
+    (marking order, edge order, raised errors) defines what
+    :func:`build_reachability_graph` must reproduce.
     """
     graph = ReachabilityGraph(net=net)
     initial = net.initial_marking

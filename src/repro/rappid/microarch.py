@@ -159,7 +159,48 @@ class RappidDecoder:
         self.config = config or RappidConfig()
 
     def run(self, instructions: Sequence[Instruction], lines: Sequence[CacheLine]) -> RappidResult:
-        """Simulate the decoding and steering of an instruction stream."""
+        """Simulate the decoding and steering of an instruction stream.
+
+        Delegates to the batched engine runner
+        (:func:`repro.engine.rappid_batch.run_batched`), which performs the
+        same floating-point operations in the same order as the retained
+        :meth:`_reference_run`: every per-instruction time compares equal
+        with ``==``.  Sole exception: ``energy_pj`` is accumulated as one
+        closed-form sum and may differ from the reference in the last ulp.
+        """
+        from repro.engine.rappid_batch import run_batched
+
+        fields = run_batched(self.config, instructions, lines)
+        if fields is None:
+            return RappidResult(
+                config=self.config, instruction_count=0, line_count=0, total_time_ps=0.0
+            )
+        return RappidResult(config=self.config, **fields)
+
+    def run_sharded(
+        self,
+        instructions: Sequence[Instruction],
+        lines: Sequence[CacheLine],
+        shards: int = 2,
+    ) -> RappidResult:
+        """Approximate evaluation of a very large stream across worker processes.
+
+        Shards are line-aligned and stitched sequentially (no tag/buffer
+        state carries across shard seams), so throughput and energy are
+        close to :meth:`run` but not bit-identical; use :meth:`run` when
+        exact figures matter.
+        """
+        from repro.engine.rappid_batch import run_sharded
+
+        fields = run_sharded(self.config, instructions, lines, shards=shards)
+        if fields is None:
+            return RappidResult(
+                config=self.config, instruction_count=0, line_count=0, total_time_ps=0.0
+            )
+        return RappidResult(config=self.config, **fields)
+
+    def _reference_run(self, instructions: Sequence[Instruction], lines: Sequence[CacheLine]) -> RappidResult:
+        """Pre-engine per-instruction loop, kept as the differential oracle."""
         config = self.config
         if not instructions:
             return RappidResult(config=config, instruction_count=0, line_count=0, total_time_ps=0.0)

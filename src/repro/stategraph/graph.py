@@ -11,7 +11,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
-from repro.petrinet.net import Marking
+from repro.petrinet.net import Marking, PetriNetError
 from repro.petrinet.reachability import UnboundedNetError
 from repro.stg.model import (
     Direction,
@@ -198,50 +198,122 @@ def build_state_graph(
 ) -> StateGraph:
     """Construct the full state graph of an STG.
 
+    The BFS runs over interned ``(marking key, code int)`` pairs from the
+    :mod:`repro.engine.marking` encoding -- one bit per signal in the code
+    int, one slot per place in the marking key -- and materialises
+    :class:`State` objects only once per distinct state, in the same BFS
+    discovery order as the naive object-level exploration.
+
     Raises
     ------
     StateGraphError
         If the STG is inconsistent (a transition fires against the current
         signal value) or exploration exceeds ``max_states``.
     """
+    from repro.engine.marking import NetEncoding
+
     signal_order = sorted(stg.signals)
     graph = StateGraph(stg, signal_order)
     net = stg.net
+    num_signals = len(signal_order)
+
+    codec = NetEncoding.for_net(net)
+    consume = codec.consume
+    produce = codec.produce
+    capacities = codec.capacities
+    check_capacity = any(c is not None for c in capacities)
+    # Violations are reported like net.fire would: PetriNetError, naming the
+    # first violating place in sorted-name order.
+    sorted_slots = sorted(
+        range(len(codec.place_names)), key=codec.place_names.__getitem__
+    )
+    transition_names = codec.transition_names
+    # Per transition: None for silent, else (label, signal bit, expected
+    # current value, value after firing).
+    label_info = []
+    for name in transition_names:
+        label = stg.label_of(name)
+        if label is None:
+            label_info.append(None)
+        else:
+            bit = 1 << graph.signal_index(label.signal)
+            label_info.append((label, bit, 0 if label.is_rising else 1, label.is_rising))
+    transitions = range(len(transition_names))
 
     initial_values = stg.initial_state_vector()
-    initial_code = tuple(initial_values[s] for s in signal_order)
-    initial = State(net.initial_marking, initial_code)
-    graph.initial_state = initial
-    graph._add_state(initial)
-    seen: Set[State] = {initial}
-    queue = deque([initial])
+    initial_code = 0
+    for position, signal in enumerate(signal_order):
+        if initial_values[signal]:
+            initial_code |= 1 << position
+    initial_key = (codec.encode(net.initial_marking), initial_code)
 
-    while queue:
-        state = queue.popleft()
-        for transition in net.enabled_transitions(state.marking):
-            label = stg.label_of(transition)
-            code = list(state.code)
-            if label is not None:
-                index = graph.signal_index(label.signal)
-                expected = 0 if label.is_rising else 1
-                if code[index] != expected:
+    # BFS over integer keys; edges reference state indices.
+    keys = [initial_key]
+    index = {initial_key: 0}
+    edges = []
+    head = 0
+    while head < len(keys):
+        marking, code = keys[head]
+        source = head
+        head += 1
+        for t in transitions:
+            enabled = True
+            for slot, weight in consume[t]:
+                if marking[slot] < weight:
+                    enabled = False
+                    break
+            if not enabled:
+                continue
+            info = label_info[t]
+            if info is None:
+                successor_code = code
+            else:
+                label, bit, expected, rising = info
+                if bool(code & bit) != bool(expected):
                     raise StateGraphError(
                         f"inconsistent STG: {label} enabled while "
-                        f"{label.signal}={code[index]}"
+                        f"{label.signal}={(code >> graph.signal_index(label.signal)) & 1}"
                     )
-                code[index] = 1 if label.is_rising else 0
-            successor_marking = net.fire(transition, state.marking)
-            successor = State(successor_marking, tuple(code))
-            if successor not in seen:
-                if len(seen) >= max_states:
+                successor_code = (code | bit) if rising else (code & ~bit)
+            counts = list(marking)
+            for slot, weight in consume[t]:
+                counts[slot] -= weight
+            for slot, weight in produce[t]:
+                counts[slot] += weight
+            if check_capacity:
+                for slot in sorted_slots:
+                    capacity = capacities[slot]
+                    if capacity is not None and counts[slot] > capacity:
+                        raise PetriNetError(
+                            f"firing {transition_names[t]!r} exceeds "
+                            f"capacity of place {codec.place_names[slot]!r}"
+                        )
+            successor_key = (tuple(counts), successor_code)
+            target = index.get(successor_key)
+            if target is None:
+                if len(index) >= max_states:
                     raise StateGraphError(
                         f"state graph exceeds {max_states} states"
                     )
-                seen.add(successor)
-                graph._add_state(successor)
-                queue.append(successor)
-            else:
-                # Use the canonical (already stored) object for dict identity.
-                pass
-            graph._add_edge(state, transition, successor)
+                target = len(keys)
+                index[successor_key] = target
+                keys.append(successor_key)
+            edges.append((source, t, target))
+
+    # Materialise State objects in discovery order; each distinct marking
+    # key is decoded into a Marking exactly once.
+    marking_cache: Dict[Tuple[int, ...], Marking] = {}
+    states: List[State] = []
+    for marking_key, code in keys:
+        decoded = marking_cache.get(marking_key)
+        if decoded is None:
+            decoded = codec.decode(marking_key)
+            marking_cache[marking_key] = decoded
+        code_tuple = tuple((code >> position) & 1 for position in range(num_signals))
+        state = State(decoded, code_tuple)
+        states.append(state)
+        graph._add_state(state)
+    graph.initial_state = states[0]
+    for source, t, target in edges:
+        graph._add_edge(states[source], transition_names[t], states[target])
     return graph

@@ -1,0 +1,31 @@
+"""Shared spec-building helpers importable from any test module.
+
+Lives beside conftest.py (which wraps these in fixtures) under a name
+that cannot collide with benchmarks/conftest.py when pytest collects the
+whole repository.
+"""
+
+from __future__ import annotations
+
+from repro.stg import StgBuilder
+
+
+def build_pipeline(stages: int):
+    """A chain of N four-phase handshakes, each driving the next."""
+    builder = StgBuilder(f"pipe{stages}")
+    builder.input("r0")
+    for stage in range(stages):
+        builder.output(f"a{stage}")
+        if stage < stages - 1:
+            builder.output(f"r{stage + 1}")
+    for stage in range(stages):
+        req = f"r{stage}"
+        ack = f"a{stage}"
+        builder.arc(f"{req}+", f"{ack}+")
+        builder.arc(f"{ack}+", f"{req}-")
+        builder.arc(f"{req}-", f"{ack}-")
+        builder.arc(f"{ack}-", f"{req}+", marked=True)
+        if stage < stages - 1:
+            builder.arc(f"{ack}+", f"r{stage + 1}+")
+            builder.arc(f"r{stage + 1}-", f"{ack}-")
+    return builder.build()

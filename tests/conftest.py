@@ -1,7 +1,9 @@
-"""Shared fixtures.
+"""Shared fixtures and spec-building helpers.
 
 Synthesis runs a few seconds for the FIFO specification, so the expensive
 results are computed once per session and shared across test modules.
+Session-scoped state graphs of the standard specs live here too; the
+parametric handshake-pipeline spec family is in ``_spec_helpers.py``.
 """
 
 from __future__ import annotations
@@ -12,12 +14,25 @@ from repro.circuit.library import STANDARD_LIBRARY
 from repro.circuit.netlist import Netlist
 from repro.core.assumptions import assume
 from repro.stg import specs
+from repro.stategraph import build_state_graph
 from repro.synthesis import (
     synthesize_burst_mode,
     synthesize_rt,
     synthesize_si,
     to_pulse_mode,
 )
+
+
+@pytest.fixture(scope="session")
+def handshake_graph(handshake_stg):
+    """State graph of the simple handshake (read-only in tests)."""
+    return build_state_graph(handshake_stg)
+
+
+@pytest.fixture(scope="session")
+def fifo_graph(fifo_stg):
+    """State graph of the FIFO controller (read-only in tests)."""
+    return build_state_graph(fifo_stg)
 
 
 @pytest.fixture(scope="session")

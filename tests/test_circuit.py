@@ -162,6 +162,45 @@ class TestSimulator:
             simulator.schedule("nope", 1, 0.0)
 
 
+class TestWaveformValueAt:
+    """Regression: pin the query semantics of Waveform.value_at.
+
+    A change recorded exactly at ``time`` must be visible (``<=``, not
+    ``<``), and a query before the first change returns the first recorded
+    value -- the behaviour of the original linear scan, now implemented
+    with bisect.
+    """
+
+    def build(self):
+        from repro.circuit.simulator import Waveform
+
+        return Waveform("n", [(0.0, 0), (10.0, 1), (10.0, 0), (25.0, 1)])
+
+    def test_change_exactly_at_query_time_is_visible(self):
+        waveform = self.build()
+        assert waveform.value_at(25.0) == 1  # not the pre-change 0
+        assert waveform.value_at(24.999) == 0
+
+    def test_last_of_simultaneous_changes_wins(self):
+        waveform = self.build()
+        assert waveform.value_at(10.0) == 0
+
+    def test_query_before_first_change_returns_first_value(self):
+        from repro.circuit.simulator import Waveform
+
+        waveform = Waveform("n", [(5.0, 1)])
+        assert waveform.value_at(0.0) == 1
+
+    def test_empty_waveform_reads_zero(self):
+        from repro.circuit.simulator import Waveform
+
+        assert Waveform("n").value_at(100.0) == 0
+
+    def test_after_last_change(self):
+        waveform = self.build()
+        assert waveform.value_at(1e9) == 1
+
+
 class TestAnalysis:
     def test_cycle_metrics_on_rt_fifo(self, fifo_rt):
         metrics = measure_cycle_metrics(

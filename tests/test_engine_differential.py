@@ -1,0 +1,334 @@
+"""Differential tests: the engine fast paths vs the retained naive code.
+
+Every optimised path introduced by :mod:`repro.engine` keeps its
+pre-engine implementation around (``_reference_build_reachability_graph``,
+``_ReferenceEventDrivenSimulator``, ``RappidDecoder._reference_run``,
+``_reference_value_at``).  These tests drive both sides with seeded random
+inputs -- bounded Petri nets, gate netlists, RAPPID workloads -- and
+assert the results are identical: same markings in the same order, same
+edges, same waveforms, same raised errors.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.circuit.library import STANDARD_LIBRARY
+from repro.circuit.netlist import Netlist
+from repro.circuit.simulator import (
+    EventDrivenSimulator,
+    Waveform,
+    _ReferenceEventDrivenSimulator,
+    _reference_value_at,
+)
+from repro.engine.marking import NetEncoding
+from repro.petrinet.net import PetriNet
+from repro.petrinet.reachability import (
+    UnboundedNetError,
+    _reference_build_reachability_graph,
+    build_reachability_graph,
+)
+from repro.rappid.microarch import RappidConfig, RappidDecoder
+from repro.rappid.workload import WorkloadGenerator
+
+PETRI_SEEDS = range(60)
+NETLIST_SEEDS = range(60)
+RAPPID_SEEDS = range(60)
+
+
+# ---------------------------------------------------------------------------
+# Random generators
+# ---------------------------------------------------------------------------
+
+
+def random_bounded_net(seed: int, unit_weights: bool = False) -> PetriNet:
+    """A random net that cannot gain tokens: per transition, the number of
+    produced tokens never exceeds the number consumed, so every marking is
+    bounded by the initial token count."""
+    rng = random.Random(seed)
+    net = PetriNet(f"rand{seed}")
+    num_places = rng.randint(2, 8)
+    num_transitions = rng.randint(2, 8)
+    places = [f"p{i}" for i in range(num_places)]
+    for place in places:
+        net.add_place(place)
+    for j in range(num_transitions):
+        name = f"t{j}"
+        net.add_transition(name)
+        fan_in = rng.randint(1, min(3, num_places))
+        inputs = rng.sample(places, fan_in)
+        outputs = rng.sample(places, rng.randint(1, fan_in))
+        for place in inputs:
+            weight = 1 if unit_weights or rng.random() < 0.8 else 2
+            net.add_arc(place, name, weight)
+        for place in outputs:
+            net.add_arc(name, place)
+    if unit_weights:
+        marking = {p: rng.randint(0, 1) for p in places}
+    else:
+        marking = {p: rng.randint(0, 2) for p in places}
+    if not any(marking.values()):
+        marking[rng.choice(places)] = 1
+    net.set_initial_marking(marking)
+    return net
+
+
+_COMBINATIONAL = ["INV", "BUF", "AND2", "OR2", "NAND2", "NOR2", "XOR2"]
+
+
+def random_dag_netlist(seed: int) -> Netlist:
+    """A random feed-forward netlist (no loops, so it cannot oscillate)."""
+    rng = random.Random(seed)
+    netlist = Netlist(f"dag{seed}")
+    num_inputs = rng.randint(2, 4)
+    available = []
+    for i in range(num_inputs):
+        net = netlist.add_primary_input(f"in{i}", initial=rng.randint(0, 1))
+        available.append(net)
+    num_gates = rng.randint(3, 12)
+    for g in range(num_gates):
+        gate_type = STANDARD_LIBRARY.get(rng.choice(_COMBINATIONAL))
+        inputs = [rng.choice(available) for _ in range(gate_type.num_inputs)]
+        output = f"n{g}"
+        netlist.add_gate(f"g{g}", gate_type, inputs, output)
+        available.append(output)
+    out = netlist.add_primary_output("out")
+    netlist.add_gate(
+        "g_out", STANDARD_LIBRARY.get("BUF"), [rng.choice(available[num_inputs:])], out
+    )
+    return netlist
+
+
+def random_stimuli(rng: random.Random, netlist: Netlist):
+    events = []
+    time = 0.0
+    for _ in range(rng.randint(3, 15)):
+        time += rng.uniform(10.0, 300.0)
+        events.append((rng.choice(netlist.primary_inputs), rng.randint(0, 1), time))
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Petri net reachability
+# ---------------------------------------------------------------------------
+
+
+def _graph_signature(graph):
+    return (
+        list(graph.markings),
+        dict(graph.edges),
+        [hash(m) for m in graph.markings],
+    )
+
+
+class TestReachabilityDifferential:
+    @pytest.mark.parametrize("seed", PETRI_SEEDS)
+    def test_random_bounded_nets_match(self, seed):
+        net = random_bounded_net(seed)
+        fast = build_reachability_graph(net, max_states=5_000)
+        reference = _reference_build_reachability_graph(net, max_states=5_000)
+        assert _graph_signature(fast) == _graph_signature(reference)
+
+    @pytest.mark.parametrize("seed", PETRI_SEEDS)
+    def test_random_safe_nets_with_bound_match(self, seed):
+        """bound=1 exercises the bitmask path; errors must match too."""
+        net = random_bounded_net(seed, unit_weights=True)
+        fast_error = reference_error = None
+        fast = reference = None
+        try:
+            fast = build_reachability_graph(net, max_states=5_000, bound=1)
+        except UnboundedNetError as exc:
+            fast_error = str(exc)
+        try:
+            reference = _reference_build_reachability_graph(
+                net, max_states=5_000, bound=1
+            )
+        except UnboundedNetError as exc:
+            reference_error = str(exc)
+        assert fast_error == reference_error
+        if reference is not None:
+            assert _graph_signature(fast) == _graph_signature(reference)
+
+    def test_state_cap_error_matches(self):
+        net = PetriNet("producer")
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_arc("t", "p")
+        net.set_initial_marking({})
+        with pytest.raises(UnboundedNetError) as fast_exc:
+            build_reachability_graph(net, max_states=40)
+        with pytest.raises(UnboundedNetError) as reference_exc:
+            _reference_build_reachability_graph(net, max_states=40)
+        assert str(fast_exc.value) == str(reference_exc.value)
+
+
+# ---------------------------------------------------------------------------
+# Event-driven simulation
+# ---------------------------------------------------------------------------
+
+
+def _trace_signature(trace):
+    return (
+        {net: waveform.changes for net, waveform in trace.waveforms.items()},
+        trace.final_values,
+        trace.end_time,
+        trace.event_count,
+    )
+
+
+class TestSimulatorDifferential:
+    @pytest.mark.parametrize("seed", NETLIST_SEEDS)
+    def test_random_netlists_produce_identical_waveforms(self, seed):
+        rng = random.Random(seed * 7919 + 1)
+        netlist = random_dag_netlist(seed)
+        stimuli = random_stimuli(rng, netlist)
+        jitter = rng.choice([0.0, 0.0, 0.1])
+
+        def run(simulator_class):
+            simulator = simulator_class(netlist, delay_jitter=jitter, seed=seed)
+            for net, value, time in stimuli:
+                simulator.schedule(net, value, time)
+            return simulator.run(duration_ps=5_000.0, max_events=50_000)
+
+        assert _trace_signature(run(EventDrivenSimulator)) == _trace_signature(
+            run(_ReferenceEventDrivenSimulator)
+        )
+
+    def test_settle_matches_on_feedback_circuit(self):
+        """A C-element (sequential, with feedback) settles identically."""
+        def build():
+            netlist = Netlist("c")
+            netlist.add_primary_input("a")
+            netlist.add_primary_input("b")
+            netlist.add_primary_output("y")
+            netlist.add_gate("c", STANDARD_LIBRARY.get("C2"), ["a", "b"], "y")
+            return netlist
+
+        def run(simulator_class):
+            simulator = simulator_class(build())
+            simulator.schedule("a", 1, 10.0)
+            simulator.schedule("b", 1, 30.0)
+            simulator.schedule("a", 0, 200.0)
+            return simulator.settle()
+
+        assert _trace_signature(run(EventDrivenSimulator)) == _trace_signature(
+            run(_ReferenceEventDrivenSimulator)
+        )
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_value_at_matches_reference_scan(self, seed):
+        rng = random.Random(seed)
+        waveform = Waveform("n")
+        time = 0.0
+        for _ in range(rng.randint(0, 12)):
+            waveform.record(time, rng.randint(0, 1))
+            time += rng.choice([0.0, rng.uniform(0.1, 50.0)])
+        probes = [rng.uniform(-10.0, time + 10.0) for _ in range(20)]
+        probes.extend(t for t, _v in waveform.changes)  # exact hit times
+        for probe in probes:
+            assert waveform.value_at(probe) == _reference_value_at(waveform, probe)
+
+
+# ---------------------------------------------------------------------------
+# RAPPID batched runner
+# ---------------------------------------------------------------------------
+
+
+def _rappid_signature(result):
+    return (
+        result.instruction_count,
+        result.line_count,
+        result.total_time_ps,
+        result.issue_times_ps,
+        result.instruction_latencies_ps,
+        result.tag_intervals_ps,
+        result.line_intervals_ps,
+        result.steer_intervals_ps,
+    )
+
+
+class TestRappidDifferential:
+    @pytest.mark.parametrize("seed", RAPPID_SEEDS)
+    def test_batched_run_matches_reference(self, seed):
+        rng = random.Random(seed)
+        config = RappidConfig(
+            rows=rng.randint(1, 6),
+            prefetch_depth=rng.randint(1, 4),
+        )
+        generator = WorkloadGenerator(seed=seed)
+        if rng.random() < 0.3:
+            instructions = generator.fixed_length_instructions(
+                rng.randint(1, 400), rng.randint(1, 11)
+            )
+        else:
+            instructions = generator.instructions(rng.randint(1, 400))
+        lines = generator.cache_lines(instructions)
+        decoder = RappidDecoder(config)
+        fast = decoder.run(instructions, lines)
+        reference = decoder._reference_run(instructions, lines)
+        assert _rappid_signature(fast) == _rappid_signature(reference)
+        assert math.isclose(fast.energy_pj, reference.energy_pj, rel_tol=1e-9)
+
+    def test_fractional_calibration_takes_fallback_and_matches(self):
+        """Non-integer cycle time disables the vectorised steering scan."""
+        config = RappidConfig(output_buffer_cycle_ps=380.25)
+        generator = WorkloadGenerator(seed=11)
+        instructions, lines = generator.workload(500)
+        decoder = RappidDecoder(config)
+        assert _rappid_signature(decoder.run(instructions, lines)) == _rappid_signature(
+            decoder._reference_run(instructions, lines)
+        )
+
+    def test_empty_stream(self):
+        decoder = RappidDecoder()
+        assert decoder.run([], []).instruction_count == 0
+
+    def test_sharded_run_is_exact_below_threshold(self):
+        """Tiny streams skip stitching entirely (identical results)."""
+        generator = WorkloadGenerator(seed=5)
+        instructions, lines = generator.workload(200)
+        decoder = RappidDecoder()
+        assert _rappid_signature(
+            decoder.run_sharded(instructions, lines, shards=8)
+        ) == _rappid_signature(decoder.run(instructions, lines))
+
+    def test_sharded_run_approximates_reference(self):
+        generator = WorkloadGenerator(seed=3)
+        instructions, lines = generator.workload(8_000)
+        decoder = RappidDecoder()
+        exact = decoder.run(instructions, lines)
+        sharded = decoder.run_sharded(instructions, lines, shards=2)
+        assert sharded.instruction_count == exact.instruction_count
+        assert math.isclose(sharded.energy_pj, exact.energy_pj, rel_tol=1e-9)
+        # Stitched shards ignore cross-seam warm-up: close, not identical.
+        assert sharded.total_time_ps == pytest.approx(exact.total_time_ps, rel=0.05)
+        assert sharded.throughput_instructions_per_ns == pytest.approx(
+            exact.throughput_instructions_per_ns, rel=0.05
+        )
+
+
+# ---------------------------------------------------------------------------
+# State graph (ported construction) vs reachability cross-check
+# ---------------------------------------------------------------------------
+
+
+class TestEncodingConsistency:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_codec_cache_invalidated_by_mutation(self, seed):
+        net = random_bounded_net(seed)
+        codec = NetEncoding.for_net(net)
+        assert NetEncoding.for_net(net) is codec  # cached
+        net.add_place("extra_place")
+        rebuilt = NetEncoding.for_net(net)
+        assert rebuilt is not codec
+        assert "extra_place" in rebuilt.place_index
+
+    @pytest.mark.parametrize("seed", PETRI_SEEDS)
+    def test_reachable_marking_sets_equal_as_sets(self, seed):
+        """Order aside, the reachable SETS agree (belt and braces)."""
+        net = random_bounded_net(seed)
+        fast = build_reachability_graph(net, max_states=5_000)
+        reference = _reference_build_reachability_graph(net, max_states=5_000)
+        assert set(fast.markings) == set(reference.markings)
+        assert len(fast.markings) == len(reference.markings)

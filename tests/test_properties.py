@@ -1,12 +1,21 @@
-"""Property-based tests on core data structures and flow invariants."""
+"""Property-based tests on core data structures and flow invariants.
+
+The first half uses hypothesis; the engine-related properties at the
+bottom use stdlib ``random`` with fixed seeds so they add no dependency
+surface.
+"""
 
 import itertools
+import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.petrinet import Marking
-from repro.stg import StgBuilder, validate_stg
+from repro.circuit.simulator import EventDrivenSimulator
+from repro.engine.marking import EncodingError, NetEncoding
+from repro.petrinet import Marking, build_reachability_graph
+from repro.stg import validate_stg
 from repro.stategraph import build_state_graph, find_csc_conflicts
 from repro.synthesis.logic import derive_function_specs, synthesize_covers
 
@@ -53,24 +62,8 @@ def pipeline_spec(draw):
     return stages
 
 
-def build_pipeline(stages: int):
-    builder = StgBuilder(f"pipe{stages}")
-    builder.input("r0")
-    for stage in range(stages):
-        builder.output(f"a{stage}")
-        if stage < stages - 1:
-            builder.output(f"r{stage + 1}")
-    for stage in range(stages):
-        req = f"r{stage}"
-        ack = f"a{stage}"
-        builder.arc(f"{req}+", f"{ack}+")
-        builder.arc(f"{ack}+", f"{req}-")
-        builder.arc(f"{req}-", f"{ack}-")
-        builder.arc(f"{ack}-", f"{req}+", marked=True)
-        if stage < stages - 1:
-            builder.arc(f"{ack}+", f"r{stage + 1}+")
-            builder.arc(f"r{stage + 1}-", f"{ack}-")
-    return builder.build()
+# The pipeline family lives beside conftest so other modules can share it.
+from _spec_helpers import build_pipeline  # noqa: E402
 
 
 class TestFlowInvariants:
@@ -113,3 +106,139 @@ class TestFlowInvariants:
             for position, (before, after) in enumerate(zip(state.code, successor.code)):
                 if position != index:
                     assert before == after
+
+
+# ---------------------------------------------------------------------------
+# Engine properties (stdlib random, fixed seeds -- no new dependencies)
+# ---------------------------------------------------------------------------
+
+
+class TestReachabilityMonotonicity:
+    """Adding tokens never disables behaviour (Petri net monotonicity)."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_firing_sequences_survive_token_addition(self, seed):
+        from test_engine_differential import random_bounded_net
+
+        rng = random.Random(seed)
+        net = random_bounded_net(seed)
+        base = net.initial_marking
+
+        # Walk a random enabled firing sequence from the base marking.
+        sequence = []
+        current = base
+        for _ in range(rng.randint(1, 12)):
+            enabled = net.enabled_transitions(current)
+            if not enabled:
+                break
+            choice = rng.choice(enabled)
+            sequence.append(choice)
+            current = net.fire(choice, current)
+
+        extra_place = rng.choice([p.name for p in net.places])
+        richer = base.add({extra_place: 1})
+
+        # Every transition enabled in the base marking stays enabled.
+        assert set(net.enabled_transitions(base)) <= set(
+            net.enabled_transitions(richer)
+        )
+        # The same sequence fires, landing exactly one token higher.
+        final = net.fire_sequence(sequence, richer)
+        assert final == current.add({extra_place: 1})
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_reachable_set_grows_pointwise(self, seed):
+        """Each marking reachable from M0 is reachable from M0+e, shifted."""
+        from test_engine_differential import random_bounded_net
+
+        rng = random.Random(seed + 1000)
+        net = random_bounded_net(seed)
+        extra_place = rng.choice([p.name for p in net.places])
+
+        graph = build_reachability_graph(net, max_states=2_000)
+        richer_net = net.copy()
+        richer_net.set_initial_marking(
+            net.initial_marking.add({extra_place: 1}).as_dict()
+        )
+        richer_reachable = set(
+            build_reachability_graph(richer_net, max_states=20_000).markings
+        )
+        for marking in graph.markings:
+            assert marking.add({extra_place: 1}) in richer_reachable
+
+
+class TestSimulatorDeterminism:
+    @pytest.mark.parametrize("seed", range(50))
+    def test_same_seed_same_waveforms(self, seed):
+        from test_engine_differential import random_dag_netlist, random_stimuli
+
+        rng = random.Random(seed)
+        netlist = random_dag_netlist(seed)
+        stimuli = random_stimuli(rng, netlist)
+
+        def run():
+            simulator = EventDrivenSimulator(
+                netlist, delay_jitter=0.2, seed=seed
+            )
+            for net, value, time in stimuli:
+                simulator.schedule(net, value, time)
+            trace = simulator.run(duration_ps=5_000.0, max_events=50_000)
+            return (
+                {net: w.changes for net, w in trace.waveforms.items()},
+                trace.final_values,
+                trace.event_count,
+            )
+
+        assert run() == run()
+
+
+class TestMarkingEncodingRoundTrip:
+    @pytest.mark.parametrize("seed", range(50))
+    def test_decode_encode_identity(self, seed):
+        from test_engine_differential import random_bounded_net
+
+        rng = random.Random(seed)
+        net = random_bounded_net(seed)
+        codec = NetEncoding.for_net(net)
+        places = [p.name for p in net.places]
+        for _ in range(20):
+            tokens = {p: rng.randint(0, 3) for p in places}
+            marking = Marking(tokens)
+            key = codec.encode(marking)
+            # decode(encode(x)) == x, including the hash contract.
+            decoded = codec.decode(key)
+            assert decoded == marking
+            assert hash(decoded) == hash(marking)
+            # encode(decode(k)) == k
+            assert codec.encode(decoded) == key
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_bitmask_roundtrip_on_safe_markings(self, seed):
+        from test_engine_differential import random_bounded_net
+
+        rng = random.Random(seed + 31)
+        net = random_bounded_net(seed, unit_weights=True)
+        codec = NetEncoding.for_net(net)
+        places = [p.name for p in net.places]
+        for _ in range(20):
+            tokens = {p: rng.randint(0, 1) for p in places}
+            marking = Marking(tokens)
+            bits = codec.encode_bits(marking)
+            decoded = codec.decode_bits(bits)
+            assert decoded == marking
+            assert hash(decoded) == hash(marking)
+            assert codec.encode_bits(decoded) == bits
+
+    def test_unsafe_marking_rejected_by_bitmask(self):
+        from repro.petrinet import PetriNet
+
+        net = PetriNet("unsafe")
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.set_initial_marking({"p": 1})
+        codec = NetEncoding.for_net(net)
+        with pytest.raises(EncodingError):
+            codec.encode_bits(Marking({"p": 2}))
+        with pytest.raises(EncodingError):
+            codec.encode(Marking({"not_a_place": 1}))

@@ -17,41 +17,54 @@ from repro.stategraph.regions import backward_closure, forward_closure, region_e
 
 
 class TestStateGraph:
-    def test_handshake_has_four_states(self):
-        graph = build_state_graph(specs.simple_handshake())
-        assert len(graph) == 4
-        assert graph.initial_state is not None
-        assert graph.code_string(graph.initial_state) == "00"
+    def test_handshake_has_four_states(self, handshake_graph):
+        assert len(handshake_graph) == 4
+        assert handshake_graph.initial_state is not None
+        assert handshake_graph.code_string(handshake_graph.initial_state) == "00"
 
-    def test_codes_follow_transitions(self):
-        graph = build_state_graph(specs.simple_handshake())
+    def test_codes_follow_transitions(self, handshake_graph):
+        graph = handshake_graph
         state = graph.initial_state
         (transition, successor) = graph.successors(state)[0]
         label = graph.stg.label_of(transition)
         assert label.signal == "req" and label.is_rising
         assert graph.value(successor, "req") == 1
 
-    def test_next_value_reflects_excitation(self):
-        graph = build_state_graph(specs.simple_handshake())
-        state = graph.initial_state
+    def test_next_value_reflects_excitation(self, handshake_graph):
+        state = handshake_graph.initial_state
         # In the initial state req+ is enabled: next value of req is 1,
         # ack is stable at 0.
-        assert graph.next_value(state, "req") == 1
-        assert graph.next_value(state, "ack") == 0
+        assert handshake_graph.next_value(state, "req") == 1
+        assert handshake_graph.next_value(state, "ack") == 0
 
-    def test_on_off_sets_partition_states(self):
-        graph = build_state_graph(specs.simple_handshake())
-        on = graph.on_set("ack")
-        off = graph.off_set("ack")
-        assert on | off == graph.reachable_codes()
+    def test_on_off_sets_partition_states(self, handshake_graph):
+        on = handshake_graph.on_set("ack")
+        off = handshake_graph.off_set("ack")
+        assert on | off == handshake_graph.reachable_codes()
 
-    def test_fifo_state_count(self):
-        graph = build_state_graph(specs.fifo_controller())
-        assert len(graph) == 32
+    def test_fifo_state_count(self, fifo_graph):
+        assert len(fifo_graph) == 32
 
     def test_state_cap_enforced(self):
         with pytest.raises(StateGraphError):
             build_state_graph(specs.fifo_controller(), max_states=5)
+
+    def test_capacity_violation_raises_petrinet_error(self):
+        """Capacity overflow surfaces as PetriNetError, as net.fire raised."""
+        from repro.petrinet.net import PetriNetError
+        from repro.stg import SignalTransition, StgBuilder
+
+        builder = StgBuilder("cap")
+        builder.input("a")
+        stg = builder.build()
+        stg.add_transition(SignalTransition.parse("a+"), name="a+")
+        start = stg.add_place("start")
+        stg.add_arc(start, "a+")
+        stg.net.add_place("bucket", capacity=1)
+        stg.add_arc("a+", "bucket")
+        stg.set_initial_marking({"start": 1, "bucket": 1})
+        with pytest.raises(PetriNetError):
+            build_state_graph(stg)
 
     def test_copy_without_edges_prunes_unreachable(self):
         graph = build_state_graph(specs.simple_handshake())
@@ -63,8 +76,8 @@ class TestStateGraph:
 
 
 class TestRegions:
-    def test_excitation_and_quiescent_partition(self):
-        graph = build_state_graph(specs.simple_handshake())
+    def test_excitation_and_quiescent_partition(self, handshake_graph):
+        graph = handshake_graph
         rising = excitation_region(graph, "ack", Direction.RISE)
         falling = excitation_region(graph, "ack", Direction.FALL)
         stable0 = quiescent_region(graph, "ack", 0)
@@ -72,30 +85,27 @@ class TestRegions:
         total = len(rising) + len(falling) + len(stable0) + len(stable1)
         assert total == len(graph)
 
-    def test_forward_and_backward_closure(self):
-        graph = build_state_graph(specs.simple_handshake())
+    def test_forward_and_backward_closure(self, handshake_graph):
+        graph = handshake_graph
         assert forward_closure(graph, [graph.initial_state]) == set(graph.states)
         assert backward_closure(graph, [graph.initial_state]) == set(graph.states)
 
-    def test_region_entry_states(self):
-        graph = build_state_graph(specs.simple_handshake())
-        region = excitation_region(graph, "ack", Direction.RISE)
-        entries = region_entry_states(graph, region)
+    def test_region_entry_states(self, handshake_graph):
+        region = excitation_region(handshake_graph, "ack", Direction.RISE)
+        entries = region_entry_states(handshake_graph, region)
         assert entries <= region
         assert entries
 
 
 class TestEncoding:
-    def test_handshake_has_csc(self):
-        graph = build_state_graph(specs.simple_handshake())
-        assert not find_csc_conflicts(graph)
-        assert not find_usc_conflicts(graph)
+    def test_handshake_has_csc(self, handshake_graph):
+        assert not find_csc_conflicts(handshake_graph)
+        assert not find_usc_conflicts(handshake_graph)
 
-    def test_fifo_violates_csc(self):
-        graph = build_state_graph(specs.fifo_controller())
-        conflicts = find_csc_conflicts(graph)
+    def test_fifo_violates_csc(self, fifo_graph):
+        conflicts = find_csc_conflicts(fifo_graph)
         assert conflicts
-        assert find_usc_conflicts(graph)
+        assert find_usc_conflicts(fifo_graph)
         # Conflicts are on non-input signals only.
         assert all(c.signal in ("lo", "ro") for c in conflicts)
 

@@ -21,30 +21,26 @@ from repro.synthesis.logic import (
 
 
 class TestLogicDerivation:
-    def test_handshake_equation(self):
-        graph = build_state_graph(specs.simple_handshake())
-        covers = synthesize_covers(derive_function_specs(graph))
+    def test_handshake_equation(self, handshake_graph):
+        covers = synthesize_covers(derive_function_specs(handshake_graph))
         # The acknowledge simply follows the request: ack = req.
         cover = covers["ack"]
-        assert cover.to_string(graph.signal_order) in ("req", "req ")
+        assert cover.to_string(handshake_graph.signal_order) in ("req", "req ")
 
-    def test_csc_violation_raises(self):
-        graph = build_state_graph(specs.fifo_controller())
+    def test_csc_violation_raises(self, fifo_graph):
         with pytest.raises(SynthesisError):
-            derive_function_specs(graph)
+            derive_function_specs(fifo_graph)
 
-    def test_function_spec_dc_partition(self):
-        graph = build_state_graph(specs.simple_handshake())
-        spec = derive_function_specs(graph)["ack"]
+    def test_function_spec_dc_partition(self, handshake_graph):
+        spec = derive_function_specs(handshake_graph)["ack"]
         assert spec.is_consistent()
         universe = 2 ** spec.num_vars
         assert len(spec.on_codes) + len(spec.off_codes) + len(spec.dc_codes()) == universe
 
-    def test_netlist_construction(self):
-        graph = build_state_graph(specs.simple_handshake())
+    def test_netlist_construction(self, handshake_graph):
         stg = specs.simple_handshake()
-        covers = synthesize_covers(derive_function_specs(graph))
-        netlist = covers_to_netlist(stg, covers, graph.signal_order)
+        covers = synthesize_covers(derive_function_specs(handshake_graph))
+        netlist = covers_to_netlist(stg, covers, handshake_graph.signal_order)
         netlist.validate()
         assert netlist.primary_inputs == ["req"]
         assert netlist.primary_outputs == ["ack"]
