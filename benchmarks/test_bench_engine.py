@@ -6,7 +6,10 @@ replaced (and which remains in-tree for differential testing):
 * reachability of the paper's FIFO/ring STGs via the interned marking
   encoding is >= 3x faster than the Marking-object BFS;
 * a 10k-cache-line RAPPID workload through the batched runner is >= 3x
-  faster than the per-instruction reference loop.
+  faster than the per-instruction reference loop;
+* ``run_sharded`` is bit-identical to ``run`` at 10k/100k-cache-line
+  scale and (on multi-CPU hosts, full mode) faster wall-clock; its
+  instructions/sec trajectory is written to ``BENCH_sharded.json``.
 
 Timing methodology: the two sides are measured interleaved (reference,
 fast, reference, fast, ...) taking each side's best round, so a noisy
@@ -21,6 +24,7 @@ checked, making the quick mode a functional smoke test.
 """
 
 import gc
+import json
 import os
 import time
 
@@ -131,6 +135,93 @@ def test_bench_engine_rappid_speedup():
     if not QUICK:
         assert speedup >= REQUIRED_SPEEDUP, (
             f"rappid engine speedup {speedup:.2f}x below {REQUIRED_SPEEDUP}x target"
+        )
+
+
+def test_bench_engine_sharded_exact_and_summary():
+    """run_sharded vs run: bit-identity at scale plus a perf trajectory.
+
+    Emits ``BENCH_sharded.json`` at the repo root (instructions/sec of
+    ``run`` vs ``run_sharded`` at 10k and 100k cache lines) so future PRs
+    can compare against a machine-readable baseline; scripts/check.sh
+    surfaces it.  The wall-clock assertion (sharded beats monolithic on
+    the 100k-line stream) only applies in full mode on multi-CPU hosts --
+    worker processes cannot beat a single loop on one core, and quick
+    mode skips timing assertions entirely (but still checks identity and
+    still writes the summary, marked ``"quick": true``).
+    """
+    from repro.engine.rappid_batch import _worker_count
+
+    # ~4.56 instructions per 16-byte line: 45_600 / 456_000 instructions
+    # span >=10k / >=100k cache lines respectively.
+    stream_sizes = {"1k_lines": 4_600} if QUICK else {
+        "10k_lines": 45_600,
+        "100k_lines": 456_000,
+    }
+    cpus = _worker_count()
+    shards = max(2, min(8, cpus))
+    summary = {
+        "quick": QUICK,
+        "cpu_count": cpus,
+        "shards": shards,
+        "streams": {},
+    }
+    speedup_on_largest = 0.0
+    for label, count in stream_sizes.items():
+        generator = WorkloadGenerator(seed=7)
+        instructions = generator.instructions(count)
+        lines = generator.cache_lines(instructions)
+        decoder = RappidDecoder()
+
+        exact = decoder.run(instructions, lines)
+        # Pin the worker-pool protocol's bit-identity at scale even on
+        # single-CPU hosts (where the timed auto mode below delegates).
+        sharded = decoder.run_sharded(
+            instructions,
+            lines,
+            shards=shards,
+            min_shard_instructions=64,
+            use_processes=True,
+        )
+        assert sharded.issue_times_ps == exact.issue_times_ps
+        assert sharded.instruction_latencies_ps == exact.instruction_latencies_ps
+        assert sharded.tag_intervals_ps == exact.tag_intervals_ps
+        assert sharded.line_intervals_ps == exact.line_intervals_ps
+        assert sharded.steer_intervals_ps == exact.steer_intervals_ps
+        assert sharded.total_time_ps == exact.total_time_ps
+        assert sharded.energy_pj == exact.energy_pj
+        del exact, sharded
+
+        run_time, sharded_time = _interleaved_best(
+            lambda: decoder.run(instructions, lines),
+            lambda: decoder.run_sharded(
+                instructions, lines, shards=shards, min_shard_instructions=64
+            ),
+            rounds=2 if QUICK else 3,
+        )
+        speedup = run_time / sharded_time
+        summary["streams"][label] = {
+            "instructions": count,
+            "lines": len(lines),
+            "run_ips": round(count / run_time),
+            "sharded_ips": round(count / sharded_time),
+            "sharded_speedup": round(speedup, 3),
+        }
+        speedup_on_largest = speedup
+        print(
+            f"\n[bench-engine] sharded {label}: run {run_time * 1e3:.2f} ms, "
+            f"sharded({shards}) {sharded_time * 1e3:.2f} ms -> {speedup:.2f}x"
+        )
+
+    out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_sharded.json")
+    with open(out_path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    if not QUICK and cpus > 1:
+        assert speedup_on_largest > 1.0, (
+            f"run_sharded should beat run() wall-clock on {cpus} CPUs, got "
+            f"{speedup_on_largest:.2f}x on the largest stream"
         )
 
 

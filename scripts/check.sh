@@ -21,4 +21,12 @@ else
     echo "== benchmarks (quick smoke) =="
     REPRO_BENCH_QUICK=1 python -m pytest -q benchmarks
 fi
+
+# Machine-readable perf trajectory: run vs run_sharded instructions/sec,
+# written by benchmarks/test_bench_engine.py (quick mode marks the file
+# "quick": true and skips the timing assertions).
+if [[ -f BENCH_sharded.json ]]; then
+    echo "== sharded benchmark summary (BENCH_sharded.json) =="
+    cat BENCH_sharded.json
+fi
 echo "check.sh: OK"

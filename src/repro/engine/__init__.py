@@ -55,8 +55,12 @@ When delegation kicks in
   floating-point operations in the same order as the retained
   ``RappidDecoder._reference_run`` (bit-identical results) after
   collapsing the latency models into lookup tables and the instruction
-  stream into flat arrays.  ``run_sharded`` adds an optional,
-  explicitly approximate multiprocessing path for very large workloads.
+  stream into flat arrays.  ``run_batched`` accepts an explicit
+  :class:`~repro.engine.rappid_batch.ShardState` carry so evaluation can
+  start from any seam and report its carry-out; ``run_sharded`` builds on
+  that to evaluate very large workloads across worker processes (compact
+  flat-array IPC, parallel cold-seam solves, exact warm seam fix-up) with
+  results **bit-identical** to ``run``.
 
 Invariants relied on by the differential suite
 ----------------------------------------------
@@ -68,13 +72,14 @@ including raised errors -- are indistinguishable from the naive code.
 
 from repro.engine.events import CompiledNetlist, EventQueue
 from repro.engine.marking import EncodingError, NetEncoding, explore_net
-from repro.engine.rappid_batch import run_batched, run_sharded
+from repro.engine.rappid_batch import ShardState, run_batched, run_sharded
 
 __all__ = [
     "CompiledNetlist",
     "EncodingError",
     "EventQueue",
     "NetEncoding",
+    "ShardState",
     "explore_net",
     "run_batched",
     "run_sharded",

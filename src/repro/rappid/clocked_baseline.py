@@ -34,6 +34,7 @@ class ClockedConfig:
     frequency_mhz: float = 400.0
     decoders_per_cycle: int = 3        # instructions length-decoded per clock
     pipeline_stages: int = 2           # fetch-align + decode/steer
+    line_bytes: int = 16               # cache line geometry (matches RappidConfig)
     line_fetch_cycles: int = 0         # line prefetch hides the fetch cycle
     # Power model: energy per clock for the always-switching portion (clock
     # tree, latches, precharge) plus per-instruction decode energy.
@@ -128,8 +129,9 @@ class ClockedDecoder:
         for instruction in instructions:
             # A new cache line re-aligns the decoders (and may cost a fetch
             # cycle when prefetch cannot hide it).
-            if instruction.line_index > current_line:
-                current_line = instruction.line_index
+            line_index = instruction.line_of(config.line_bytes)
+            if line_index > current_line:
+                current_line = line_index
                 cycle += config.line_fetch_cycles
                 if decoded_in_cycle:
                     cycle += 1

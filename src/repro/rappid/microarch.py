@@ -37,7 +37,12 @@ from repro.rappid.workload import CacheLine, Instruction
 
 @dataclass
 class RappidConfig:
-    """Structural and calibration parameters of the RAPPID model."""
+    """Structural and calibration parameters of the RAPPID model.
+
+    ``prefetch_depth`` must be at least 1 (a line's arrival is defined
+    relative to the consumption of the line ``prefetch_depth`` earlier);
+    the run entry points reject depth 0 with a ``ValueError``.
+    """
 
     columns: int = 16                 # byte columns / parallel length decoders
     rows: int = 4                     # output buffers (issue width)
@@ -182,17 +187,34 @@ class RappidDecoder:
         instructions: Sequence[Instruction],
         lines: Sequence[CacheLine],
         shards: int = 2,
+        min_shard_instructions: int = 1_024,
+        use_processes: Optional[bool] = None,
     ) -> RappidResult:
-        """Approximate evaluation of a very large stream across worker processes.
+        """Exact evaluation of a very large stream across worker processes.
 
-        Shards are line-aligned and stitched sequentially (no tag/buffer
-        state carries across shard seams), so throughput and energy are
-        close to :meth:`run` but not bit-identical; use :meth:`run` when
-        exact figures matter.
+        Line-aligned shards are solved in parallel from cold seam states
+        on compact flat arrays, then stitched onto the true warm
+        trajectory by an exact seam fix-up (see
+        :mod:`repro.engine.rappid_batch`): every measurement field is
+        **bit-identical** to :meth:`run`, including ``energy_pj`` (both
+        accumulate the same closed-form sum, which may differ from
+        :meth:`_reference_run` in the last ulp).  Streams shorter than
+        ``min_shard_instructions`` per shard are evaluated directly.
+        ``use_processes``: ``None`` (default) spawns workers on multi-CPU
+        hosts and delegates to the monolithic runner on single-CPU ones;
+        ``True``/``False`` force the pool / the in-process protocol --
+        results are identical on every path.
         """
         from repro.engine.rappid_batch import run_sharded
 
-        fields = run_sharded(self.config, instructions, lines, shards=shards)
+        fields = run_sharded(
+            self.config,
+            instructions,
+            lines,
+            shards=shards,
+            min_shard_instructions=min_shard_instructions,
+            use_processes=use_processes,
+        )
         if fields is None:
             return RappidResult(
                 config=self.config, instruction_count=0, line_count=0, total_time_ps=0.0
@@ -201,7 +223,10 @@ class RappidDecoder:
 
     def _reference_run(self, instructions: Sequence[Instruction], lines: Sequence[CacheLine]) -> RappidResult:
         """Pre-engine per-instruction loop, kept as the differential oracle."""
+        from repro.engine.rappid_batch import _validate_config
+
         config = self.config
+        _validate_config(config)
         if not instructions:
             return RappidResult(config=config, instruction_count=0, line_count=0, total_time_ps=0.0)
 
@@ -219,7 +244,11 @@ class RappidDecoder:
                 line_arrival[line_index] = 0.0
             else:
                 blocker = line_index - config.prefetch_depth
-                previous_done = line_consumed.get(blocker, arrival_of(blocker))
+                # Explicit None check: a .get() default would evaluate the
+                # recursion eagerly even when the blocker is already consumed.
+                previous_done = line_consumed.get(blocker)
+                if previous_done is None:
+                    previous_done = arrival_of(blocker)
                 line_arrival[line_index] = previous_done + config.line_fetch_latency_ps
             return line_arrival[line_index]
 
@@ -234,7 +263,7 @@ class RappidDecoder:
         previous_length = None
 
         for position, instruction in enumerate(instructions):
-            first_line = instruction.line_index
+            first_line = instruction.start_byte // config.line_bytes
             last_line = (instruction.start_byte + instruction.length - 1) // config.line_bytes
             bytes_available = max(arrival_of(line) for line in range(first_line, last_line + 1))
 

@@ -31,19 +31,25 @@ class Instruction:
     instruction_class: InstructionClass
     start_byte: int  # absolute byte offset in the stream
 
+    def line_of(self, line_bytes: int = 16) -> int:
+        """Cache line holding the first byte, for a given line geometry."""
+        return self.start_byte // line_bytes
+
     @property
     def line_index(self) -> int:
+        """``line_of`` for the default 16-byte lines (use :meth:`line_of`
+        whenever the configuration's ``line_bytes`` may differ)."""
         return self.start_byte // 16
 
     @property
     def column(self) -> int:
-        """Byte column (0..15) of the first byte within its cache line."""
+        """Byte column (0..15) of the first byte within a 16-byte line."""
         return self.start_byte % 16
 
 
 @dataclass
 class CacheLine:
-    """A 16-byte line with the instructions that *start* in it."""
+    """One cache line with the instructions that *start* in it."""
 
     index: int
     instructions: List[Instruction] = field(default_factory=list)
@@ -131,7 +137,9 @@ class WorkloadGenerator:
         line_count = (last.start_byte + last.length + self.line_bytes - 1) // self.line_bytes
         lines = [CacheLine(index=i) for i in range(line_count)]
         for instruction in instructions:
-            lines[instruction.line_index].instructions.append(instruction)
+            lines[instruction.line_of(self.line_bytes)].instructions.append(
+                instruction
+            )
         return lines
 
     def workload(self, instruction_count: int) -> Tuple[List[Instruction], List[CacheLine]]:
@@ -153,7 +161,7 @@ class WorkloadGenerator:
             "mean_length": sum(lengths) / len(lengths),
             "max_length": float(max(lengths)),
             "min_length": float(min(lengths)),
-            "instructions_per_line": 16.0 / (sum(lengths) / len(lengths)),
+            "instructions_per_line": self.line_bytes / (sum(lengths) / len(lengths)),
         }
         for key, value in by_class.items():
             stats[f"class_{key}"] = value / len(instructions)

@@ -66,6 +66,38 @@ class TestWorkload:
         instructions = generator.fixed_length_instructions(50, 4)
         assert all(i.length == 4 for i in instructions)
 
+    @pytest.mark.parametrize("line_bytes", [8, 16, 32])
+    def test_cache_line_grouping_honours_line_bytes(self, line_bytes):
+        """Grouping, line count and statistics follow the configured geometry."""
+        generator = WorkloadGenerator(seed=6, line_bytes=line_bytes)
+        instructions, lines = generator.workload(400)
+        assert sum(line.instruction_count for line in lines) == 400
+        for line in lines:
+            for instruction in line.instructions:
+                assert instruction.line_of(line_bytes) == line.index
+        last = instructions[-1]
+        assert len(lines) * line_bytes >= last.start_byte + last.length
+        stats = generator.statistics(instructions)
+        assert stats["instructions_per_line"] == pytest.approx(
+            line_bytes / stats["mean_length"]
+        )
+
+    def test_line_of_matches_line_index_for_default_geometry(self):
+        for instruction in WorkloadGenerator(seed=8).instructions(100):
+            assert instruction.line_of(16) == instruction.line_index
+
+    def test_nondefault_geometry_runs_end_to_end(self):
+        """RappidConfig(line_bytes=8/32) must simulate, not crash (the old
+        16-byte hard-coding made max() see an empty line range)."""
+        for line_bytes in (8, 32):
+            generator = WorkloadGenerator(seed=4, line_bytes=line_bytes)
+            instructions, lines = generator.workload(600)
+            decoder = RappidDecoder(RappidConfig(line_bytes=line_bytes))
+            result = decoder.run(instructions, lines)
+            reference = decoder._reference_run(instructions, lines)
+            assert result.issue_times_ps == reference.issue_times_ps
+            assert result.total_time_ps > 0
+
     @given(st.integers(min_value=1, max_value=500), st.integers(min_value=0, max_value=99))
     @settings(max_examples=25, deadline=None)
     def test_property_line_packing(self, count, seed):
