@@ -8,8 +8,15 @@ replaced (and which remains in-tree for differential testing):
 * a 10k-cache-line RAPPID workload through the batched runner is >= 3x
   faster than the per-instruction reference loop;
 * ``run_sharded`` is bit-identical to ``run`` at 10k/100k-cache-line
-  scale and (on multi-CPU hosts, full mode) faster wall-clock; its
-  instructions/sec trajectory is written to ``BENCH_sharded.json``.
+  scale and never loses to it (multi-CPU hosts must win wall-clock; on
+  single-CPU hosts the pool fallback keeps the ratio >= 0.98); its
+  instructions/sec trajectory -- plus the persistent-pool decision and
+  host cpu_count, so trajectories are comparable across hosts -- is
+  written to ``BENCH_sharded.json``.
+* the opcode simulation kernel behind ``EventDrivenSimulator`` is >= 3x
+  the reference simulator on a ring oscillator and on a RAPPID-style
+  32-byte-unit netlist; its transitions/sec trajectory is written to
+  ``BENCH_sim.json``.
 
 Timing methodology: the two sides are measured interleaved (reference,
 fast, reference, fast, ...) taking each side's best round, so a noisy
@@ -28,6 +35,12 @@ import json
 import os
 import time
 
+from repro.circuit.library import STANDARD_LIBRARY
+from repro.circuit.netlist import Netlist, build_ring_oscillator
+from repro.circuit.simulator import (
+    EventDrivenSimulator,
+    _ReferenceEventDrivenSimulator,
+)
 from repro.petrinet.reachability import (
     _reference_build_reachability_graph,
     build_reachability_graph,
@@ -138,6 +151,90 @@ def test_bench_engine_rappid_speedup():
         )
 
 
+def _ring_oscillator_netlist(stages: int = 31) -> Netlist:
+    """Odd free-running inverter ring: pure event-loop throughput."""
+    return build_ring_oscillator(stages)
+
+
+def _rappid_byte_unit_netlist(columns: int = 32) -> Netlist:
+    """RAPPID-style byte-unit row: a Muller C-element tag ring (one tag
+    token circulating, as in the paper's tag unit) with per-column domino
+    length-decode load, 32 byte columns wide like the real decode row."""
+    netlist = Netlist(f"byte_unit{columns}")
+    c2 = STANDARD_LIBRARY.get("C2")
+    inv = STANDARD_LIBRARY.get("INV")
+    domino = STANDARD_LIBRARY.get("DOMINO_AND2")
+    for i in range(columns):
+        nxt = (i + 1) % columns
+        netlist.add_gate(f"ack{i}", inv, [f"tag{nxt}"], f"a{i}")
+        netlist.add_gate(f"c{i}", c2, [f"tag{(i - 1) % columns}", f"a{i}"], f"tag{i}")
+        netlist.add_gate(f"dec{i}", domino, [f"tag{i}", f"a{i}"], f"len{i}")
+        netlist.add_gate(f"buf{i}", inv, [f"len{i}"], f"steer{i}")
+    netlist.set_initial_value("tag0", 1)
+    return netlist
+
+
+def test_bench_engine_simulator_kernel_speedup():
+    """Opcode kernel vs reference simulator; writes ``BENCH_sim.json``.
+
+    Both netlists run free (no environment), so every measured second is
+    event loop: gate evaluation, queue churn, transition recording.  The
+    traces are asserted identical before timing, so this doubles as a
+    differential check at benchmark scale.
+    """
+    from repro.engine.rappid_batch import _worker_count
+
+    duration = 15_000.0 if QUICK else 150_000.0
+    cases = {
+        "ring_oscillator": _ring_oscillator_netlist(),
+        "rappid_byte_unit": _rappid_byte_unit_netlist(),
+    }
+    summary = {"quick": QUICK, "cpu_count": _worker_count(), "cases": {}}
+    failures = []
+    for label, netlist in cases.items():
+        def run(simulator_class):
+            simulator = simulator_class(netlist)
+            return simulator.run(duration_ps=duration, max_events=4_000_000)
+
+        fast_trace = run(EventDrivenSimulator)
+        reference_trace = run(_ReferenceEventDrivenSimulator)
+        assert {
+            net: waveform.changes for net, waveform in fast_trace.waveforms.items()
+        } == {
+            net: waveform.changes
+            for net, waveform in reference_trace.waveforms.items()
+        }
+        assert fast_trace.event_count == reference_trace.event_count
+        transitions = fast_trace.total_transitions()
+        del fast_trace, reference_trace
+
+        reference_time, fast_time, speedup = _compare_with_retries(
+            lambda: run(_ReferenceEventDrivenSimulator),
+            lambda: run(EventDrivenSimulator),
+            rounds=2 if QUICK else 5,
+            label=f"simkernel {label}",
+        )
+        summary["cases"][label] = {
+            "transitions": transitions,
+            "reference_tps": round(transitions / reference_time),
+            "kernel_tps": round(transitions / fast_time),
+            "speedup": round(speedup, 2),
+        }
+        if speedup < REQUIRED_SPEEDUP:
+            failures.append((label, speedup))
+
+    out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_sim.json")
+    with open(out_path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    if not QUICK:
+        assert not failures, (
+            f"simulation kernel below {REQUIRED_SPEEDUP}x on: "
+            + ", ".join(f"{label} ({speedup:.2f}x)" for label, speedup in failures)
+        )
+
+
 def test_bench_engine_sharded_exact_and_summary():
     """run_sharded vs run: bit-identity at scale plus a perf trajectory.
 
@@ -150,6 +247,7 @@ def test_bench_engine_sharded_exact_and_summary():
     mode skips timing assertions entirely (but still checks identity and
     still writes the summary, marked ``"quick": true``).
     """
+    from repro.engine import pool as engine_pool
     from repro.engine.rappid_batch import _worker_count
 
     # ~4.56 instructions per 16-byte line: 45_600 / 456_000 instructions
@@ -192,25 +290,39 @@ def test_bench_engine_sharded_exact_and_summary():
         assert sharded.energy_pj == exact.energy_pj
         del exact, sharded
 
-        run_time, sharded_time = _interleaved_best(
-            lambda: decoder.run(instructions, lines),
-            lambda: decoder.run_sharded(
-                instructions, lines, shards=shards, min_shard_instructions=64
-            ),
-            rounds=2 if QUICK else 3,
-        )
-        speedup = run_time / sharded_time
+        # Auto mode (use_processes=None): the persistent-pool policy picks
+        # the path; on single-CPU hosts it must not cost anything, so the
+        # measurement retries against the no-regression floor.
+        target = 1.0 if cpus > 1 else 0.98
+        speedup = 0.0
+        for _attempt in range(ATTEMPTS):
+            run_time, sharded_time = _interleaved_best(
+                lambda: decoder.run(instructions, lines),
+                lambda: decoder.run_sharded(
+                    instructions, lines, shards=shards, min_shard_instructions=64
+                ),
+                rounds=2 if QUICK else 3,
+            )
+            speedup = run_time / sharded_time
+            if speedup >= target:
+                break
+        decision = dict(engine_pool.LAST_DECISION)
         summary["streams"][label] = {
             "instructions": count,
             "lines": len(lines),
             "run_ips": round(count / run_time),
             "sharded_ips": round(count / sharded_time),
             "sharded_speedup": round(speedup, 3),
+            "pool_decision": {
+                "use_pool": bool(decision.get("use_pool")),
+                "reason": decision.get("reason"),
+            },
         }
         speedup_on_largest = speedup
         print(
             f"\n[bench-engine] sharded {label}: run {run_time * 1e3:.2f} ms, "
-            f"sharded({shards}) {sharded_time * 1e3:.2f} ms -> {speedup:.2f}x"
+            f"sharded({shards}) {sharded_time * 1e3:.2f} ms -> {speedup:.2f}x "
+            f"[{decision.get('reason')}]"
         )
 
     out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_sharded.json")
@@ -218,11 +330,17 @@ def test_bench_engine_sharded_exact_and_summary():
         json.dump(summary, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
-    if not QUICK and cpus > 1:
-        assert speedup_on_largest > 1.0, (
-            f"run_sharded should beat run() wall-clock on {cpus} CPUs, got "
-            f"{speedup_on_largest:.2f}x on the largest stream"
-        )
+    if not QUICK:
+        if cpus > 1:
+            assert speedup_on_largest > 1.0, (
+                f"run_sharded should beat run() wall-clock on {cpus} CPUs, got "
+                f"{speedup_on_largest:.2f}x on the largest stream"
+            )
+        else:
+            assert speedup_on_largest >= 0.98, (
+                "single-CPU auto mode must delegate in-process (pool "
+                f"fallback), got {speedup_on_largest:.2f}x on the largest stream"
+            )
 
 
 def test_bench_engine_rappid_throughput_summary():

@@ -10,9 +10,12 @@ representative RT control cell.
 """
 
 import argparse
+import time
 
 from repro.circuit.analysis import fifo_environment_rules
 from repro.rappid import compare_designs
+from repro.rappid.microarch import RappidDecoder
+from repro.rappid.workload import WorkloadGenerator
 from repro.stg import specs
 from repro.synthesis import synthesize_rt
 from repro.testability import stuck_at_coverage
@@ -53,6 +56,21 @@ def main() -> None:
     print(f"  length decode cycle {rappid.length_decode_rate_ghz:.2f} GHz")
     print(f"  cache lines         {rappid.lines_per_second / 1e6:.0f} M lines/s")
     print(f"  throughput          {rappid.throughput_instructions_per_ns:.2f} instructions/ns")
+    print()
+
+    # Wall-clock smoke benchmark: how fast the batched engine evaluates
+    # the same stream on this host (modelled vs. simulated time).
+    generator = WorkloadGenerator(seed=1)
+    instructions, lines = generator.workload(args.instructions)
+    decoder = RappidDecoder()
+    start = time.perf_counter()
+    decoder.run(instructions, lines)
+    elapsed = time.perf_counter() - start
+    print(
+        f"engine evaluation rate: {len(instructions) / elapsed / 1e6:.2f} M "
+        f"instructions/s wall-clock ({len(instructions)} instructions in "
+        f"{elapsed * 1e3:.1f} ms)"
+    )
 
 
 if __name__ == "__main__":

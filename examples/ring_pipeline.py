@@ -10,11 +10,14 @@ validated against an environment model and then used by synthesis.
     python examples/ring_pipeline.py
 """
 
+import time
+
 from repro.core.assumptions import assume
 from repro.stg import specs
 from repro.stategraph import build_state_graph
 from repro.synthesis import synthesize_rt
 from repro.circuit.analysis import fifo_environment_rules, measure_cycle_metrics
+from repro.circuit.simulator import EventDrivenSimulator, HandshakeEnvironment
 
 
 def assumption_holds_in_ring() -> bool:
@@ -65,6 +68,25 @@ def main() -> None:
             f"  {name:<22} avg cycle {metrics.average_delay_ps:7.0f} ps, "
             f"energy {metrics.energy_per_cycle_pj:6.1f} pJ"
         )
+    print()
+
+    # Wall-clock smoke benchmark of the opcode simulation kernel: drive
+    # the relative-timed cell in its handshake environment for a long
+    # stretch of simulated time and report transitions/sec on this host.
+    environment = HandshakeEnvironment(
+        rules, jitter=0.25, seed=1, initial_stimuli=[("li", 1, 50.0)]
+    )
+    simulator = EventDrivenSimulator(
+        rt_user.netlist, [environment], delay_jitter=0.10, seed=1
+    )
+    start = time.perf_counter()
+    trace = simulator.run(duration_ps=2_000_000.0, max_events=2_000_000)
+    elapsed = time.perf_counter() - start
+    print(
+        f"simulation kernel rate: {trace.total_transitions() / elapsed / 1e3:.0f} k "
+        f"transitions/s wall-clock ({trace.total_transitions()} transitions, "
+        f"{trace.end_time / 1e6:.1f} us simulated in {elapsed * 1e3:.1f} ms)"
+    )
 
 
 if __name__ == "__main__":

@@ -14,6 +14,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q tests
 
+BENCH_STAMP="$(mktemp)"
+trap 'rm -f "$BENCH_STAMP"' EXIT
+
 if [[ "${1:-}" == "--full" ]]; then
     echo "== benchmarks (full) =="
     python -m pytest -q benchmarks
@@ -22,11 +25,27 @@ else
     REPRO_BENCH_QUICK=1 python -m pytest -q benchmarks
 fi
 
-# Machine-readable perf trajectory: run vs run_sharded instructions/sec,
-# written by benchmarks/test_bench_engine.py (quick mode marks the file
-# "quick": true and skips the timing assertions).
-if [[ -f BENCH_sharded.json ]]; then
-    echo "== sharded benchmark summary (BENCH_sharded.json) =="
-    cat BENCH_sharded.json
-fi
+# Machine-readable perf trajectories, written by
+# benchmarks/test_bench_engine.py (quick mode marks the files
+# "quick": true and skips the timing assertions):
+#   BENCH_sharded.json  run vs run_sharded instructions/sec + pool decision
+#   BENCH_sim.json      reference vs opcode-kernel transitions/sec
+# In --full mode both files must exist and have been rewritten by the
+# benchmark run just above -- a missing or stale file means the summary
+# test silently stopped running, which should fail loudly here.
+for bench_file in BENCH_sharded.json BENCH_sim.json; do
+    if [[ ! -f "$bench_file" ]]; then
+        if [[ "${1:-}" == "--full" ]]; then
+            echo "check.sh: FAIL - $bench_file was not produced" >&2
+            exit 1
+        fi
+        continue
+    fi
+    if [[ "${1:-}" == "--full" && ! "$bench_file" -nt "$BENCH_STAMP" ]]; then
+        echo "check.sh: FAIL - $bench_file is stale (not refreshed by this run)" >&2
+        exit 1
+    fi
+    echo "== benchmark summary ($bench_file) =="
+    cat "$bench_file"
+done
 echo "check.sh: OK"

@@ -15,7 +15,12 @@ from repro.circuit.library import (
     STANDARD_LIBRARY,
     complex_gate_type,
 )
-from repro.circuit.netlist import GateInstance, Netlist, NetlistError
+from repro.circuit.netlist import (
+    GateInstance,
+    Netlist,
+    NetlistError,
+    build_ring_oscillator,
+)
 from repro.circuit.simulator import (
     EventDrivenSimulator,
     SimulationTrace,
@@ -35,6 +40,7 @@ __all__ = [
     "complex_gate_type",
     "GateInstance",
     "Netlist",
+    "build_ring_oscillator",
     "NetlistError",
     "EventDrivenSimulator",
     "SimulationTrace",

@@ -50,7 +50,9 @@ class Netlist:
     # -- construction -------------------------------------------------------------
     def add_net(self, name: str, initial: int = 0) -> str:
         self._nets.add(name)
-        self._initial_values.setdefault(name, initial)
+        # Coerced like set_initial_value: nets carry binary values only
+        # (the simulators' packed state assumes it).
+        self._initial_values.setdefault(name, int(bool(initial)))
         return name
 
     def add_primary_input(self, name: str, initial: int = 0) -> str:
@@ -87,7 +89,7 @@ class Netlist:
             self.add_net(net)
         self.add_net(output)
         if output_initial is not None:
-            self._initial_values[output] = output_initial
+            self._initial_values[output] = int(bool(output_initial))
         instance = GateInstance(name, gate_type, tuple(inputs), output)
         self._gates[name] = instance
         self._driver[output] = name
@@ -180,3 +182,22 @@ class Netlist:
                 f" -> {gate.output}"
             )
         return "\n".join(lines)
+
+
+def build_ring_oscillator(stages: int = 5, name: Optional[str] = None) -> Netlist:
+    """An odd ring of inverters with one primed net: oscillates forever.
+
+    The classic asynchronous test structure (and the degenerate case of
+    the paper's self-timed rings): with an odd inversion count the loop
+    has no stable state, so the simulator produces transitions until its
+    time or event budget runs out.  Shared by the differential tests and
+    the engine benchmarks so both exercise the same circuit.
+    """
+    if stages < 1 or stages % 2 == 0:
+        raise NetlistError("a ring oscillator needs an odd number of inverters")
+    netlist = Netlist(name or f"ring{stages}")
+    inverter = STANDARD_LIBRARY.get("INV")
+    for i in range(stages):
+        netlist.add_gate(f"inv{i}", inverter, [f"n{i}"], f"n{(i + 1) % stages}")
+    netlist.set_initial_value("n0", 1)
+    return netlist

@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import GateInstance, Netlist, NetlistError
-from repro.engine.events import CompiledNetlist, EventQueue
+from repro.engine.events import CompiledNetlist
+from repro.engine.simkernel import SimKernel
 
 
 @dataclass
@@ -74,6 +75,10 @@ class SimulationTrace:
         return waveform.transition_count() if waveform else 0
 
     def total_transitions(self) -> int:
+        # Columnar traces count without materialising every waveform.
+        fast_count = getattr(self.waveforms, "total_transitions", None)
+        if fast_count is not None:
+            return fast_count()
         return sum(w.transition_count() for w in self.waveforms.values())
 
 
@@ -85,6 +90,15 @@ class Environment:
 
     def start(self, simulator: "EventDrivenSimulator") -> None:
         """Called once before simulation starts (schedule initial stimuli)."""
+
+    def reset(self) -> None:
+        """Re-arm internal state (RNGs, counters) for a fresh run.
+
+        Called by ``EventDrivenSimulator.reset()`` so that resetting a
+        simulator and re-running the same netlist reproduces the first
+        run exactly.  Environments shared between simulators are re-armed
+        by whichever simulator resets.
+        """
 
 
 @dataclass
@@ -115,8 +129,13 @@ class HandshakeEnvironment(Environment):
     ) -> None:
         self.rules = list(rules)
         self.jitter = jitter
+        self.seed = seed
         self._rng = random.Random(seed)
         self.initial_stimuli = list(initial_stimuli or [])
+
+    def reset(self) -> None:
+        """Restart the jitter RNG from the seed (same seed, same trace)."""
+        self._rng = random.Random(self.seed)
 
     def _delay(self, nominal: float) -> float:
         if self.jitter <= 0:
@@ -150,12 +169,15 @@ class CallbackEnvironment(Environment):
 class EventDrivenSimulator:
     """Discrete-event simulator over a :class:`~repro.circuit.netlist.Netlist`.
 
-    The netlist is compiled once into the index-based
-    :class:`~repro.engine.events.CompiledNetlist` (current-value arrays,
-    per-net fanout adjacency) and events flow through the slab-backed
-    :class:`~repro.engine.events.EventQueue`; the observable behaviour --
-    commit order, waveforms, RNG draw order under jitter -- is identical to
-    the retained :class:`_ReferenceEventDrivenSimulator`.
+    The netlist is compiled once into the opcode form of
+    :class:`~repro.engine.events.CompiledNetlist` (net-name interning,
+    fanout adjacency, one packed truth-table/threshold row per gate) and
+    the event loop runs inside :class:`~repro.engine.simkernel.SimKernel`:
+    same-timestamp events drain as one delta-cycle batch over flat integer
+    arrays, and transitions are recorded into per-net columns that
+    materialise :class:`Waveform` objects lazily.  The observable
+    behaviour -- commit order, waveforms, RNG draw order under jitter --
+    is identical to the retained :class:`_ReferenceEventDrivenSimulator`.
     """
 
     def __init__(
@@ -169,36 +191,45 @@ class EventDrivenSimulator:
         self.netlist = netlist
         self.environments = list(environments or [])
         self.delay_jitter = delay_jitter
-        self._rng = random.Random(seed)
+        self.seed = seed
         self._compiled = CompiledNetlist(netlist)
+        self._kernel = SimKernel(self._compiled, Waveform, delay_jitter)
         self.reset()
 
     # -- state management -----------------------------------------------------------
     def reset(self) -> None:
-        compiled = self._compiled
+        """Return to the initial state: same netlist, fresh everything else.
+
+        Fully re-arms the simulator -- the jitter RNG restarts from the
+        seed, the kernel drops its queue and transition columns
+        wholesale, and every attached environment's :meth:`Environment.reset`
+        hook runs -- so running the same stimuli twice on one simulator
+        instance produces bit-identical traces (pinned by a regression
+        test).
+        """
         self.time = 0.0
-        self._values: List[int] = list(compiled.initial_values)
-        self._pending: List[int] = list(self._values)
-        self._queue = EventQueue()
-        self.waveforms: Dict[str, Waveform] = {}
-        self._wave_slots: List[Waveform] = []
-        for slot, net in enumerate(compiled.net_names):
-            waveform = Waveform(net, [(0.0, self._values[slot])])
-            self.waveforms[net] = waveform
-            self._wave_slots.append(waveform)
-        self.event_count = 0
-        # Gate internal state (previous output) for sequential gates.
-        self._gate_state: List[int] = [
-            self._values[output] for output in compiled.gate_output
-        ]
+        self._rng = random.Random(self.seed)
+        self._kernel.reset(self._rng)
+        for environment in self.environments:
+            environment.reset()
+
+    @property
+    def event_count(self) -> int:
+        """Committed net changes so far (grows while environments watch)."""
+        return self._kernel.event_count
+
+    @property
+    def waveforms(self) -> Dict[str, Waveform]:
+        """Mapping of net name to waveform, materialised lazily per net."""
+        return self._kernel.waveforms
 
     @property
     def values(self) -> Dict[str, int]:
         """Snapshot of current net values keyed by net name."""
-        return dict(zip(self._compiled.net_names, self._values))
+        return dict(zip(self._compiled.net_names, self._kernel.values))
 
     def value(self, net: str) -> int:
-        return self._values[self._compiled.net_index[net]]
+        return self._kernel.values[self._compiled.net_index[net]]
 
     # -- scheduling -------------------------------------------------------------------
     def schedule(self, net: str, value: int, time: float) -> None:
@@ -206,106 +237,28 @@ class EventDrivenSimulator:
         slot = self._compiled.net_index.get(net)
         if slot is None:
             raise NetlistError(f"unknown net {net!r}")
-        value = int(bool(value))
-        self._queue.push(time, slot, value)
-        self._pending[slot] = value
-
-    def _gate_delay(self, gate_slot: int) -> float:
-        nominal = self._compiled.gate_delay[gate_slot]
-        if self.delay_jitter <= 0:
-            return nominal
-        return self._rng.uniform(
-            nominal * (1.0 - self.delay_jitter), nominal * (1.0 + self.delay_jitter)
-        )
-
-    def _evaluate_gate(self, gate_slot: int) -> int:
-        compiled = self._compiled
-        values = self._values
-        inputs = [values[slot] for slot in compiled.gate_inputs[gate_slot]]
-        return compiled.gate_eval[gate_slot](inputs, self._gate_state[gate_slot])
-
-    def _settle_initial_state(self) -> None:
-        """Schedule corrections for gates whose initial output is inconsistent.
-
-        Netlists built from decomposed logic may declare initial values only
-        for interface nets; intermediate nets then need one settling pass
-        (the equivalent of releasing reset on silicon).
-        """
-        compiled = self._compiled
-        for gate_slot in range(len(compiled.gates)):
-            output = self._evaluate_gate(gate_slot)
-            output_slot = compiled.gate_output[gate_slot]
-            if output != self._values[output_slot]:
-                self._queue.push(
-                    self.time + self._gate_delay(gate_slot), output_slot, output
-                )
-                self._pending[output_slot] = output
+        self._kernel.schedule_slot(slot, int(bool(value)), time)
 
     # -- main loop -----------------------------------------------------------------------
     def run(self, duration_ps: Optional[float] = None, max_events: int = 1_000_000) -> SimulationTrace:
         """Run until the event queue drains, a time limit, or an event cap."""
-        self._settle_initial_state()
+        kernel = self._kernel
+        kernel.settle(self.time)
         for environment in self.environments:
             environment.start(self)
 
-        compiled = self._compiled
-        net_names = compiled.net_names
-        fanout = compiled.fanout
-        gate_inputs = compiled.gate_inputs
-        gate_eval = compiled.gate_eval
-        gate_output = compiled.gate_output
-        gate_state = self._gate_state
-        values = self._values
-        pending = self._pending
-        wave_slots = self._wave_slots
-        queue = self._queue
-        environments = self.environments
-
         end_time = self.time + duration_ps if duration_ps is not None else None
-        processed = 0
-        while queue:
-            if end_time is not None and queue.peek_time() > end_time:
-                break
-            event_time, net_slot, value = queue.pop()
-            processed += 1
-            if processed > max_events:
-                raise RuntimeError(
-                    f"simulation exceeded {max_events} events; "
-                    "the circuit is probably oscillating"
-                )
-            self.time = event_time
-            if values[net_slot] == value:
-                continue
-            values[net_slot] = value
-            wave_slots[net_slot].changes.append((event_time, value))
-            self.event_count += 1
+        kernel.drain(self, self.environments, end_time, max_events)
 
-            # Propagate through fanout gates.
-            for gate_slot in fanout[net_slot]:
-                inputs = [values[slot] for slot in gate_inputs[gate_slot]]
-                new_output = gate_eval[gate_slot](inputs, gate_state[gate_slot])
-                gate_state[gate_slot] = new_output
-                output_slot = gate_output[gate_slot]
-                if new_output != pending[output_slot]:
-                    queue.push(
-                        event_time + self._gate_delay(gate_slot),
-                        output_slot,
-                        new_output,
-                    )
-                    pending[output_slot] = new_output
-
-            # Environments react to the committed change.
-            if environments:
-                net = net_names[net_slot]
-                for environment in environments:
-                    environment.on_change(self, net, value, event_time)
-
-        final_time = self.time if end_time is None else max(self.time, end_time if queue else self.time)
+        if end_time is None or not len(kernel.queue):
+            final_time = self.time
+        else:
+            final_time = max(self.time, end_time)
         return SimulationTrace(
-            waveforms=dict(self.waveforms),
+            waveforms=kernel.waveforms,
             final_values=self.values,
             end_time=final_time,
-            event_count=self.event_count,
+            event_count=kernel.event_count,
         )
 
     # -- convenience -----------------------------------------------------------------------
@@ -349,12 +302,16 @@ class _ReferenceEventDrivenSimulator:
         self.netlist = netlist
         self.environments = list(environments or [])
         self.delay_jitter = delay_jitter
-        self._rng = random.Random(seed)
-        self._counter = itertools.count()
+        self.seed = seed
         self.reset()
 
     def reset(self) -> None:
+        """Re-arm fully (RNG from seed, fresh queue, environments reset)."""
         self.time = 0.0
+        self._rng = random.Random(self.seed)
+        self._counter = itertools.count()
+        for environment in self.environments:
+            environment.reset()
         self.values: Dict[str, int] = dict(self.netlist.initial_values())
         for net in self.netlist.nets:
             self.values.setdefault(net, 0)

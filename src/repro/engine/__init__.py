@@ -46,10 +46,16 @@ When delegation kicks in
   exploration in the same BFS discovery order the naive code produced.
 * ``EventDrivenSimulator`` compiles its netlist once
   (:class:`~repro.engine.events.CompiledNetlist`): net names become array
-  slots, and the per-event ``fanout_of`` scan over every gate becomes a
-  precomputed adjacency list.  Events live in a slab-backed
-  :class:`~repro.engine.events.EventQueue`.  The naive simulator is
-  retained as ``_ReferenceEventDrivenSimulator``.
+  slots, the per-event ``fanout_of`` scan over every gate becomes a
+  precomputed adjacency list, and every gate becomes an integer opcode
+  plus a packed truth-table/threshold row.  The event loop itself runs in
+  :class:`~repro.engine.simkernel.SimKernel`: same-timestamp events drain
+  as one delta-cycle batch through the time-bucketed
+  :class:`~repro.engine.events.BatchEventQueue`, dedup happens over flat
+  integer arrays, and transitions are recorded into per-net columns that
+  materialise ``Waveform`` objects lazily
+  (:class:`~repro.engine.simkernel.LazyWaveforms`).  The naive simulator
+  is retained as ``_ReferenceEventDrivenSimulator``.
 * ``RappidDecoder.run`` delegates to
   :func:`~repro.engine.rappid_batch.run_batched`, which performs the same
   floating-point operations in the same order as the retained
@@ -70,16 +76,19 @@ place (sorted-name order) as the reference implementations, so results --
 including raised errors -- are indistinguishable from the naive code.
 """
 
-from repro.engine.events import CompiledNetlist, EventQueue
+from repro.engine.events import BatchEventQueue, CompiledNetlist
 from repro.engine.marking import EncodingError, NetEncoding, explore_net
 from repro.engine.rappid_batch import ShardState, run_batched, run_sharded
+from repro.engine.simkernel import LazyWaveforms, SimKernel
 
 __all__ = [
+    "BatchEventQueue",
     "CompiledNetlist",
     "EncodingError",
-    "EventQueue",
+    "LazyWaveforms",
     "NetEncoding",
     "ShardState",
+    "SimKernel",
     "explore_net",
     "run_batched",
     "run_sharded",

@@ -1,24 +1,102 @@
-"""Indexed event-queue core for gate-level simulation.
+"""Opcode compilation pass for gate-level simulation.
 
-Two pieces:
+:class:`CompiledNetlist` turns a :class:`~repro.circuit.netlist.Netlist`
+into the flat, index-based form the simulation kernel
+(:mod:`repro.engine.simkernel`) executes:
 
-* :class:`CompiledNetlist` -- a per-netlist compilation pass that interns
-  net names to array slots and builds the fanout adjacency **once**,
-  replacing the reference simulator's per-event linear scan over every
-  gate (``Netlist.fanout_of``) with a list lookup.
-* :class:`EventQueue` -- a time-ordered queue whose payloads live in a
-  slab of parallel lists.  Heap entries are small ``(time, seq, slot)``
-  tuples ordered by C tuple comparison; freed slots are recycled through
-  a free list so long simulations do not churn allocations.
+* net names are interned to array slots (``netlist.nets`` sorted order)
+  and the per-event ``Netlist.fanout_of`` linear scan over every gate
+  becomes a precomputed adjacency list, built once;
+* every gate is compiled to an **integer opcode plus a packed row** so
+  the hot loop never calls a per-gate Python callable:
+
+  - ``OP_TABLE`` -- the gate's behaviour is enumerated into one packed
+    truth-table integer.  The lookup index folds the previous output (the
+    sequential state bit, ignored by combinational tables, which simply
+    repeat) above the input bits, so C-elements, SR keepers and
+    generalised C-elements share the same opcode as plain logic.
+  - ``OP_WIDE_AND`` / ``OP_WIDE_NAND`` / ``OP_WIDE_OR`` / ``OP_WIDE_NOR``
+    -- threshold rows for recognised monotone gates too wide to
+    enumerate (the row stores the input count to compare against).
+  - ``OP_WIDE_XOR`` -- parity row for wide XOR.
+  - ``OP_CALL`` -- fallback to :meth:`GateType.evaluate` for gates that
+    cannot be compiled (unrecognised wide behaviour, arity mismatches,
+    evaluation functions that raise during enumeration).  This preserves
+    the reference simulator's error behaviour exactly: a mis-wired gate
+    still raises at its first evaluation, not at compile time.
+
+Compilation calls ``eval_fn`` up to ``2 ** (n + 1)`` times per gate (n
+inputs plus the state bit), once, at construction; every simulated event
+afterwards is a shift-and-mask.
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.circuit
     from repro.circuit.netlist import GateInstance, Netlist
+
+# Gate opcodes (see module docstring).
+OP_TABLE = 0
+OP_WIDE_AND = 1
+OP_WIDE_NAND = 2
+OP_WIDE_OR = 3
+OP_WIDE_NOR = 4
+OP_WIDE_XOR = 5
+OP_CALL = 6
+
+# Widest gate whose truth table is enumerated (2**(n+1) evaluations).
+TABLE_MAX_INPUTS = 10
+
+
+def _wide_opcode(eval_fn: Callable) -> Optional[int]:
+    """Threshold/parity opcode for a recognised library behaviour, or None."""
+    from repro.circuit import library
+
+    return {
+        library._and: OP_WIDE_AND,
+        library._nand: OP_WIDE_NAND,
+        library._or: OP_WIDE_OR,
+        library._nor: OP_WIDE_NOR,
+        library._xor: OP_WIDE_XOR,
+    }.get(eval_fn)
+
+
+def _compile_gate(gate: "GateInstance") -> Tuple[int, int, Optional[Callable]]:
+    """Compile one gate to ``(opcode, packed row, call fallback)``.
+
+    The packed row is the truth table for ``OP_TABLE`` and the input
+    count for the wide threshold opcodes; ``OP_CALL`` rows carry the
+    bound :meth:`GateType.evaluate` instead.
+    """
+    gate_type = gate.gate_type
+    n = gate_type.num_inputs
+    if len(gate.inputs) != n:
+        # Arity mismatch: evaluate() raises at first use, like the
+        # reference simulator does.
+        return OP_CALL, 0, gate_type.evaluate
+    if n > TABLE_MAX_INPUTS:
+        opcode = _wide_opcode(gate_type.eval_fn)
+        if opcode is not None:
+            return opcode, n, None
+        return OP_CALL, 0, gate_type.evaluate
+    eval_fn = gate_type.eval_fn
+    table = 0
+    try:
+        for prev in (0, 1):
+            for bits in range(1 << n):
+                # Index convention shared with the kernel: the state bit
+                # sits above the inputs, inputs fold MSB-first
+                # (``idx = idx * 2 + value`` over inputs in gate order).
+                inputs = [(bits >> (n - 1 - k)) & 1 for k in range(n)]
+                if int(bool(eval_fn(inputs, prev))):
+                    table |= 1 << ((prev << n) | bits)
+    except Exception:
+        # Behaviour not enumerable offline; evaluate per event instead.
+        return OP_CALL, 0, gate_type.evaluate
+    return OP_TABLE, table, None
 
 
 class CompiledNetlist:
@@ -37,7 +115,9 @@ class CompiledNetlist:
         "gates",
         "gate_inputs",
         "gate_output",
-        "gate_eval",
+        "gate_op",
+        "gate_row",
+        "gate_call",
         "gate_delay",
     )
 
@@ -55,50 +135,76 @@ class CompiledNetlist:
         self.gates: List["GateInstance"] = netlist.gates
         self.gate_inputs: List[Tuple[int, ...]] = []
         self.gate_output: List[int] = []
-        self.gate_eval: List[Callable] = []
+        self.gate_op: List[int] = []
+        self.gate_row: List[int] = []
+        self.gate_call: List[Optional[Callable]] = []
         self.gate_delay: List[float] = []
-        self.fanout: List[List[int]] = [[] for _ in self.net_names]
+        self.fanout: List[Tuple[int, ...]] = []
+        fanout: List[List[int]] = [[] for _ in self.net_names]
         for slot, gate in enumerate(self.gates):
             self.gate_inputs.append(tuple(index[net] for net in gate.inputs))
             self.gate_output.append(index[gate.output])
-            self.gate_eval.append(gate.gate_type.evaluate)
+            opcode, row, call = _compile_gate(gate)
+            self.gate_op.append(opcode)
+            self.gate_row.append(row)
+            self.gate_call.append(call)
             self.gate_delay.append(gate.gate_type.delay_ps)
             for net in dict.fromkeys(gate.inputs):  # dedupe, keep order
-                self.fanout[index[net]].append(slot)
+                fanout[index[net]].append(slot)
+        self.fanout = [tuple(slots) for slots in fanout]
 
 
-class EventQueue:
-    """Min-heap of ``(time, net_slot, value)`` events with slab storage."""
+class BatchEventQueue:
+    """Time-bucketed event queue: one heap entry per *distinct* timestamp.
 
-    __slots__ = ("_heap", "_nets", "_values", "_free", "_seq")
+    Events sharing a timestamp are appended to that timestamp's bucket in
+    schedule order, so draining a bucket front to back reproduces the
+    ``(time, seq)`` heap order of the reference simulator while paying
+    one ``heappush``/``heappop`` per delta cycle instead of per event.
+    """
+
+    __slots__ = ("_times", "_buckets", "_count")
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, int]] = []
-        self._nets: List[int] = []
-        self._values: List[int] = []
-        self._free: List[int] = []
-        self._seq = 0
+        self._times: List[float] = []  # heap of distinct bucket times
+        self._buckets: Dict[float, Tuple[List[int], List[int]]] = {}
+        self._count = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._count
 
     def push(self, time: float, net: int, value: int) -> None:
-        free = self._free
-        if free:
-            slot = free.pop()
-            self._nets[slot] = net
-            self._values[slot] = value
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            heappush(self._times, time)
+            self._buckets[time] = ([net], [value])
         else:
-            slot = len(self._nets)
-            self._nets.append(net)
-            self._values.append(value)
-        heappush(self._heap, (time, self._seq, slot))
-        self._seq += 1
+            bucket[0].append(net)
+            bucket[1].append(value)
+        self._count += 1
 
     def peek_time(self) -> float:
-        return self._heap[0][0]
+        return self._times[0]
 
-    def pop(self) -> Tuple[float, int, int]:
-        time, _seq, slot = heappop(self._heap)
-        self._free.append(slot)
-        return time, self._nets[slot], self._values[slot]
+    def pop_batch(self) -> Tuple[float, List[int], List[int]]:
+        """Remove and return ``(time, nets, values)`` of the earliest bucket."""
+        time = heappop(self._times)
+        nets, values = self._buckets.pop(time)
+        self._count -= len(nets)
+        return time, nets, values
+
+    def push_front(self, time: float, nets: List[int], values: List[int]) -> None:
+        """Re-queue an undrained batch remainder ahead of newer same-time events.
+
+        Used when an environment schedules into the past mid-batch: the
+        remainder's events were all scheduled before anything pushed
+        during the batch, so they belong at the front of the bucket.
+        """
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            heappush(self._times, time)
+            self._buckets[time] = (list(nets), list(values))
+        else:
+            bucket[0][:0] = nets
+            bucket[1][:0] = values
+        self._count += len(nets)

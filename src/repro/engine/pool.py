@@ -1,0 +1,158 @@
+"""Process-global persistent worker pool for sharded evaluation.
+
+``RappidDecoder.run_sharded`` used to spin up a fresh
+``ProcessPoolExecutor`` per call, paying worker spawn-up (interpreter
+fork, module import) every time -- measurably losing to the monolithic
+``run()`` on small streams and single-CPU hosts (see
+``BENCH_sharded.json``).  This module keeps **one** lazily created,
+process-global pool alive across calls:
+
+* :func:`get_pool` creates the pool on first use (sized to the host's
+  scheduling affinity) and returns the same executor afterwards, so the
+  second and later ``run_sharded`` calls reuse warm workers -- asserted
+  by a worker-pid probe test.
+* **Fork-safety guard**: the pool remembers the PID that created it.  A
+  forked child (including one of the pool's own workers) that reaches
+  :func:`get_pool` sees a PID mismatch and builds its own pool instead of
+  deadlocking on inherited executor state.
+* :func:`shutdown` disposes the pool explicitly (also registered via
+  ``atexit``); a broken pool (killed worker) is discarded with
+  :func:`discard` so the next call starts clean.
+* :func:`decide` centralises the in-process fallback policy: on a
+  single-CPU host, or when the estimated per-shard work is below the
+  calibrated :data:`POOL_MIN_SHARD_INSTRUCTIONS`, sharding overhead
+  cannot win, so callers evaluate in-process.  Every ``run_sharded``
+  call records its decision in :data:`LAST_DECISION` so the benchmark
+  harness can persist it next to the timings (making trajectories
+  comparable across hosts).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from typing import Dict, Optional, Tuple
+
+from concurrent.futures import ProcessPoolExecutor
+
+# Below this many instructions per shard the protocol overhead (payload
+# packing, IPC, seam replay) outweighs parallel evaluation even on warm
+# workers; calibrated on the BENCH_sharded.json workloads.
+POOL_MIN_SHARD_INSTRUCTIONS = 2_048
+
+# Decision record of the most recent run_sharded call:
+# {"use_pool": bool, "reason": str, "cpu_count": int, "per_shard": int}.
+LAST_DECISION: Dict[str, object] = {}
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_PID: Optional[int] = None
+_ATEXIT_REGISTERED = False
+
+
+def worker_count() -> int:
+    """CPUs available to this process (scheduling affinity when known)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def get_pool(max_workers: Optional[int] = None) -> ProcessPoolExecutor:
+    """The persistent pool, created lazily on first use.
+
+    ``max_workers`` only applies at creation (the persistent pool is
+    sized once, to the host affinity by default); later callers share it
+    regardless of their own shard count, since the executor queues excess
+    work.  If the current PID differs from the creating PID the inherited
+    pool state is unusable (post-``fork``), so a fresh pool is built.
+    """
+    global _POOL, _POOL_PID, _ATEXIT_REGISTERED
+    pid = os.getpid()
+    if _POOL is not None and _POOL_PID == pid:
+        return _POOL
+    if _POOL is not None:
+        # Inherited across fork: the queues/threads belong to the parent.
+        # Drop the reference without joining the parent's workers.
+        _POOL = None
+    _POOL = ProcessPoolExecutor(max_workers=max_workers or worker_count())
+    _POOL_PID = pid
+    if not _ATEXIT_REGISTERED:
+        atexit.register(shutdown)
+        _ATEXIT_REGISTERED = True
+    return _POOL
+
+
+def discard() -> None:
+    """Forget a broken pool without waiting on its workers."""
+    global _POOL, _POOL_PID
+    pool, _POOL, _POOL_PID = _POOL, None, None
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown(wait: bool = True) -> None:
+    """Explicitly dispose the persistent pool (idempotent).
+
+    Runs from ``atexit`` too; only the creating process joins the
+    workers -- a forked child that inherited the globals just drops its
+    reference.
+    """
+    global _POOL, _POOL_PID
+    pool, owner_pid = _POOL, _POOL_PID
+    _POOL = None
+    _POOL_PID = None
+    if pool is not None and owner_pid == os.getpid():
+        pool.shutdown(wait=wait)
+
+
+def worker_pids() -> Tuple[int, ...]:
+    """PIDs of the pool's spawned workers (empty when no pool exists).
+
+    Reads the executor's process table; used by the reuse probe test and
+    for diagnostics, not by the hot path.
+    """
+    if _POOL is None or _POOL_PID != os.getpid():
+        return ()
+    return tuple(sorted(_POOL._processes.keys()))
+
+
+def decide(
+    instruction_count: int,
+    shards: int,
+    forced: Optional[bool] = None,
+    min_shard_instructions: int = 0,
+) -> Tuple[bool, str]:
+    """Should this ``run_sharded`` call use the worker pool?
+
+    Returns ``(use_pool, reason)`` and records the full decision in
+    :data:`LAST_DECISION`.  ``forced`` mirrors ``use_processes``:
+    ``True``/``False`` bypass the policy (the caller asked explicitly),
+    ``None`` applies it: single-CPU hosts and streams whose per-shard
+    work sits below the threshold stay in-process.  The threshold is the
+    caller's ``min_shard_instructions`` or the calibrated
+    :data:`POOL_MIN_SHARD_INSTRUCTIONS` floor, whichever is larger --
+    raising the knob defers pooling to bigger streams, but auto mode
+    never pools below the calibrated floor (pool overhead is measured to
+    lose there; force ``use_processes=True`` to override).
+    """
+    cpus = worker_count()
+    per_shard = instruction_count // max(shards, 1)
+    threshold = max(POOL_MIN_SHARD_INSTRUCTIONS, min_shard_instructions)
+    if forced is not None:
+        use_pool = bool(forced)
+        reason = "forced-pool" if use_pool else "forced-in-process"
+    elif cpus <= 1:
+        use_pool, reason = False, "single-cpu"
+    elif per_shard < threshold:
+        use_pool, reason = False, "below-threshold"
+    else:
+        use_pool, reason = True, "pool"
+    LAST_DECISION.clear()
+    LAST_DECISION.update(
+        use_pool=use_pool,
+        reason=reason,
+        cpu_count=cpus,
+        per_shard=per_shard,
+        shards=shards,
+    )
+    return use_pool, reason

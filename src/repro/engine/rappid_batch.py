@@ -743,10 +743,9 @@ def _offset_exact(cold_arrays: Sequence) -> bool:
 
 
 def _worker_count() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except (AttributeError, OSError):  # pragma: no cover - non-Linux hosts
-        return os.cpu_count() or 1
+    from repro.engine import pool
+
+    return pool.worker_count()
 
 
 def _stitch_shard(
@@ -957,21 +956,34 @@ def run_sharded(
 
     Falls back to :func:`run_batched` for a single shard or a stream
     shorter than ``min_shard_instructions`` per shard.  ``use_processes``
-    is tri-state: ``None`` (default) spawns a worker pool on multi-CPU
-    hosts and simply delegates to :func:`run_batched` on single-CPU hosts
-    (where the shard protocol costs extra without winning anything);
-    ``False`` forces the full protocol in-process (deterministic testing
-    of the stitcher); ``True`` forces the pool, falling back to
-    in-process evaluation if workers cannot be spawned.  The results are
-    identical on every path.
+    is tri-state: ``None`` (default) applies the persistent-pool policy
+    of :func:`repro.engine.pool.decide` -- single-CPU hosts and streams
+    below the calibrated per-shard threshold (the larger of
+    ``min_shard_instructions`` and
+    :data:`~repro.engine.pool.POOL_MIN_SHARD_INSTRUCTIONS`) delegate to
+    :func:`run_batched`, everything else reuses the process-global
+    worker pool; ``False`` forces the full protocol in-process
+    (deterministic testing of the stitcher); ``True`` forces the pool,
+    falling back to in-process evaluation if workers cannot be spawned.
+    The results are identical on every path, and every call records its
+    decision in :data:`repro.engine.pool.LAST_DECISION`.
     """
+    from repro.engine import pool
+
     _validate_config(config)
     if not instructions:
         return None
     shards = max(1, shards)
-    if use_processes is None and _worker_count() <= 1:
+    use_pool, _reason = pool.decide(
+        len(instructions),
+        shards,
+        forced=use_processes,
+        min_shard_instructions=min_shard_instructions,
+    )
+    if use_processes is None and not use_pool:
         return run_batched(config, instructions, lines)
     if shards == 1 or len(instructions) < min_shard_instructions * shards:
+        pool.LAST_DECISION.update(use_pool=False, reason="stream-too-small")
         return run_batched(config, instructions, lines)
 
     line_bytes = config.line_bytes
@@ -981,6 +993,7 @@ def run_sharded(
     last_lines = _last_lines(lengths, start_bytes, line_bytes)
     boundaries = _shard_boundaries(first_lines, shards)
     if len(boundaries) <= 2:
+        pool.LAST_DECISION.update(use_pool=False, reason="single-shard-boundary")
         return run_batched(config, instructions, lines)
 
     pairs = list(zip(boundaries, boundaries[1:]))
@@ -995,14 +1008,15 @@ def run_sharded(
     ]
 
     results = None
-    if use_processes is None or use_processes:
+    if use_pool:
+        # Persistent process-global pool: created lazily on the first
+        # sharded call, reused (warm workers) by every later one.
         try:
-            from concurrent.futures import ProcessPoolExecutor
-
-            workers = min(len(payloads), _worker_count())
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_cold_shard, payloads))
+            executor = pool.get_pool()
+            results = list(executor.map(_cold_shard, payloads))
         except (OSError, ImportError, RuntimeError, PermissionError):
+            pool.discard()  # broken/unspawnable pool: next call starts clean
+            pool.LAST_DECISION.update(use_pool=False, reason="pool-spawn-failed")
             results = None
     if results is None:
         results = [_cold_shard(payload) for payload in payloads]

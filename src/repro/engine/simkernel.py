@@ -1,0 +1,387 @@
+"""Opcode-compiled event-driven simulation kernel.
+
+This module is the hot path behind
+:class:`repro.circuit.simulator.EventDrivenSimulator`.  The public
+simulator class keeps its API (``schedule``/``run``/``settle``/``reset``,
+environments, jitter, waveforms); the kernel executes the drained event
+loop over the flat structures prepared by
+:class:`~repro.engine.events.CompiledNetlist`:
+
+* **No per-event Python callable.**  Gates were compiled to an integer
+  opcode plus a packed truth-table/threshold row; evaluating a gate is a
+  fold of its input bits into a table index and one shift-and-mask
+  (``OP_CALL`` gates -- uncompilable behaviours -- still go through
+  ``GateType.evaluate``, preserving reference error semantics).
+* **Delta-cycle batch draining.**  All events sharing a timestamp are
+  popped as one batch (:class:`~repro.engine.events.BatchEventQueue`) and
+  committed in schedule order against flat integer arrays: ``bytearray``
+  current/pending values dedupe no-change events and already-scheduled
+  transitions without touching the heap.  Commits are still applied one
+  at a time *within* the batch -- collapsing a gate's several same-time
+  evaluations into one would swallow the zero-width glitch pulses the
+  reference simulator records (two changes at one timestamp), breaking
+  bit-identity -- so the dedup is exactly the reference's, just over
+  arrays instead of dicts and objects.
+* **Columnar transition recording.**  Transitions append to per-net flat
+  ``array('d')`` time / ``array('b')`` value columns;
+  :class:`~repro.circuit.simulator.Waveform` objects are materialised
+  lazily on first access through :class:`LazyWaveforms` (and caught up
+  in place on later lookups if the column has grown, so aliases behave
+  like the reference simulator's live waveform objects).
+
+Observable behaviour -- commit order, waveform changes, ``value_at``,
+event counts, RNG draw order under jitter, raised errors -- is
+bit-identical to ``_ReferenceEventDrivenSimulator``; the differential
+suite (``tests/test_engine_differential.py``) enforces this over seeded
+random netlists, the synthesized FIFO fixtures, and adversarial
+same-timestamp glitch cases.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Mapping
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.events import (
+    OP_CALL,
+    OP_TABLE,
+    OP_WIDE_AND,
+    OP_WIDE_NAND,
+    OP_WIDE_NOR,
+    OP_WIDE_OR,
+    OP_WIDE_XOR,
+    BatchEventQueue,
+    CompiledNetlist,
+)
+
+
+class LazyWaveforms(Mapping):
+    """Read-only mapping of net name -> ``Waveform``, materialised lazily.
+
+    The kernel records transitions into flat per-net columns; a
+    ``Waveform`` (with its list-of-tuples ``changes``) is only built when
+    a net is actually looked up.  Materialised objects are cached and, on
+    any later lookup, extended **in place** with whatever their column
+    gained since (e.g. a trace held across a second ``run()`` call), so
+    every alias of a materialised waveform sees the growth -- like the
+    reference simulator's live objects, except that the catch-up happens
+    at lookup time rather than mid-simulation (a held ``Waveform`` is
+    only guaranteed current after the mapping has been read again).
+    """
+
+    __slots__ = ("_factory", "_net_names", "_net_index", "_times", "_values", "_cache")
+
+    def __init__(
+        self,
+        factory: Callable[[str, List[Tuple[float, int]]], Any],
+        net_names: Sequence[str],
+        net_index: Dict[str, int],
+        times: List[array],
+        values: List[array],
+    ) -> None:
+        self._factory = factory
+        self._net_names = net_names
+        self._net_index = net_index
+        self._times = times
+        self._values = values
+        self._cache: Dict[str, Any] = {}
+
+    def __getitem__(self, net: str):
+        slot = self._net_index[net]
+        times = self._times[slot]
+        cached = self._cache.get(net)
+        if cached is not None:
+            changes = cached.changes
+            have = len(changes)
+            if have < len(times):  # columns only ever grow (reset swaps them)
+                changes.extend(zip(times[have:], self._values[slot][have:]))
+            return cached
+        waveform = self._factory(net, list(zip(times, self._values[slot])))
+        self._cache[net] = waveform
+        return waveform
+
+    def __iter__(self):
+        return iter(self._net_names)
+
+    def __len__(self) -> int:
+        return len(self._net_names)
+
+    def __contains__(self, net) -> bool:
+        return net in self._net_index
+
+    def __repr__(self) -> str:
+        return f"LazyWaveforms({len(self._net_names)} nets)"
+
+    def total_transitions(self) -> int:
+        """Sum of per-net transition counts, read off the raw columns.
+
+        Lets ``SimulationTrace.total_transitions`` skip materialising a
+        ``Waveform`` (and its list of tuples) for every net.
+        """
+        return sum(len(times) - 1 for times in self._times if len(times) > 1)
+
+
+class SimKernel:
+    """Mutable simulation state plus the opcode-dispatch event loop.
+
+    One kernel belongs to one ``EventDrivenSimulator``; the simulator
+    forwards ``schedule``/``reset`` and calls :meth:`settle` and
+    :meth:`drain` from its ``run``.  Environment callbacks receive the
+    *simulator* (public API), never the kernel.
+    """
+
+    __slots__ = (
+        "compiled",
+        "rng",
+        "delay_jitter",
+        "_waveform_factory",
+        "values",
+        "pending",
+        "gate_state",
+        "queue",
+        "col_times",
+        "col_values",
+        "waveforms",
+        "event_count",
+    )
+
+    def __init__(
+        self,
+        compiled: CompiledNetlist,
+        waveform_factory: Callable[[str, List[Tuple[float, int]]], Any],
+        delay_jitter: float = 0.0,
+    ) -> None:
+        self.compiled = compiled
+        self.delay_jitter = delay_jitter
+        self._waveform_factory = waveform_factory
+        self.rng = None  # set by reset()
+
+    def reset(self, rng) -> None:
+        """Re-arm the kernel: fresh values, queue, and transition columns.
+
+        The previous queue (buckets, heap) and columns are dropped
+        wholesale -- no slab or free-list state survives into the next
+        run -- and the caller passes a freshly seeded RNG so jitter draws
+        restart from the seed.
+        """
+        compiled = self.compiled
+        self.rng = rng
+        initial = compiled.initial_values
+        try:
+            # Flat integer arrays for the hot-path dedup; netlists with
+            # exotic initial values (outside a byte) fall back to lists
+            # with identical indexing semantics.
+            self.values = bytearray(initial)
+            self.gate_state = bytearray(
+                self.values[output] for output in compiled.gate_output
+            )
+        except ValueError:
+            self.values = list(initial)
+            self.gate_state = [self.values[output] for output in compiled.gate_output]
+        self.pending = type(self.values)(self.values)
+        self.queue = BatchEventQueue()
+        self.col_times: List[array] = []
+        self.col_values: List[array] = []
+        for slot, value in enumerate(initial):
+            self.col_times.append(array("d", (0.0,)))
+            try:
+                self.col_values.append(array("b", (value,)))
+            except OverflowError:  # pragma: no cover - exotic initial value
+                self.col_values.append([value])  # type: ignore[arg-type]
+        self.waveforms = LazyWaveforms(
+            self._waveform_factory,
+            compiled.net_names,
+            compiled.net_index,
+            self.col_times,
+            self.col_values,
+        )
+        self.event_count = 0
+
+    # -- scheduling -------------------------------------------------------------------
+    def schedule_slot(self, slot: int, value: int, time: float) -> None:
+        self.queue.push(time, slot, value)
+        self.pending[slot] = value
+
+    def _gate_delay(self, gate_slot: int) -> float:
+        nominal = self.compiled.gate_delay[gate_slot]
+        if self.delay_jitter <= 0:
+            return nominal
+        return self.rng.uniform(
+            nominal * (1.0 - self.delay_jitter), nominal * (1.0 + self.delay_jitter)
+        )
+
+    def _evaluate_gate(self, gate_slot: int) -> int:
+        """One gate evaluation by opcode (non-hot-path helper)."""
+        compiled = self.compiled
+        values = self.values
+        op = compiled.gate_op[gate_slot]
+        if op == OP_TABLE:
+            idx = self.gate_state[gate_slot]
+            for slot in compiled.gate_inputs[gate_slot]:
+                idx += idx + values[slot]
+            return (compiled.gate_row[gate_slot] >> idx) & 1
+        if op == OP_CALL:
+            return compiled.gate_call[gate_slot](
+                [values[slot] for slot in compiled.gate_inputs[gate_slot]],
+                self.gate_state[gate_slot],
+            )
+        total = 0
+        for slot in compiled.gate_inputs[gate_slot]:
+            total += values[slot]
+        if op == OP_WIDE_AND:
+            return 1 if total == compiled.gate_row[gate_slot] else 0
+        if op == OP_WIDE_NAND:
+            return 0 if total == compiled.gate_row[gate_slot] else 1
+        if op == OP_WIDE_OR:
+            return 1 if total else 0
+        if op == OP_WIDE_NOR:
+            return 0 if total else 1
+        return total & 1  # OP_WIDE_XOR
+
+    def settle(self, time: float) -> None:
+        """Schedule corrections for gates whose initial output is inconsistent.
+
+        Netlists built from decomposed logic may declare initial values
+        only for interface nets; intermediate nets then need one settling
+        pass (the equivalent of releasing reset on silicon).  Does not
+        update gate state -- exactly like the reference settling pass.
+        """
+        compiled = self.compiled
+        values = self.values
+        for gate_slot in range(len(compiled.gates)):
+            output = self._evaluate_gate(gate_slot)
+            output_slot = compiled.gate_output[gate_slot]
+            if output != values[output_slot]:
+                self.queue.push(time + self._gate_delay(gate_slot), output_slot, output)
+                self.pending[output_slot] = output
+
+    # -- main loop --------------------------------------------------------------------
+    def drain(
+        self,
+        simulator,
+        environments: Sequence,
+        end_time: Optional[float],
+        max_events: int,
+    ) -> None:
+        """Drain the queue batch-by-batch until empty, the time limit, or the cap.
+
+        ``simulator`` is the owning ``EventDrivenSimulator``: its ``time``
+        attribute is kept current (per delta cycle -- all events in a
+        batch share the timestamp) and it is what environment callbacks
+        receive.
+        """
+        compiled = self.compiled
+        net_names = compiled.net_names
+        fanout = compiled.fanout
+        gate_inputs = compiled.gate_inputs
+        gate_op = compiled.gate_op
+        gate_row = compiled.gate_row
+        gate_call = compiled.gate_call
+        gate_output = compiled.gate_output
+        gate_delay = compiled.gate_delay
+        gate_state = self.gate_state
+        values = self.values
+        pending = self.pending
+        col_times = self.col_times
+        col_values = self.col_values
+        queue = self.queue
+        heap_times = queue._times
+        jitter = self.delay_jitter
+        rng_uniform = self.rng.uniform
+        limit = float("inf") if end_time is None else end_time
+
+        processed = 0
+        while queue._count:
+            batch_time = heap_times[0]
+            if batch_time > limit:
+                break
+            batch_time, batch_nets, batch_values = queue.pop_batch()
+            simulator.time = batch_time
+            batch_size = len(batch_nets)
+            index = 0
+            while index < batch_size:
+                net_slot = batch_nets[index]
+                value = batch_values[index]
+                index += 1
+                processed += 1
+                if processed > max_events:
+                    # The reference pops (and loses) the triggering event
+                    # but leaves the rest in its heap; requeue the batch
+                    # remainder so post-exception state matches.
+                    if index < batch_size:
+                        queue.push_front(
+                            batch_time, batch_nets[index:], batch_values[index:]
+                        )
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events; "
+                        "the circuit is probably oscillating"
+                    )
+                if values[net_slot] == value:
+                    continue
+                values[net_slot] = value
+                col_times[net_slot].append(batch_time)
+                col_values[net_slot].append(value)
+                self.event_count += 1
+
+                # Propagate through fanout gates: opcode dispatch, no
+                # per-gate Python call on the compiled paths.
+                for gate_slot in fanout[net_slot]:
+                    op = gate_op[gate_slot]
+                    if op == OP_TABLE:
+                        idx = gate_state[gate_slot]
+                        for slot in gate_inputs[gate_slot]:
+                            idx += idx + values[slot]
+                        new_output = (gate_row[gate_slot] >> idx) & 1
+                    elif op == OP_CALL:
+                        new_output = gate_call[gate_slot](
+                            [values[slot] for slot in gate_inputs[gate_slot]],
+                            gate_state[gate_slot],
+                        )
+                    else:
+                        total = 0
+                        for slot in gate_inputs[gate_slot]:
+                            total += values[slot]
+                        if op == OP_WIDE_AND:
+                            new_output = 1 if total == gate_row[gate_slot] else 0
+                        elif op == OP_WIDE_NAND:
+                            new_output = 0 if total == gate_row[gate_slot] else 1
+                        elif op == OP_WIDE_OR:
+                            new_output = 1 if total else 0
+                        elif op == OP_WIDE_NOR:
+                            new_output = 0 if total else 1
+                        else:
+                            new_output = total & 1
+                    gate_state[gate_slot] = new_output
+                    output_slot = gate_output[gate_slot]
+                    if new_output != pending[output_slot]:
+                        if jitter <= 0:
+                            delay = gate_delay[gate_slot]
+                        else:
+                            nominal = gate_delay[gate_slot]
+                            delay = rng_uniform(
+                                nominal * (1.0 - jitter), nominal * (1.0 + jitter)
+                            )
+                        queue.push(batch_time + delay, output_slot, new_output)
+                        pending[output_slot] = new_output
+
+                # Environments react to the committed change.
+                if environments:
+                    net = net_names[net_slot]
+                    for environment in environments:
+                        environment.on_change(simulator, net, value, batch_time)
+                if (
+                    index < batch_size
+                    and heap_times
+                    and heap_times[0] < batch_time
+                ):
+                    # Something scheduled into the past -- an environment
+                    # callback, or a negative effective gate delay when
+                    # delay_jitter > 1: put the rest of this batch back
+                    # (ahead of any newer same-time events) and let the
+                    # outer loop pop the earlier timestamp first, exactly
+                    # as the reference heap would.
+                    queue.push_front(
+                        batch_time, batch_nets[index:], batch_values[index:]
+                    )
+                    break

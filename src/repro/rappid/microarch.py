@@ -200,8 +200,10 @@ class RappidDecoder:
         accumulate the same closed-form sum, which may differ from
         :meth:`_reference_run` in the last ulp).  Streams shorter than
         ``min_shard_instructions`` per shard are evaluated directly.
-        ``use_processes``: ``None`` (default) spawns workers on multi-CPU
-        hosts and delegates to the monolithic runner on single-CPU ones;
+        ``use_processes``: ``None`` (default) applies the persistent-pool
+        policy of :func:`repro.engine.pool.decide` (in-process on
+        single-CPU hosts and below the calibrated per-shard threshold,
+        otherwise the process-global worker pool, reused across calls);
         ``True``/``False`` force the pool / the in-process protocol --
         results are identical on every path.
         """

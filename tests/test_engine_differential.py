@@ -231,6 +231,391 @@ class TestSimulatorDifferential:
 
 
 # ---------------------------------------------------------------------------
+# Opcode simulation kernel: fixtures, glitches, reset, lazy waveforms
+# ---------------------------------------------------------------------------
+
+
+from repro.circuit.netlist import build_ring_oscillator as _ring_oscillator
+
+
+def _fifo_differential_run(simulator_class, netlist, seed, jitter, duration):
+    from repro.circuit.analysis import fifo_environment_rules
+    from repro.circuit.simulator import HandshakeEnvironment
+
+    environment = HandshakeEnvironment(
+        fifo_environment_rules(),
+        jitter=0.25,
+        seed=seed,
+        initial_stimuli=[("li", 1, 50.0)],
+    )
+    simulator = simulator_class(
+        netlist, [environment], delay_jitter=jitter, seed=seed
+    )
+    return simulator.run(duration_ps=duration, max_events=200_000)
+
+
+class TestSimKernelDifferential:
+    """The opcode kernel against the reference on the paper's own circuits.
+
+    The 60 seeded DAG netlists above already run through the kernel; this
+    class adds the synthesized handshake/FIFO fixtures (sequential
+    C-elements, feedback, reactive environments with jitter), a free
+    oscillator, and adversarial same-timestamp cases where delta-cycle
+    batching could plausibly diverge from the one-event-at-a-time oracle.
+    """
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("fixture", ["fifo_rt", "fifo_si"])
+    def test_fifo_fixture_traces_match(self, request, fixture, seed):
+        netlist = request.getfixturevalue(fixture).netlist
+        jitter = [0.0, 0.1][seed % 2]
+        fast = _fifo_differential_run(
+            EventDrivenSimulator, netlist, seed, jitter, 30_000.0
+        )
+        reference = _fifo_differential_run(
+            _ReferenceEventDrivenSimulator, netlist, seed, jitter, 30_000.0
+        )
+        assert _trace_signature(fast) == _trace_signature(reference)
+
+    @pytest.mark.parametrize("stages", [3, 5, 9])
+    def test_ring_oscillator_matches(self, stages):
+        def run(simulator_class):
+            simulator = simulator_class(_ring_oscillator(stages))
+            return simulator.run(duration_ps=20_000.0, max_events=100_000)
+
+        assert _trace_signature(run(EventDrivenSimulator)) == _trace_signature(
+            run(_ReferenceEventDrivenSimulator)
+        )
+
+    @pytest.mark.parametrize("order", [(0, 1), (1, 0)])
+    def test_same_timestamp_glitch_on_one_gate(self, order):
+        """Two inputs of one AND2 switching at the same instant.
+
+        The reference evaluates the gate after *each* commit, scheduling
+        a zero-width glitch (two changes at one future timestamp); the
+        batched kernel must reproduce it, not collapse the delta cycle.
+        """
+        def build():
+            netlist = Netlist("glitch")
+            netlist.add_primary_input("a", initial=1)
+            netlist.add_primary_input("b", initial=0)
+            netlist.add_primary_output("y")
+            netlist.add_gate("g", STANDARD_LIBRARY.get("AND2"), ["a", "b"], "y")
+            return netlist
+
+        def run(simulator_class):
+            simulator = simulator_class(build())
+            # a falls and b rises at exactly t=100: the AND output is
+            # scheduled twice for t=100+delay.
+            stimuli = [("a", 0, 100.0), ("b", 1, 100.0)]
+            for net, value, time in (stimuli if order == (0, 1) else stimuli[::-1]):
+                simulator.schedule(net, value, time)
+            return simulator.settle()
+
+        fast = run(EventDrivenSimulator)
+        reference = run(_ReferenceEventDrivenSimulator)
+        assert _trace_signature(fast) == _trace_signature(reference)
+
+    def test_same_net_conflicting_events_at_same_time(self):
+        """Last write wins; the earlier same-time value still commits."""
+        def run(simulator_class):
+            simulator = simulator_class(random_dag_netlist(3))
+            simulator.schedule("in0", 1, 50.0)
+            simulator.schedule("in0", 0, 50.0)
+            simulator.schedule("in0", 0, 80.0)  # duplicate of current: skipped
+            return simulator.settle()
+
+        assert _trace_signature(run(EventDrivenSimulator)) == _trace_signature(
+            run(_ReferenceEventDrivenSimulator)
+        )
+
+    def test_zero_delay_environment_cascade(self):
+        """A 0 ps handshake rule schedules *at* the committing timestamp;
+        the new event must still run inside the same delta cycle sweep."""
+        from repro.circuit.simulator import HandshakeEnvironment, HandshakeRule
+
+        def build():
+            netlist = Netlist("zero")
+            netlist.add_primary_input("req")
+            netlist.add_primary_output("ack")
+            netlist.add_gate("b", STANDARD_LIBRARY.get("BUF"), ["req"], "ack")
+            return netlist
+
+        def run(simulator_class):
+            environment = HandshakeEnvironment(
+                [
+                    HandshakeRule("ack", 1, "req", 0, 0.0),
+                    HandshakeRule("ack", 0, "req", 1, 120.0),
+                ],
+                initial_stimuli=[("req", 1, 10.0)],
+            )
+            simulator = simulator_class(build(), [environment])
+            return simulator.run(duration_ps=5_000.0)
+
+        assert _trace_signature(run(EventDrivenSimulator)) == _trace_signature(
+            run(_ReferenceEventDrivenSimulator)
+        )
+
+    def test_wide_gates_use_threshold_rows(self):
+        """Gates too wide to enumerate compile to threshold/parity opcodes."""
+        from repro.circuit.library import GateType, _and, _nor, _xor
+        from repro.engine.events import (
+            OP_CALL,
+            OP_WIDE_AND,
+            OP_WIDE_NOR,
+            OP_WIDE_XOR,
+            TABLE_MAX_INPUTS,
+            CompiledNetlist,
+        )
+
+        width = TABLE_MAX_INPUTS + 2
+        def wide(name, fn):
+            return GateType(
+                name=name, num_inputs=width, eval_fn=fn, transistors=2 * width,
+                delay_ps=100.0, energy_pj=1.0,
+            )
+
+        netlist = Netlist("wide")
+        inputs = []
+        for i in range(width):
+            netlist.add_primary_input(f"in{i}", initial=i % 2)
+            inputs.append(f"in{i}")
+        netlist.add_gate("wand", wide("WAND", _and), inputs, "yand")
+        netlist.add_gate("wnor", wide("WNOR", _nor), inputs, "ynor")
+        netlist.add_gate("wxor", wide("WXOR", _xor), inputs, "yxor")
+        netlist.add_gate(
+            "wodd", wide("WODD", lambda ins, prev: ins[0]), inputs, "yodd"
+        )
+
+        compiled = CompiledNetlist(netlist)
+        by_name = {g.name: compiled.gate_op[i] for i, g in enumerate(compiled.gates)}
+        assert by_name == {
+            "wand": OP_WIDE_AND, "wnor": OP_WIDE_NOR,
+            "wxor": OP_WIDE_XOR, "wodd": OP_CALL,
+        }
+
+        def run(simulator_class):
+            simulator = simulator_class(netlist)
+            for i in range(width):
+                simulator.schedule(f"in{i}", (i + 1) % 2, 40.0 + 10.0 * i)
+            return simulator.settle()
+
+        assert _trace_signature(run(EventDrivenSimulator)) == _trace_signature(
+            run(_ReferenceEventDrivenSimulator)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_overunity_jitter_negative_delays_match(self, seed):
+        """delay_jitter > 1 makes effective gate delays negative, so gate
+        propagation itself can schedule into the past -- the batch drain
+        must yield to the earlier timestamp even with no environments."""
+        rng = random.Random(seed * 271 + 9)
+        netlist = random_dag_netlist(seed)
+        stimuli = random_stimuli(rng, netlist)
+
+        def run(simulator_class):
+            simulator = simulator_class(netlist, delay_jitter=1.5, seed=seed)
+            for net, value, time in stimuli:
+                simulator.schedule(net, value, time)
+            return simulator.run(duration_ps=5_000.0, max_events=50_000)
+
+        assert _trace_signature(run(EventDrivenSimulator)) == _trace_signature(
+            run(_ReferenceEventDrivenSimulator)
+        )
+
+    def test_nonbinary_initial_values_are_coerced_consistently(self):
+        """add_net/add_primary_input coerce like set_initial_value, so the
+        packed kernel state and the reference dicts see the same bits."""
+        def build():
+            netlist = Netlist("coerce")
+            netlist.add_primary_input("a", initial=2)   # truthy -> 1
+            netlist.add_primary_input("b", initial=-1)  # truthy -> 1
+            netlist.add_primary_output("y")
+            netlist.add_gate("g", STANDARD_LIBRARY.get("AND2"), ["a", "b"], "y")
+            return netlist
+
+        assert build().initial_values() == {"a": 1, "b": 1, "y": 0}
+
+        def run(simulator_class):
+            simulator = simulator_class(build())
+            simulator.schedule("a", 0, 60.0)
+            return simulator.settle()
+
+        assert _trace_signature(run(EventDrivenSimulator)) == _trace_signature(
+            run(_ReferenceEventDrivenSimulator)
+        )
+
+    def test_event_cap_keeps_unprocessed_batch_events(self):
+        """When max_events trips mid-batch, the not-yet-processed events
+        survive in the queue, exactly as many as the reference keeps."""
+        def build_and_overflow(simulator_class):
+            simulator = simulator_class(random_dag_netlist(2))
+            for i, net in enumerate(["in0", "in1", "in0", "in1"]):
+                simulator.schedule(net, i % 2, 100.0)
+            with pytest.raises(RuntimeError, match="exceeded 2 events"):
+                simulator.run(max_events=2)
+            return simulator
+
+        fast = build_and_overflow(EventDrivenSimulator)
+        reference = build_and_overflow(_ReferenceEventDrivenSimulator)
+        assert len(fast._kernel.queue) == len(reference._queue)
+
+    def test_unenumerable_gate_falls_back_to_call_and_matches(self):
+        """An eval_fn that raises during offline enumeration compiles to
+        OP_CALL: per-event evaluation, reference-identical traces and
+        reference-identical errors."""
+        from repro.circuit.library import GateType
+        from repro.engine.events import OP_CALL, CompiledNetlist
+
+        def touchy(inputs, prev):
+            if inputs[0] and inputs[1]:
+                raise RuntimeError("pull-down fight on touchy gate")
+            return inputs[0] or inputs[1]
+
+        gate_type = GateType(
+            name="TOUCHY", num_inputs=2, eval_fn=touchy,
+            transistors=4, delay_ps=90.0, energy_pj=0.4,
+        )
+
+        def build():
+            netlist = Netlist("touchy")
+            netlist.add_primary_input("a")
+            netlist.add_primary_input("b")
+            netlist.add_primary_output("y")
+            netlist.add_gate("g", gate_type, ["a", "b"], "y")
+            return netlist
+
+        compiled = CompiledNetlist(build())
+        assert compiled.gate_op == [OP_CALL]
+
+        def run(simulator_class, drive_both):
+            simulator = simulator_class(build())
+            simulator.schedule("a", 1, 10.0)
+            if drive_both:
+                simulator.schedule("b", 1, 200.0)
+            return simulator.settle()
+
+        # Benign stimulus: traces identical through the call fallback.
+        assert _trace_signature(run(EventDrivenSimulator, False)) == (
+            _trace_signature(run(_ReferenceEventDrivenSimulator, False))
+        )
+        # Poison stimulus: both raise the gate's own error at runtime
+        # (never at compile time).
+        messages = []
+        for simulator_class in (EventDrivenSimulator, _ReferenceEventDrivenSimulator):
+            with pytest.raises(RuntimeError) as excinfo:
+                run(simulator_class, True)
+            messages.append(str(excinfo.value))
+        assert messages[0] == messages[1] == "pull-down fight on touchy gate"
+
+
+class TestSimulatorReset:
+    """reset() fully re-arms the simulator, its RNG and its environments."""
+
+    def _run_once(self, simulator):
+        simulator.schedule("li", 1, 50.0)
+        return simulator.run(duration_ps=25_000.0, max_events=200_000)
+
+    def test_same_instance_runs_twice_identically(self, fifo_rt):
+        from repro.circuit.analysis import fifo_environment_rules
+        from repro.circuit.simulator import HandshakeEnvironment
+
+        environment = HandshakeEnvironment(
+            fifo_environment_rules(), jitter=0.25, seed=3
+        )
+        simulator = EventDrivenSimulator(
+            fifo_rt.netlist, [environment], delay_jitter=0.1, seed=3
+        )
+        first = _trace_signature(self._run_once(simulator))
+        simulator.reset()
+        second = _trace_signature(self._run_once(simulator))
+        assert first == second
+
+    def test_reference_reset_matches_kernel_reset(self):
+        netlist = random_dag_netlist(17)
+        rng = random.Random(99)
+        stimuli = random_stimuli(rng, netlist)
+
+        def run_twice(simulator_class):
+            simulator = simulator_class(netlist, delay_jitter=0.2, seed=17)
+            signatures = []
+            for _ in range(2):
+                for net, value, time in stimuli:
+                    simulator.schedule(net, value, time)
+                signatures.append(
+                    _trace_signature(simulator.run(duration_ps=5_000.0))
+                )
+                simulator.reset()
+            return signatures
+
+        fast_first, fast_second = run_twice(EventDrivenSimulator)
+        ref_first, ref_second = run_twice(_ReferenceEventDrivenSimulator)
+        assert fast_first == fast_second == ref_first == ref_second
+
+    def test_reset_drops_stale_queue_state(self):
+        """Events left pending by a duration-capped run never leak into
+        the next run after reset."""
+        simulator = EventDrivenSimulator(_ring_oscillator(5))
+        simulator.run(duration_ps=1_000.0, max_events=100_000)
+        assert len(simulator._kernel.queue) > 0  # oscillator still live
+        simulator.reset()
+        assert len(simulator._kernel.queue) == 0
+        trace = simulator.run(duration_ps=1_000.0, max_events=100_000)
+        fresh = EventDrivenSimulator(_ring_oscillator(5)).run(
+            duration_ps=1_000.0, max_events=100_000
+        )
+        assert _trace_signature(trace) == _trace_signature(fresh)
+
+
+class TestLazyWaveforms:
+    """The columnar trace materialises Waveform objects on first access."""
+
+    def _trace(self):
+        simulator = EventDrivenSimulator(random_dag_netlist(5))
+        simulator.schedule("in0", 1, 25.0)
+        simulator.schedule("in1", 1, 75.0)
+        return simulator.settle()
+
+    def test_mapping_protocol(self):
+        trace = self._trace()
+        waveforms = trace.waveforms
+        assert set(dict(waveforms)) == set(waveforms.keys())
+        assert waveforms.get("definitely-missing") is None
+        with pytest.raises(KeyError):
+            waveforms["definitely-missing"]
+        assert len(waveforms) == len(list(waveforms))
+
+    def test_materialised_objects_are_cached(self):
+        trace = self._trace()
+        first = trace.waveforms["in0"]
+        assert trace.waveforms["in0"] is first
+        assert isinstance(first, Waveform)
+        assert first.changes[0] == (0.0, first.changes[0][1])
+
+    def test_held_waveform_catches_up_after_second_run(self):
+        """A waveform materialised from run #1 is extended in place when
+        the mapping is read again after more simulation (aliasing like
+        the reference's live objects, caught up at lookup time)."""
+        simulator = EventDrivenSimulator(random_dag_netlist(5))
+        simulator.schedule("in0", 1, 25.0)
+        trace = simulator.settle()
+        held = trace.waveforms["in0"]
+        length_after_first = len(held.changes)
+        simulator.schedule("in0", 0, trace.end_time + 40.0)
+        simulator.settle()
+        assert trace.waveforms["in0"] is held
+        assert len(held.changes) == length_after_first + 1
+
+    def test_columns_round_trip_through_value_at(self):
+        trace = self._trace()
+        for net, waveform in trace.waveforms.items():
+            for probe, _value in waveform.changes:
+                assert waveform.value_at(probe) == _reference_value_at(
+                    waveform, probe
+                )
+
+
+# ---------------------------------------------------------------------------
 # RAPPID batched runner
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,128 @@
+"""Persistent worker pool: reuse, fork-safety guard, fallback policy.
+
+The pool (:mod:`repro.engine.pool`) is process-global state, so these
+tests always restore a clean slate via the ``fresh_pool`` fixture.
+"""
+
+import os
+
+import pytest
+
+from repro.engine import pool
+from repro.rappid.microarch import RappidDecoder
+from repro.rappid.workload import WorkloadGenerator
+
+
+@pytest.fixture
+def fresh_pool():
+    pool.shutdown()
+    yield
+    pool.shutdown()
+
+
+class TestPersistentPool:
+    def test_pool_is_created_lazily_and_reused(self, fresh_pool):
+        assert pool.worker_pids() == ()
+        first = pool.get_pool()
+        assert pool.get_pool() is first
+        assert pool.get_pool(max_workers=7) is first  # sized once, shared after
+
+    def test_shutdown_is_idempotent_and_allows_recreation(self, fresh_pool):
+        first = pool.get_pool()
+        pool.shutdown()
+        pool.shutdown()
+        second = pool.get_pool()
+        assert second is not first
+        assert list(second.map(int, "123")) == [1, 2, 3]
+
+    def test_fork_safety_guard_rebuilds_in_other_process(self, fresh_pool, monkeypatch):
+        first = pool.get_pool()
+        # Simulate being a forked child: the recorded creator PID no
+        # longer matches.  get_pool must hand out a *new* executor rather
+        # than the inherited (unusable) one.
+        monkeypatch.setattr(pool, "_POOL_PID", os.getpid() + 1)
+        second = pool.get_pool()
+        assert second is not first
+        pool.shutdown()
+
+    def test_repeated_run_sharded_reuses_workers(self, fresh_pool):
+        """Second call spawns no new processes (worker-pid probe)."""
+        generator = WorkloadGenerator(seed=4)
+        instructions, lines = generator.workload(4_000)
+        decoder = RappidDecoder()
+
+        first = decoder.run_sharded(
+            instructions, lines, shards=2, min_shard_instructions=64,
+            use_processes=True,
+        )
+        executor = pool.get_pool()
+        pids_after_first = pool.worker_pids()
+        assert pids_after_first, "forced pool run must have spawned workers"
+
+        second = decoder.run_sharded(
+            instructions, lines, shards=2, min_shard_instructions=64,
+            use_processes=True,
+        )
+        assert pool.get_pool() is executor
+        assert pool.worker_pids() == pids_after_first
+        assert first.issue_times_ps == second.issue_times_ps
+        assert first.total_time_ps == second.total_time_ps
+
+
+class TestPoolDecision:
+    def test_forced_modes_bypass_policy(self):
+        assert pool.decide(1_000_000, 4, forced=True) == (True, "forced-pool")
+        assert pool.decide(1_000_000, 4, forced=False) == (False, "forced-in-process")
+
+    def test_single_cpu_stays_in_process(self, monkeypatch):
+        monkeypatch.setattr(pool, "worker_count", lambda: 1)
+        use_pool, reason = pool.decide(10_000_000, 4)
+        assert not use_pool and reason == "single-cpu"
+        assert pool.LAST_DECISION["cpu_count"] == 1
+
+    def test_small_per_shard_work_stays_in_process(self, monkeypatch):
+        monkeypatch.setattr(pool, "worker_count", lambda: 8)
+        small = pool.POOL_MIN_SHARD_INSTRUCTIONS * 4 - 4
+        use_pool, reason = pool.decide(small, 4)
+        assert not use_pool and reason == "below-threshold"
+        use_pool, reason = pool.decide(small + 4, 4)
+        assert use_pool and reason == "pool"
+
+    def test_min_shard_instructions_raises_the_threshold(self, monkeypatch):
+        """The caller's knob takes effect above the calibrated floor."""
+        monkeypatch.setattr(pool, "worker_count", lambda: 8)
+        floor = pool.POOL_MIN_SHARD_INSTRUCTIONS
+        count = floor * 4 * 3  # 3x the floor per shard across 4 shards
+        assert pool.decide(count, 4) == (True, "pool")
+        assert pool.decide(count, 4, min_shard_instructions=floor * 4) == (
+            False,
+            "below-threshold",
+        )
+        # Below the floor the calibrated minimum still wins in auto mode.
+        assert pool.decide(floor * 4 - 4, 4, min_shard_instructions=1) == (
+            False,
+            "below-threshold",
+        )
+
+    def test_run_sharded_records_decision(self):
+        generator = WorkloadGenerator(seed=6)
+        instructions, lines = generator.workload(500)
+        RappidDecoder().run_sharded(instructions, lines, shards=4)
+        decision = pool.LAST_DECISION
+        assert decision["shards"] == 4
+        assert decision["cpu_count"] == pool.worker_count()
+        # 500 instructions never shard (below every threshold).
+        assert decision["use_pool"] is False
+
+    def test_auto_mode_on_this_host_never_regresses(self):
+        """Auto mode on a single-CPU host delegates before packing shards."""
+        if pool.worker_count() > 1:
+            pytest.skip("multi-CPU host: auto mode legitimately uses the pool")
+        generator = WorkloadGenerator(seed=8)
+        instructions, lines = generator.workload(5_000)
+        decoder = RappidDecoder()
+        sharded = decoder.run_sharded(
+            instructions, lines, shards=4, min_shard_instructions=64
+        )
+        assert pool.LAST_DECISION["reason"] == "single-cpu"
+        assert sharded.issue_times_ps == decoder.run(instructions, lines).issue_times_ps

@@ -192,6 +192,58 @@ class TestSimulatorDeterminism:
         assert run() == run()
 
 
+class TestHandshakeJitterDeterminism:
+    """HandshakeEnvironment jitter is seeded: reruns are reproducible and
+    seed changes actually move the response times."""
+
+    def _changes(self, netlist, env_seed):
+        from repro.circuit.analysis import fifo_environment_rules
+        from repro.circuit.simulator import HandshakeEnvironment
+
+        environment = HandshakeEnvironment(
+            fifo_environment_rules(),
+            jitter=0.3,
+            seed=env_seed,
+            initial_stimuli=[("li", 1, 50.0)],
+        )
+        simulator = EventDrivenSimulator(netlist, [environment], seed=0)
+        trace = simulator.run(duration_ps=30_000.0, max_events=200_000)
+        return {net: waveform.changes for net, waveform in trace.waveforms.items()}
+
+    @pytest.mark.parametrize("env_seed", range(5))
+    def test_same_seed_same_trace(self, fifo_rt, env_seed):
+        netlist = fifo_rt.netlist
+        assert self._changes(netlist, env_seed) == self._changes(netlist, env_seed)
+
+    def test_different_seeds_produce_different_traces(self, fifo_rt):
+        netlist = fifo_rt.netlist
+        baseline = self._changes(netlist, 0)
+        assert any(
+            self._changes(netlist, env_seed) != baseline for env_seed in (1, 2)
+        ), "jitter seed change never altered the trace"
+
+    def test_reset_rearms_environment_jitter(self, fifo_rt):
+        """After reset() the environment RNG restarts from its seed, so a
+        second run on the same simulator instance reproduces the first."""
+        from repro.circuit.analysis import fifo_environment_rules
+        from repro.circuit.simulator import HandshakeEnvironment
+
+        environment = HandshakeEnvironment(
+            fifo_environment_rules(),
+            jitter=0.3,
+            seed=11,
+            initial_stimuli=[("li", 1, 50.0)],
+        )
+        simulator = EventDrivenSimulator(fifo_rt.netlist, [environment], seed=11)
+        first = simulator.run(duration_ps=20_000.0, max_events=200_000)
+        first_changes = {n: list(w.changes) for n, w in first.waveforms.items()}
+        simulator.reset()
+        second = simulator.run(duration_ps=20_000.0, max_events=200_000)
+        assert {n: list(w.changes) for n, w in second.waveforms.items()} == (
+            first_changes
+        )
+
+
 class TestMarkingEncodingRoundTrip:
     @pytest.mark.parametrize("seed", range(50))
     def test_decode_encode_identity(self, seed):
