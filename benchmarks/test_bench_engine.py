@@ -17,6 +17,10 @@ replaced (and which remains in-tree for differential testing):
   the reference simulator on a ring oscillator and on a RAPPID-style
   32-byte-unit netlist; its transitions/sec trajectory is written to
   ``BENCH_sim.json``.
+* the batch fault-simulation engine behind ``simulate_faults`` is >= 5x
+  the retained per-fault reference loop on the FIFO corpus (Table 2
+  cells plus chained FIFOs), verdict-identical case by case; its
+  timings and per-case coverage land in ``BENCH_faultsim.json``.
 
 Timing methodology: the two sides are measured interleaved (reference,
 fast, reference, fast, ...) taking each side's best round, so a noisy
@@ -341,6 +345,149 @@ def test_bench_engine_sharded_exact_and_summary():
                 "single-CPU auto mode must delegate in-process (pool "
                 f"fallback), got {speedup_on_largest:.2f}x on the largest stream"
             )
+
+
+FAULTSIM_REQUIRED_SPEEDUP = 5.0
+
+
+def _fault_campaign_corpus(fifo_rt, fifo_si, fifo_bm):
+    """The FIFO fault-simulation corpus: Table 2 cells plus chained FIFOs.
+
+    Chains are the paper's Figure 6 structure built at netlist level
+    (``chain_handshake_cells``), which scales fault sites without
+    re-running synthesis.  Quick mode keeps one cell and one short chain.
+    """
+    from repro.circuit.analysis import (
+        chain_environment_rules as chain_rules,
+        fifo_environment_rules,
+    )
+    from repro.circuit.netlist import chain_handshake_cells
+
+    cell_rules = fifo_environment_rules()
+    cell_stimuli = [("li", 1, 50.0)]
+    rt = fifo_rt.netlist
+    si = fifo_si.netlist
+    if QUICK:
+        return {
+            "rt_cell": (rt, cell_rules, cell_stimuli, 15_000.0),
+            "rt_chain4": (
+                chain_handshake_cells(rt, 4),
+                chain_rules(4),
+                [("s0_li", 1, 50.0)],
+                15_000.0,
+            ),
+        }
+    bm = fifo_bm.netlist
+    corpus = {
+        "rt_cell": (rt, cell_rules, cell_stimuli, 30_000.0),
+        "si_cell": (si, cell_rules, cell_stimuli, 30_000.0),
+        "bm_cell": (bm, cell_rules, cell_stimuli, 30_000.0),
+    }
+    for label, cell in (("rt", rt), ("si", si)):
+        for stages in (8, 16):
+            corpus[f"{label}_chain{stages}"] = (
+                chain_handshake_cells(cell, stages),
+                chain_rules(stages),
+                [("s0_li", 1, 50.0)],
+                30_000.0,
+            )
+    return corpus
+
+
+def test_bench_engine_faultsim_campaign(fifo_rt, fifo_si, fifo_bm):
+    """Batch fault engine vs the per-fault reference on the FIFO corpus.
+
+    Verdicts (detected/undetected, reason strings) are asserted identical
+    case by case before any timing, so this doubles as a differential
+    check at campaign scale; the wall-clock target is
+    ``FAULTSIM_REQUIRED_SPEEDUP`` on the corpus total.  Writes
+    ``BENCH_faultsim.json`` (per-case fault counts, coverage, timings,
+    and the pool decision of the batch run) next to the other BENCH
+    files; quick mode shrinks the corpus and skips the timing assertion
+    but still writes the summary, marked ``"quick": true``.
+    """
+    from repro.engine import pool as engine_pool
+    from repro.engine.rappid_batch import _worker_count
+    from repro.testability.simulation import (
+        _reference_simulate_faults,
+        campaign_signature,
+        simulate_faults,
+    )
+
+    corpus = _fault_campaign_corpus(fifo_rt, fifo_si, fifo_bm)
+
+    # Parity at full fidelity before timing anything; the per-case batch
+    # results (and the pool decision of each batch run) feed the summary
+    # below -- campaigns are deterministic, so no extra pass is needed.
+    case_results = {}
+    decision = {}
+    for label, (netlist, rules, stimuli, duration) in corpus.items():
+        batch = simulate_faults(netlist, rules, stimuli, duration_ps=duration)
+        decision = dict(engine_pool.LAST_DECISION)
+        reference = _reference_simulate_faults(
+            netlist, rules, stimuli, duration_ps=duration
+        )
+        assert campaign_signature(batch) == campaign_signature(reference), label
+        case_results[label] = batch
+
+    def run_reference():
+        for netlist, rules, stimuli, duration in corpus.values():
+            _reference_simulate_faults(netlist, rules, stimuli, duration_ps=duration)
+
+    def run_batch():
+        for netlist, rules, stimuli, duration in corpus.values():
+            simulate_faults(netlist, rules, stimuli, duration_ps=duration)
+
+    attempts = 1 if QUICK else 3
+    speedup = 0.0
+    for _attempt in range(attempts):
+        reference_time, batch_time = _interleaved_best(
+            run_reference, run_batch, rounds=1 if QUICK else 2
+        )
+        speedup = reference_time / batch_time
+        if speedup >= FAULTSIM_REQUIRED_SPEEDUP:
+            break
+
+    summary = {
+        "quick": QUICK,
+        "cpu_count": _worker_count(),
+        "reference_s": round(reference_time, 3),
+        "batch_s": round(batch_time, 3),
+        "speedup": round(speedup, 2),
+        "pool_decision": {
+            "use_pool": bool(decision.get("use_pool")),
+            "reason": decision.get("reason"),
+        },
+        "cases": {},
+    }
+    total_faults = 0
+    for label, results in case_results.items():
+        netlist = corpus[label][0]
+        detected = sum(1 for result in results if result.detected)
+        total_faults += len(results)
+        summary["cases"][label] = {
+            "gates": netlist.gate_count(),
+            "faults": len(results),
+            "detected": detected,
+            "coverage_percent": round(100.0 * detected / max(len(results), 1), 1),
+        }
+    summary["faults"] = total_faults
+    print(
+        f"\n[bench-engine] faultsim corpus ({total_faults} faults): reference "
+        f"{reference_time * 1e3:.0f} ms, batch {batch_time * 1e3:.0f} ms "
+        f"-> {speedup:.2f}x"
+    )
+
+    out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_faultsim.json")
+    with open(out_path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    if not QUICK:
+        assert speedup >= FAULTSIM_REQUIRED_SPEEDUP, (
+            f"batch fault simulation speedup {speedup:.2f}x below "
+            f"{FAULTSIM_REQUIRED_SPEEDUP}x target on the FIFO corpus"
+        )
 
 
 def test_bench_engine_rappid_throughput_summary():

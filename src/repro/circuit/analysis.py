@@ -151,3 +151,22 @@ def fifo_environment_rules(
         HandshakeRule("ro", 1, "ri", 1, right_delay_ps),
         HandshakeRule("ro", 0, "ri", 0, right_delay_ps),
     ]
+
+
+def chain_environment_rules(
+    stages: int, left_delay_ps: float = 200.0, right_delay_ps: float = 200.0
+) -> List[HandshakeRule]:
+    """:func:`fifo_environment_rules` for a chained FIFO.
+
+    Matches the net naming of
+    :func:`repro.circuit.netlist.chain_handshake_cells`: only the chain
+    ends face the environment -- the left rules react to ``s0_lo`` and
+    the right ones mirror ``s{last}_ro``.
+    """
+    last = stages - 1
+    return [
+        HandshakeRule("s0_lo", 1, "s0_li", 0, left_delay_ps),
+        HandshakeRule("s0_lo", 0, "s0_li", 1, left_delay_ps),
+        HandshakeRule(f"s{last}_ro", 1, f"s{last}_ri", 1, right_delay_ps),
+        HandshakeRule(f"s{last}_ro", 0, f"s{last}_ri", 0, right_delay_ps),
+    ]

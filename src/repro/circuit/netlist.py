@@ -184,6 +184,59 @@ class Netlist:
         return "\n".join(lines)
 
 
+def chain_handshake_cells(
+    cell: Netlist,
+    stages: int,
+    left: Tuple[str, str] = ("li", "lo"),
+    right: Tuple[str, str] = ("ri", "ro"),
+    name: Optional[str] = None,
+) -> Netlist:
+    """Chain ``stages`` copies of a handshake cell into a linear FIFO.
+
+    The paper's Figure 6 structure at netlist level: every cell's right
+    handshake drives its successor's left one (``ro[i]`` becomes
+    ``li[i+1]``, ``lo[i+1]`` becomes ``ri[i]``), so each cell is its
+    neighbours' environment and only the chain ends face the outside.
+    Nets of stage ``i`` are prefixed ``s{i}_``; the chain's primary
+    inputs are the first cell's ``li`` and the last cell's ``ri``, its
+    primary outputs the first cell's ``lo`` and the last cell's ``ro``.
+    Initial values carry over per cell.  Used by the fault-simulation
+    benchmarks and differential tests to scale the FIFO corpus without
+    re-running synthesis.
+    """
+    if stages < 1:
+        raise NetlistError("a handshake chain needs at least one stage")
+    left_in, left_out = left
+    right_in, right_out = right
+    chained = Netlist(name or f"{cell.name}_chain{stages}")
+
+    def net_of(stage: int, net: str) -> str:
+        if net == left_in and stage > 0:
+            return f"s{stage - 1}_{right_out}"
+        if net == right_in and stage < stages - 1:
+            return f"s{stage + 1}_{left_out}"
+        return f"s{stage}_{net}"
+
+    chained.add_primary_input(f"s0_{left_in}", initial=cell.initial_value(left_in))
+    chained.add_primary_input(
+        f"s{stages - 1}_{right_in}", initial=cell.initial_value(right_in)
+    )
+    chained.add_primary_output(f"s0_{left_out}")
+    chained.add_primary_output(f"s{stages - 1}_{right_out}")
+    for stage in range(stages):
+        for net in cell.nets:
+            chained.add_net(net_of(stage, net), initial=cell.initial_value(net))
+        for gate in cell.gates:
+            chained.add_gate(
+                f"s{stage}_{gate.name}",
+                gate.gate_type,
+                [net_of(stage, net) for net in gate.inputs],
+                net_of(stage, gate.output),
+                output_initial=cell.initial_value(gate.output),
+            )
+    return chained
+
+
 def build_ring_oscillator(stages: int = 5, name: Optional[str] = None) -> Netlist:
     """An odd ring of inverters with one primed net: oscillates forever.
 

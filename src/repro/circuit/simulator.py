@@ -178,6 +178,18 @@ class EventDrivenSimulator:
     materialise :class:`Waveform` objects lazily.  The observable
     behaviour -- commit order, waveforms, RNG draw order under jitter --
     is identical to the retained :class:`_ReferenceEventDrivenSimulator`.
+
+    Two hooks serve the batch fault-simulation engine
+    (:mod:`repro.engine.faultsim`) and anyone else sweeping many variants
+    of one circuit: ``compiled`` reuses an existing
+    :class:`~repro.engine.events.CompiledNetlist` instead of recompiling
+    (compilation enumerates every gate's truth table and dominates
+    construction cost for complex-gate netlists), and ``stuck_at`` pins
+    one net to a constant through a compiled-table overlay -- the net's
+    driver gate is patched to an ``OP_CONST`` row and the net's initial
+    value is pinned, which is observably identical to rebuilding the
+    netlist with a constant-output gate type in the driver's place.
+    Neither hook changes behaviour when left at its default.
     """
 
     def __init__(
@@ -186,14 +198,26 @@ class EventDrivenSimulator:
         environments: Optional[Sequence[Environment]] = None,
         delay_jitter: float = 0.0,
         seed: int = 0,
+        compiled: Optional[CompiledNetlist] = None,
+        stuck_at: Optional[Tuple[str, int]] = None,
     ) -> None:
-        netlist.validate()
+        if compiled is None:
+            netlist.validate()
+            compiled = CompiledNetlist(netlist)
         self.netlist = netlist
         self.environments = list(environments or [])
         self.delay_jitter = delay_jitter
         self.seed = seed
-        self._compiled = CompiledNetlist(netlist)
-        self._kernel = SimKernel(self._compiled, Waveform, delay_jitter)
+        self._compiled = compiled
+        overlay = None
+        if stuck_at is not None:
+            net, value = stuck_at
+            slot = compiled.net_index.get(net)
+            if slot is None:
+                raise NetlistError(f"unknown net {net!r}")
+            overlay = (slot, int(bool(value)))
+        self.stuck_at = stuck_at
+        self._kernel = SimKernel(compiled, Waveform, delay_jitter, overlay=overlay)
         self.reset()
 
     # -- state management -----------------------------------------------------------

@@ -56,6 +56,18 @@ When delegation kicks in
   materialise ``Waveform`` objects lazily
   (:class:`~repro.engine.simkernel.LazyWaveforms`).  The naive simulator
   is retained as ``_ReferenceEventDrivenSimulator``.
+* ``repro.testability`` fault campaigns run on
+  :class:`~repro.engine.faultsim.FaultSimEngine`: the netlist compiles
+  once, stuck-at faults become ``OP_CONST`` overlays on the compiled
+  tables (:meth:`~repro.engine.events.CompiledNetlist.stuck_at_overlay`),
+  and the golden run plus every fault copy sweep through one packed
+  multi-copy kernel pass (detected copies drop out of observable
+  bookkeeping the moment they diverge).  Large campaigns shard over the
+  persistent pool, with the compiled tables published once per campaign
+  through the shared-memory payload path
+  (:func:`~repro.engine.pool.publish_payload`).  The per-fault
+  netlist-rebuilding loop is retained as
+  ``repro.testability.simulation._reference_simulate_faults``.
 * ``RappidDecoder.run`` delegates to
   :func:`~repro.engine.rappid_batch.run_batched`, which performs the same
   floating-point operations in the same order as the retained
@@ -77,6 +89,7 @@ including raised errors -- are indistinguishable from the naive code.
 """
 
 from repro.engine.events import BatchEventQueue, CompiledNetlist
+from repro.engine.faultsim import FaultSimEngine
 from repro.engine.marking import EncodingError, NetEncoding, explore_net
 from repro.engine.rappid_batch import ShardState, run_batched, run_sharded
 from repro.engine.simkernel import LazyWaveforms, SimKernel
@@ -85,6 +98,7 @@ __all__ = [
     "BatchEventQueue",
     "CompiledNetlist",
     "EncodingError",
+    "FaultSimEngine",
     "LazyWaveforms",
     "NetEncoding",
     "ShardState",

@@ -24,10 +24,21 @@ into the flat, index-based form the simulation kernel
     evaluation functions that raise during enumeration).  This preserves
     the reference simulator's error behaviour exactly: a mis-wired gate
     still raises at its first evaluation, not at compile time.
+  - ``OP_CONST`` -- the gate drives a constant (the packed row is the
+    value).  Never produced by :func:`_compile_gate`; it exists for
+    *stuck-at overlays* (:meth:`CompiledNetlist.stuck_at_overlay`), which
+    patch the driver of a faulted net to a constant without rebuilding or
+    recompiling the netlist.
 
 Compilation calls ``eval_fn`` up to ``2 ** (n + 1)`` times per gate (n
 inputs plus the state bit), once, at construction; every simulated event
 afterwards is a shift-and-mask.
+
+For worker processes, :meth:`CompiledNetlist.to_tables` exports the flat
+tables as plain picklable containers (``OP_CALL`` rows carry arbitrary
+callables and cannot be shipped; the export refuses them) and
+:meth:`CompiledNetlist.from_tables` rebuilds a compiled view on the other
+side without ever touching a :class:`~repro.circuit.netlist.Netlist`.
 """
 
 from __future__ import annotations
@@ -46,6 +57,7 @@ OP_WIDE_OR = 3
 OP_WIDE_NOR = 4
 OP_WIDE_XOR = 5
 OP_CALL = 6
+OP_CONST = 7  # overlay-only: row is the constant output value
 
 # Widest gate whose truth table is enumerated (2**(n+1) evaluations).
 TABLE_MAX_INPUTS = 10
@@ -119,9 +131,12 @@ class CompiledNetlist:
         "gate_row",
         "gate_call",
         "gate_delay",
+        "driver_of",
     )
 
-    def __init__(self, netlist: "Netlist") -> None:
+    def __init__(self, netlist: Optional["Netlist"]) -> None:
+        if netlist is None:  # from_tables fills the slots itself
+            return
         self.net_names: List[str] = netlist.nets
         self.net_index: Dict[str, int] = {
             name: slot for slot, name in enumerate(self.net_names)
@@ -140,6 +155,7 @@ class CompiledNetlist:
         self.gate_call: List[Optional[Callable]] = []
         self.gate_delay: List[float] = []
         self.fanout: List[Tuple[int, ...]] = []
+        self.driver_of: List[int] = [-1] * len(self.net_names)
         fanout: List[List[int]] = [[] for _ in self.net_names]
         for slot, gate in enumerate(self.gates):
             self.gate_inputs.append(tuple(index[net] for net in gate.inputs))
@@ -149,9 +165,87 @@ class CompiledNetlist:
             self.gate_row.append(row)
             self.gate_call.append(call)
             self.gate_delay.append(gate.gate_type.delay_ps)
+            self.driver_of[index[gate.output]] = slot
             for net in dict.fromkeys(gate.inputs):  # dedupe, keep order
                 fanout[index[net]].append(slot)
         self.fanout = [tuple(slots) for slots in fanout]
+
+    # -- stuck-at overlay -------------------------------------------------------------
+    def has_call_gates(self) -> bool:
+        """True when any gate fell back to ``OP_CALL`` (unpicklable rows)."""
+        return any(op == OP_CALL for op in self.gate_op)
+
+    def stuck_at_overlay(
+        self, net_slot: int, value: int
+    ) -> Tuple[List[int], List[int], List[int]]:
+        """Patched ``(gate_op, gate_row, initial_values)`` pinning one net.
+
+        The driver gate of ``net_slot`` (at most one -- netlists are
+        single-driver) becomes ``OP_CONST`` with the pinned value as its
+        row, and the net's initial value is pinned too: exactly the
+        semantics of rebuilding the netlist with a constant-output gate
+        type in place of the driver, without recompiling anything.  The
+        returned lists are shallow copies; every other table is shared
+        with the un-faulted compilation.
+        """
+        value = int(bool(value))
+        gate_op = list(self.gate_op)
+        gate_row = list(self.gate_row)
+        initial = list(self.initial_values)
+        initial[net_slot] = value
+        driver = self.driver_of[net_slot]
+        if driver >= 0:
+            gate_op[driver] = OP_CONST
+            gate_row[driver] = value
+        return gate_op, gate_row, initial
+
+    # -- worker shipping --------------------------------------------------------------
+    def to_tables(self) -> Dict[str, object]:
+        """Flat, picklable export of the compiled form.
+
+        ``OP_CALL`` gates carry bound Python callables (arbitrary
+        ``eval_fn`` closures) that cannot cross a process boundary; the
+        caller is expected to keep such netlists in-process.
+        """
+        if self.has_call_gates():
+            raise ValueError(
+                "netlist has OP_CALL gates; compiled tables cannot be shipped"
+            )
+        return {
+            "net_names": list(self.net_names),
+            "initial_values": list(self.initial_values),
+            "fanout": list(self.fanout),
+            "gate_inputs": list(self.gate_inputs),
+            "gate_output": list(self.gate_output),
+            "gate_op": list(self.gate_op),
+            "gate_row": list(self.gate_row),
+            "gate_delay": list(self.gate_delay),
+            "driver_of": list(self.driver_of),
+        }
+
+    @classmethod
+    def from_tables(cls, tables: Dict[str, object]) -> "CompiledNetlist":
+        """Rebuild a compiled view from :meth:`to_tables` output.
+
+        The view has no backing ``Netlist``; ``gates`` holds ``None``
+        placeholders (only its length is consulted by the kernels).
+        """
+        compiled = cls(None)
+        compiled.net_names = list(tables["net_names"])
+        compiled.net_index = {
+            name: slot for slot, name in enumerate(compiled.net_names)
+        }
+        compiled.initial_values = list(tables["initial_values"])
+        compiled.fanout = [tuple(slots) for slots in tables["fanout"]]
+        compiled.gate_inputs = [tuple(slots) for slots in tables["gate_inputs"]]
+        compiled.gate_output = list(tables["gate_output"])
+        compiled.gate_op = list(tables["gate_op"])
+        compiled.gate_row = list(tables["gate_row"])
+        compiled.gate_call = [None] * len(compiled.gate_op)
+        compiled.gate_delay = list(tables["gate_delay"])
+        compiled.driver_of = list(tables["driver_of"])
+        compiled.gates = [None] * len(compiled.gate_op)
+        return compiled
 
 
 class BatchEventQueue:

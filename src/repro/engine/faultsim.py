@@ -1,0 +1,808 @@
+"""Batch-parallel stuck-at fault simulation.
+
+``repro.testability`` used to reproduce the paper's COSMOS stuck-at
+columns by rebuilding a fresh :class:`~repro.circuit.netlist.Netlist` and
+a fresh :class:`~repro.circuit.simulator.EventDrivenSimulator` for every
+single fault: a campaign over N fault sites paid 2N+1 netlist builds and
+2N+1 compilations (truth-table enumeration dominates for the complex-gate
+FIFOs) before any event was processed.  This module is the batch engine
+behind the rewritten :func:`repro.testability.simulation.simulate_faults`:
+
+* **One compilation.**  The fault-free netlist compiles once
+  (:class:`~repro.engine.events.CompiledNetlist`); the golden run and
+  every fault copy execute over the same opcode tables.
+* **Faults are overlays, not netlists.**  A stuck-at fault becomes a
+  per-copy ``(net, pinned value)`` overlay on the compiled tables
+  (:meth:`~repro.engine.events.CompiledNetlist.stuck_at_overlay`): the
+  faulted net's driver gate is patched to an ``OP_CONST`` row and the
+  net's initial value is pinned.  That is observably identical to the
+  old approach of synthesizing a ``*_SA0/1`` constant gate type into a
+  rebuilt netlist -- the constant driver never schedules (its output
+  always equals its pending value), the pinned initial value matches,
+  and the driver's delay/sequential characterisation is untouched.
+* **One kernel sweep over all copies.**  :class:`_FaultSweep` compiles
+  the environment, observable mapping, and golden signature exactly
+  once, then runs every fault copy through the same delta-cycle event
+  loop as :class:`~repro.engine.simkernel.SimKernel`, each over its own
+  flat state block (``bytearray`` values/pending/gate-state).  Copies
+  record no waveform columns at all -- only per-observable transition
+  counts -- and a copy is **dropped early** the moment it diverges from the golden
+  trace (its transition count on some observable exceeds the golden
+  run's final count, which is monotone and therefore a committed
+  detection).  Dropping must not change the *reason* string: a faulty
+  circuit that would have exploded past ``max_events`` has to report the
+  oscillation error, not a generic difference.  So a diverged copy keeps
+  draining, but with an exact shortcut: stuck-at oscillations are
+  periodic, and when every delay in the system is an integer picosecond
+  count (the library's are) all event times are exactly-representable
+  doubles, so once a ``(state, relative queue)`` snapshot repeats the
+  remaining event count extrapolates *exactly* -- the copy either
+  reports the oscillation error immediately, or retires as an
+  observable difference without simulating the remaining cycles (at
+  most one partial tail cycle runs when ``max_events`` lands inside
+  it).  Non-integral delays or aperiodic behaviour simply fall back to
+  draining in full, still bit-identical.
+* **Shards ride the persistent pool.**  Large campaigns split
+  round-robin across the process-global pool (:mod:`repro.engine.pool`).
+  The compiled tables, environment, and golden signature are published
+  **once** per campaign through the shared-memory payload path
+  (:func:`repro.engine.pool.publish_payload`); every shard call ships
+  only the tiny payload handle plus its fault list, and workers cache
+  the reconstructed sweep per campaign token, so nothing is re-pickled
+  per call.  Netlists with ``OP_CALL`` gates (uncompilable ``eval_fn``
+  closures) cannot cross a process boundary and automatically stay
+  in-process, recorded in ``pool.LAST_DECISION``.
+
+Verdicts -- the detected/undetected split, reason strings, and therefore
+every coverage percentage -- are bit-identical to the retained
+``_reference_simulate_faults`` loop; ``tests/test_engine_differential.py``
+enforces this over the synthesized FIFO fixtures and seeded handshake
+pipelines for shard counts 1-4.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine import pool
+from repro.engine.events import (
+    OP_CALL,
+    OP_CONST,
+    OP_TABLE,
+    OP_WIDE_AND,
+    OP_WIDE_NAND,
+    OP_WIDE_NOR,
+    OP_WIDE_OR,
+    OP_WIDE_XOR,
+    BatchEventQueue,
+    CompiledNetlist,
+)
+
+# Below this many faults per shard the payload/IPC overhead outweighs
+# parallel sweeping even on warm workers (a fault copy is milliseconds).
+FAULTSIM_MIN_FAULTS_PER_SHARD = 8
+
+REASON_DIFFERENT = "observable difference"
+REASON_SAME = "no observable difference"
+REASON_ABNORMAL = "abnormal behaviour"
+
+# Worker-side cache: campaign payload token -> reconstructed _FaultSweep,
+# so a persistent worker serving many shard calls of one campaign builds
+# the sweep (unpickle + golden adoption) exactly once.
+_SWEEP_CACHE_MAX = 4
+_SWEEP_CACHE: Dict[str, "_FaultSweep"] = {}
+
+_NO_RULES: Tuple = ()
+
+# Cap on the number of (state, queue) snapshots kept while hunting for a
+# period in a diverged copy; aperiodic copies stop snapshotting past it
+# and simply drain in full.
+_CYCLE_SNAPSHOT_MAX = 20_000
+
+
+def _exact_integer(value: float) -> bool:
+    """True when ``value`` is an integer exactly representable as a double."""
+    return value == int(value) and abs(value) < 2.0**53
+
+
+def _compile_rules(rules, net_index: Dict[str, int], num_nets: int):
+    """Handshake rules as a flat jump table indexed by ``slot * 2 + value``.
+
+    Preserves the reference environment's semantics exactly: for each
+    committed change every matching rule fires in declaration order.  A
+    rule triggered by a net the netlist does not have can never fire; a
+    rule *targeting* an unknown net keeps the name so the fire-time
+    error matches ``EventDrivenSimulator.schedule``.
+    """
+    table: List[Tuple[Tuple[int, int, float, str], ...]] = [
+        _NO_RULES for _ in range(2 * num_nets)
+    ]
+    grouped: Dict[int, List[Tuple[int, int, float, str]]] = {}
+    for rule in rules:
+        trigger_slot = net_index.get(rule.trigger)
+        if trigger_slot is None:
+            continue
+        key = trigger_slot * 2 + int(bool(rule.trigger_value))
+        grouped.setdefault(key, []).append(
+            (
+                net_index.get(rule.target, -1),
+                int(bool(rule.target_value)),
+                float(rule.delay_ps),
+                rule.target,
+            )
+        )
+    for key, entries in grouped.items():
+        table[key] = tuple(entries)
+    return table
+
+
+class _FaultSweep:
+    """Golden run plus a batch of fault copies over one compiled netlist.
+
+    Holds everything a sweep needs -- compiled tables, the compiled
+    handshake environment, observable slots, the golden signature -- and
+    none of the campaign policy (sharding, pooling, fault bookkeeping),
+    which lives in :class:`FaultSimEngine`.
+    """
+
+    __slots__ = (
+        "compiled",
+        "rules_by",
+        "stimuli",
+        "obs_slots",
+        "obs_of",
+        "duration_ps",
+        "max_events",
+        "integral_times",
+        "golden_finals",
+        "golden_counts",
+    )
+
+    def __init__(
+        self,
+        compiled: CompiledNetlist,
+        rules_by,
+        stimuli: Sequence[Tuple[int, int, float]],
+        obs_slots: Sequence[int],
+        duration_ps: Optional[float],
+        max_events: int,
+        golden: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None,
+    ) -> None:
+        self.compiled = compiled
+        self.rules_by = rules_by
+        self.stimuli = tuple(stimuli)
+        self.obs_slots = tuple(obs_slots)
+        self.obs_of = [-1] * len(compiled.net_names)
+        for index, slot in enumerate(self.obs_slots):
+            self.obs_of[slot] = index
+        self.duration_ps = duration_ps
+        self.max_events = max_events
+        # Every event time is a sum of stimulus times and gate/rule
+        # delays; when all of those are integers, every time is an
+        # exactly-representable double and the periodic-extrapolation
+        # shortcut for diverged copies is exact (shifting all queue
+        # times by a whole number of periods is lossless).
+        self.integral_times = all(
+            _exact_integer(value)
+            for value in (
+                list(compiled.gate_delay)
+                + [time for _slot, _value, time in self.stimuli]
+                + [
+                    entry[2]
+                    for entries in rules_by
+                    for entry in entries
+                ]
+            )
+        )
+        if golden is None:
+            # Golden exceptions propagate: an oscillating fault-free
+            # circuit is a campaign setup error, exactly as it is for
+            # the per-fault reference loop.
+            finals, counts, _diverged = self._run_copy(None)
+            golden = (finals, counts)
+        self.golden_finals, self.golden_counts = golden
+
+    def golden_signature(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        return self.golden_finals, self.golden_counts
+
+    def sweep(
+        self, faults: Sequence[Tuple[int, int]]
+    ) -> List[Tuple[bool, str]]:
+        """Verdicts for ``faults`` (``(net slot, value)``; slot -1 = no-op).
+
+        Every copy runs through the one compiled event loop with its own
+        flat state block; the shared tables, environment, observable
+        mapping, and golden signature are built exactly once.
+        """
+        golden = (self.golden_finals, self.golden_counts)
+        verdicts: List[Tuple[bool, str]] = []
+        for slot, value in faults:
+            overlay = None if slot < 0 else (slot, value)
+            try:
+                finals, counts, diverged = self._run_copy(overlay, golden)
+            except (RuntimeError, ValueError) as exc:
+                # Oscillation, event explosion, or a gate evaluation
+                # blowing up under the pinned value: all observable.
+                verdicts.append((True, f"{REASON_ABNORMAL}: {exc}"))
+                continue
+            if (
+                diverged
+                or finals != self.golden_finals
+                or counts != self.golden_counts
+            ):
+                verdicts.append((True, REASON_DIFFERENT))
+            else:
+                verdicts.append((False, REASON_SAME))
+        return verdicts
+
+    # -- one copy through the kernel loop ---------------------------------------------
+    def _run_copy(
+        self,
+        overlay: Optional[Tuple[int, int]],
+        golden: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None,
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...], bool]:
+        """Simulate one copy; returns ``(finals, counts, diverged)``.
+
+        ``golden is None`` is the recording (golden) run; otherwise the
+        copy is compared against the golden counts as it goes and drops
+        out of observable bookkeeping once divergence is committed
+        (``diverged`` true forces the detected verdict regardless of the
+        frozen counts).  Mirrors ``SimKernel.settle`` + ``SimKernel.drain``
+        (jitter-free) over the copy's flat state block.
+        """
+        compiled = self.compiled
+        num_nets = len(compiled.net_names)
+        num_gates = len(compiled.gate_op)
+        if overlay is None:
+            gate_op = compiled.gate_op
+            gate_row = compiled.gate_row
+            initial = compiled.initial_values
+        else:
+            gate_op, gate_row, initial = compiled.stuck_at_overlay(*overlay)
+        gate_inputs = compiled.gate_inputs
+        gate_output = compiled.gate_output
+        gate_call = compiled.gate_call
+        gate_delay = compiled.gate_delay
+        fanout = compiled.fanout
+        rules_by = self.rules_by
+        obs_of = self.obs_of
+
+        # The copy's flat state block.
+        vals = bytearray(initial)
+        pend = vals[:]
+        gstate = bytearray(vals[output] for output in gate_output)
+
+        queue = BatchEventQueue()
+        counts = [0] * len(self.obs_slots)
+        golden_counts = None if golden is None else golden[1]
+        counting = True
+
+        # Settle pass (gate state intentionally not updated), then the
+        # environment's initial stimuli: the reference ``run()`` order.
+        for gate_slot in range(num_gates):
+            op = gate_op[gate_slot]
+            if op == OP_TABLE:
+                idx = gstate[gate_slot]
+                for slot in gate_inputs[gate_slot]:
+                    idx += idx + vals[slot]
+                output = (gate_row[gate_slot] >> idx) & 1
+            elif op == OP_CONST:
+                output = gate_row[gate_slot]
+            elif op == OP_CALL:
+                output = gate_call[gate_slot](
+                    [vals[slot] for slot in gate_inputs[gate_slot]],
+                    gstate[gate_slot],
+                )
+            else:
+                total = 0
+                for slot in gate_inputs[gate_slot]:
+                    total += vals[slot]
+                if op == OP_WIDE_AND:
+                    output = 1 if total == gate_row[gate_slot] else 0
+                elif op == OP_WIDE_NAND:
+                    output = 0 if total == gate_row[gate_slot] else 1
+                elif op == OP_WIDE_OR:
+                    output = 1 if total else 0
+                elif op == OP_WIDE_NOR:
+                    output = 0 if total else 1
+                else:
+                    output = total & 1
+            output_slot = gate_output[gate_slot]
+            if output != vals[output_slot]:
+                queue.push(gate_delay[gate_slot], output_slot, output)
+                pend[output_slot] = output
+        for slot, value, time in self.stimuli:
+            queue.push(time, slot, value)
+            pend[slot] = value
+
+        heap_times = queue._times
+        buckets = queue._buckets
+        limit = float("inf") if self.duration_ps is None else self.duration_ps
+        max_events = self.max_events
+        processed = 0
+        diverged = False
+        # Period hunt: (state, relative queue) -> (processed, time,
+        # observable counts) at the top of the drain loop.  Fault copies
+        # with exact (integral) event times snapshot from the start;
+        # oversized queues (event avalanches never become periodic) and
+        # the golden run do not.
+        snapshots: Optional[Dict] = None
+        if golden is not None and self.integral_times:
+            snapshots = {}
+        queue_cap = 8 * num_nets + 64
+
+        while queue._count:
+            batch_time = heap_times[0]
+            if batch_time > limit:
+                break
+            if processed + queue._count > max_events:
+                # Every queued event at or before the limit must be
+                # popped before the loop can end any other way, so the
+                # event cap is provably crossed: raise the reference's
+                # oscillation error without draining the flood.  (Event
+                # avalanches -- glitch trains amplified through
+                # reconvergent fanout -- grow the queue geometrically
+                # and are never periodic.)
+                eligible = processed + sum(
+                    len(nets)
+                    for time, (nets, _values) in buckets.items()
+                    if time <= limit
+                )
+                if eligible > max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events; "
+                        "the circuit is probably oscillating"
+                    )
+            if (
+                snapshots is not None
+                and queue._count <= queue_cap
+                and len(snapshots) < _CYCLE_SNAPSHOT_MAX
+            ):
+                # Two-level key: the flat state bytes are cheap to build
+                # every iteration; the relative queue tuple (sorting,
+                # nested tuples) is only built when the flat state has
+                # been seen before -- i.e. when a repeat is plausible.
+                # A fresh flat state is stored without its queue; the
+                # first revisit anchors the entry with the queue seen
+                # then (which, for a periodic orbit, is already the
+                # orbit's queue even when the flat state also occurred
+                # during the transient); later revisits compare exactly.
+                cheap_key = bytes(vals) + bytes(pend) + bytes(gstate)
+                seen = snapshots.get(cheap_key)
+                if seen is None:
+                    snapshots[cheap_key] = (
+                        processed,
+                        batch_time,
+                        tuple(counts),
+                        None,
+                    )
+                else:
+                    seen_processed, seen_time, seen_counts, seen_queue = seen
+                    queue_rel = tuple(
+                        (
+                            time - batch_time,
+                            tuple(buckets[time][0]),
+                            tuple(buckets[time][1]),
+                        )
+                        for time in sorted(buckets)
+                    )
+                    if seen_queue is None:
+                        snapshots[cheap_key] = (
+                            processed,
+                            batch_time,
+                            tuple(counts),
+                            queue_rel,
+                        )
+                    elif queue_rel == seen_queue:
+                        period = batch_time - seen_time
+                        period_events = processed - seen_processed
+                        if period > 0 and period_events > 0:
+                            # The trajectory is periodic: the remaining
+                            # evolution (events, observable commits, the
+                            # verdict) extrapolates exactly.
+                            resolution = self._extrapolate_cycles(
+                                queue,
+                                processed,
+                                batch_time,
+                                period,
+                                period_events,
+                                limit,
+                                counts,
+                                seen_counts,
+                                golden_counts,
+                                diverged,
+                            )
+                            if resolution is None:
+                                # Detection committed and the event cap
+                                # is provably unreachable: nothing left
+                                # to run.
+                                diverged = True
+                                break
+                            # Whole periods were skipped (queue shifted
+                            # and counts advanced in place); drain the
+                            # remaining partial tail exactly.
+                            skipped, will_diverge = resolution
+                            processed += skipped
+                            if will_diverge:
+                                diverged = True
+                                counting = False
+                            snapshots = None
+                            continue
+            batch_time, batch_nets, batch_values = queue.pop_batch()
+            batch_size = len(batch_nets)
+            index = 0
+            while index < batch_size:
+                net_slot = batch_nets[index]
+                value = batch_values[index]
+                index += 1
+                processed += 1
+                if processed > max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events; "
+                        "the circuit is probably oscillating"
+                    )
+                if vals[net_slot] == value:
+                    continue
+                vals[net_slot] = value
+                if counting:
+                    obs_index = obs_of[net_slot]
+                    if obs_index >= 0:
+                        count = counts[obs_index] + 1
+                        counts[obs_index] = count
+                        if (
+                            golden_counts is not None
+                            and count > golden_counts[obs_index]
+                        ):
+                            # Counts are monotone: exceeding the golden
+                            # final count commits the detection.  Drop
+                            # the copy from observable bookkeeping; the
+                            # event loop keeps draining (or is resolved
+                            # by the period hunt) so error semantics
+                            # stay bit-identical to the reference.
+                            counting = False
+                            diverged = True
+
+                for gate_slot in fanout[net_slot]:
+                    op = gate_op[gate_slot]
+                    if op == OP_TABLE:
+                        idx = gstate[gate_slot]
+                        for slot in gate_inputs[gate_slot]:
+                            idx += idx + vals[slot]
+                        new_output = (gate_row[gate_slot] >> idx) & 1
+                    elif op == OP_CONST:
+                        new_output = gate_row[gate_slot]
+                    elif op == OP_CALL:
+                        new_output = gate_call[gate_slot](
+                            [vals[s] for s in gate_inputs[gate_slot]],
+                            gstate[gate_slot],
+                        )
+                    else:
+                        total = 0
+                        for slot in gate_inputs[gate_slot]:
+                            total += vals[slot]
+                        if op == OP_WIDE_AND:
+                            new_output = 1 if total == gate_row[gate_slot] else 0
+                        elif op == OP_WIDE_NAND:
+                            new_output = 0 if total == gate_row[gate_slot] else 1
+                        elif op == OP_WIDE_OR:
+                            new_output = 1 if total else 0
+                        elif op == OP_WIDE_NOR:
+                            new_output = 0 if total else 1
+                        else:
+                            new_output = total & 1
+                    gstate[gate_slot] = new_output
+                    output_slot = gate_output[gate_slot]
+                    if new_output != pend[output_slot]:
+                        queue.push(
+                            batch_time + gate_delay[gate_slot],
+                            output_slot,
+                            new_output,
+                        )
+                        pend[output_slot] = new_output
+
+                for tslot, tvalue, delay, tname in rules_by[
+                    net_slot + net_slot + value
+                ]:
+                    if tslot < 0:
+                        from repro.circuit.netlist import NetlistError
+
+                        raise NetlistError(f"unknown net {tname!r}")
+                    queue.push(batch_time + delay, tslot, tvalue)
+                    pend[tslot] = tvalue
+
+                if index < batch_size and heap_times and heap_times[0] < batch_time:
+                    # Negative-delay rule scheduled into the past: yield
+                    # to the earlier timestamp exactly like the heap.
+                    queue.push_front(
+                        batch_time, batch_nets[index:], batch_values[index:]
+                    )
+                    break
+
+        finals = tuple(vals[slot] for slot in self.obs_slots)
+        return finals, tuple(counts), diverged
+
+    def _extrapolate_cycles(
+        self,
+        queue: BatchEventQueue,
+        processed: int,
+        now: float,
+        period: float,
+        period_events: int,
+        limit: float,
+        counts: List[int],
+        seen_counts: Tuple[int, ...],
+        golden_counts: Optional[Tuple[int, ...]],
+        diverged: bool,
+    ) -> Optional[Tuple[int, bool]]:
+        """Resolve a copy whose trajectory proved periodic.
+
+        From the repeat point the evolution is shift-invariant (all times
+        are exact integers), so everything the verdict depends on
+        extrapolates exactly: the event count at the time limit, and the
+        per-observable commit counts (each cycle commits the identical
+        observable transitions, so counts advance by the observed
+        per-period delta).  Raises the reference oscillation error when
+        ``max_events`` is provably crossed within the cycles that fit.
+        Returns ``None`` when detection is committed (already diverged,
+        or the extrapolated counts provably exceed the golden ones) *and*
+        the cap is provably unreachable -- the verdict no longer depends
+        on the final state, nothing is left to simulate.  Otherwise
+        shifts the queue forward in place by every whole period that
+        fits, advances ``counts`` accordingly, and returns
+        ``(events skipped, divergence committed)``; the caller drains
+        the remaining partial tail (less than one period) exactly --
+        that covers an ambiguous cap landing inside the tail as well as
+        the final observable state of an undetected copy.
+        """
+        max_events = self.max_events
+        oscillating = RuntimeError(
+            f"simulation exceeded {max_events} events; "
+            "the circuit is probably oscillating"
+        )
+        if limit == float("inf"):
+            # Periodic with events per period > 0 and no time limit: the
+            # event cap is crossed with certainty.
+            raise oscillating
+        full_cycles = int((limit - now) // period)
+        # Guard the float floor-division against a non-integral limit:
+        # every period must fit entirely at or before the limit.
+        while full_cycles > 0 and now + full_cycles * period > limit:
+            full_cycles -= 1
+        total_after = processed + full_cycles * period_events
+        if total_after > max_events:
+            raise oscillating
+        delta = [count - seen for count, seen in zip(counts, seen_counts)]
+        will_diverge = diverged or (
+            golden_counts is not None
+            and any(
+                counts[index] + full_cycles * delta[index] > golden_counts[index]
+                for index in range(len(counts))
+            )
+        )
+        if will_diverge and total_after + period_events <= max_events:
+            # Detection committed and even a whole extra cycle cannot
+            # reach the cap (the remaining tail is at most a partial
+            # cycle): fully resolved.
+            return None
+        shift = full_cycles * period
+        if shift:
+            shifted = {
+                time + shift: bucket for time, bucket in queue._buckets.items()
+            }
+            queue._buckets.clear()
+            queue._buckets.update(shifted)
+            queue._times[:] = [time + shift for time in queue._times]
+            for index, step in enumerate(delta):
+                counts[index] += full_cycles * step
+        return full_cycles * period_events, will_diverge
+
+
+def _run_fault_shard(ref, items):
+    """Worker entry point: sweep one shard of a published campaign.
+
+    ``items`` is a list of ``(campaign index, net slot, value)``; the
+    campaign itself (tables, environment, golden signature) comes from
+    the payload handle, reconstructed once per token and cached.
+    """
+    sweep = _SWEEP_CACHE.get(ref.token)
+    if sweep is None:
+        campaign = pickle.loads(pool.fetch_payload(ref))
+        sweep = _FaultSweep(
+            CompiledNetlist.from_tables(campaign["tables"]),
+            [tuple(map(tuple, entries)) for entries in campaign["rules_by"]],
+            campaign["stimuli"],
+            campaign["obs_slots"],
+            campaign["duration_ps"],
+            campaign["max_events"],
+            golden=campaign["golden"],
+        )
+        while len(_SWEEP_CACHE) >= _SWEEP_CACHE_MAX:
+            _SWEEP_CACHE.pop(next(iter(_SWEEP_CACHE)))
+        _SWEEP_CACHE[ref.token] = sweep
+    verdicts = sweep.sweep([(slot, value) for _index, slot, value in items])
+    return [
+        (index, detected, reason)
+        for (index, _slot, _value), (detected, reason) in zip(items, verdicts)
+    ]
+
+
+class FaultSimEngine:
+    """Compile-once batch fault simulator for one campaign setup.
+
+    One engine owns one ``(netlist, environment, stimuli, observables,
+    duration)`` configuration: construction compiles the netlist, runs
+    the golden trace, and captures its observable signature.  Each
+    :meth:`run` call then sweeps a batch of stuck-at faults -- in
+    process, or sharded over the persistent worker pool with the
+    campaign published once through the shared-memory payload path.
+
+    ``seed`` matches the reference path's knob for reproducibility
+    bookkeeping; the functional-test environments are jitter-free, so no
+    random draw ever occurs, but the value is carried so future jittered
+    campaigns stay caller-controlled.
+    """
+
+    def __init__(
+        self,
+        netlist,
+        environment_rules,
+        initial_stimuli,
+        observables: Optional[Sequence[str]] = None,
+        duration_ps: Optional[float] = 30_000.0,
+        max_events: int = 500_000,
+        seed: int = 7,
+        compiled: Optional[CompiledNetlist] = None,
+    ) -> None:
+        if compiled is None:
+            netlist.validate()
+            compiled = CompiledNetlist(netlist)
+        self.netlist = netlist
+        self.seed = seed
+        if observables is None:
+            observables = netlist.primary_outputs or netlist.nets
+        # Observables the netlist does not have contribute the constant
+        # (0, 0) signature entry on both sides of every comparison in
+        # the reference path, so they can never flip a verdict.
+        obs_slots = [
+            compiled.net_index[net]
+            for net in observables
+            if net in compiled.net_index
+        ]
+        stimuli = []
+        for net, value, time in initial_stimuli:
+            slot = compiled.net_index.get(net)
+            if slot is None:
+                from repro.circuit.netlist import NetlistError
+
+                raise NetlistError(f"unknown net {net!r}")
+            stimuli.append((slot, int(bool(value)), float(time)))
+        rules_by = _compile_rules(
+            environment_rules, compiled.net_index, len(compiled.net_names)
+        )
+        self._sweep = _FaultSweep(
+            compiled, rules_by, stimuli, obs_slots, duration_ps, max_events
+        )
+        self._campaign_blob: Optional[bytes] = None
+        self._payload_ref: Optional[pool.PayloadRef] = None
+
+    @property
+    def compiled(self) -> CompiledNetlist:
+        return self._sweep.compiled
+
+    def golden_signature(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """(final values, transition counts) over the observable slots."""
+        return self._sweep.golden_signature()
+
+    # -- sharding ---------------------------------------------------------------------
+    def _payload(self) -> pool.PayloadRef:
+        """Publish the campaign once; later shard calls reuse the handle."""
+        if self._payload_ref is None:
+            sweep = self._sweep
+            blob = pickle.dumps(
+                {
+                    "tables": sweep.compiled.to_tables(),
+                    "rules_by": sweep.rules_by,
+                    "stimuli": sweep.stimuli,
+                    "obs_slots": sweep.obs_slots,
+                    "duration_ps": sweep.duration_ps,
+                    "max_events": sweep.max_events,
+                    "golden": sweep.golden_signature(),
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            self._payload_ref = pool.publish_payload(blob)
+        return self._payload_ref
+
+    def close(self) -> None:
+        """Release the published campaign payload (idempotent)."""
+        if self._payload_ref is not None:
+            pool.release_payload(self._payload_ref)
+            self._payload_ref = None
+
+    def __del__(self):  # pragma: no cover - defensive cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "FaultSimEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- campaigns --------------------------------------------------------------------
+    def run(
+        self,
+        faults: Iterable,
+        shards: Optional[int] = None,
+        use_processes: Optional[bool] = None,
+    ) -> List[Tuple[bool, str]]:
+        """Verdicts ``(detected, reason)`` for ``faults``, in input order.
+
+        ``faults`` yields objects with ``net``/``value`` attributes
+        (:class:`repro.testability.faults.StuckAtFault`) or plain
+        ``(net, value)`` pairs.  ``shards``/``use_processes`` mirror
+        ``RappidDecoder.run_sharded``: auto mode consults the pool
+        policy (single-CPU hosts and small campaigns stay in-process)
+        and every decision lands in ``pool.LAST_DECISION``.
+        """
+        compiled = self._sweep.compiled
+        slot_faults: List[Tuple[int, int]] = []
+        for fault in faults:
+            net = getattr(fault, "net", None)
+            if net is None:
+                net, value = fault
+            else:
+                value = fault.value
+            slot = compiled.net_index.get(net)
+            slot_faults.append((-1 if slot is None else slot, int(bool(value))))
+        if not slot_faults:
+            return []
+
+        shard_count = max(1, shards or pool.worker_count())
+        use_pool, _reason = pool.decide(
+            len(slot_faults),
+            shard_count,
+            forced=use_processes,
+            floor=FAULTSIM_MIN_FAULTS_PER_SHARD,
+        )
+        if use_pool and compiled.has_call_gates():
+            # OP_CALL rows hold arbitrary callables; the tables cannot
+            # ship, so the campaign stays in this process.
+            use_pool = False
+            pool.LAST_DECISION.update(use_pool=False, reason="uncompiled-gates")
+
+        if use_pool:
+            indexed = [
+                (index, slot, value)
+                for index, (slot, value) in enumerate(slot_faults)
+            ]
+            # Round-robin keeps quick (deadlocking) and slow (full
+            # duration) faults spread across workers.
+            chunks = [
+                indexed[start::shard_count] for start in range(shard_count)
+            ]
+            chunks = [chunk for chunk in chunks if chunk]
+            try:
+                executor = pool.get_pool()
+                ref = self._payload()
+                futures = [
+                    executor.submit(_run_fault_shard, ref, chunk)
+                    for chunk in chunks
+                ]
+                merged: List[Optional[Tuple[bool, str]]] = [None] * len(
+                    slot_faults
+                )
+                for future in futures:
+                    for index, detected, reason in future.result():
+                        merged[index] = (detected, reason)
+                pool.LAST_DECISION.update(payload=ref.kind)
+                return merged  # type: ignore[return-value]
+            except (OSError, ImportError, RuntimeError, PermissionError):
+                pool.discard()  # broken/unspawnable pool: start clean next call
+                pool.LAST_DECISION.update(
+                    use_pool=False, reason="pool-spawn-failed"
+                )
+        return self._sweep.sweep(slot_faults)

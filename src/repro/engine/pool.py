@@ -25,12 +25,26 @@ process-global pool alive across calls:
   call records its decision in :data:`LAST_DECISION` so the benchmark
   harness can persist it next to the timings (making trajectories
   comparable across hosts).
+* **Shared-memory payloads**: callers that ship one large immutable
+  blob (compiled netlist tables, shard arrays) to *several* worker
+  calls publish it once with :func:`publish_payload` and pass the tiny
+  :class:`PayloadRef` handle instead.  Large payloads ride in a
+  ``multiprocessing.shared_memory`` segment that every worker attaches
+  (and caches) once; payloads below :data:`SHM_MIN_PAYLOAD_BYTES` --
+  or any payload when shared memory is unavailable -- fall back to
+  plain pickled bytes inside the handle.  :func:`fetch_payload` is the
+  worker-side accessor with a small per-process cache keyed by the
+  handle's token, so repeated calls against one payload neither
+  re-attach nor re-copy.  :func:`release_payload` unlinks the segment
+  when the campaign is done.
 """
 
 from __future__ import annotations
 
 import atexit
 import os
+import uuid
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from concurrent.futures import ProcessPoolExecutor
@@ -121,23 +135,30 @@ def decide(
     shards: int,
     forced: Optional[bool] = None,
     min_shard_instructions: int = 0,
+    floor: Optional[int] = None,
 ) -> Tuple[bool, str]:
-    """Should this ``run_sharded`` call use the worker pool?
+    """Should this sharded call use the worker pool?
 
     Returns ``(use_pool, reason)`` and records the full decision in
     :data:`LAST_DECISION`.  ``forced`` mirrors ``use_processes``:
     ``True``/``False`` bypass the policy (the caller asked explicitly),
     ``None`` applies it: single-CPU hosts and streams whose per-shard
     work sits below the threshold stay in-process.  The threshold is the
-    caller's ``min_shard_instructions`` or the calibrated
-    :data:`POOL_MIN_SHARD_INSTRUCTIONS` floor, whichever is larger --
-    raising the knob defers pooling to bigger streams, but auto mode
-    never pools below the calibrated floor (pool overhead is measured to
-    lose there; force ``use_processes=True`` to override).
+    caller's ``min_shard_instructions`` or the calibrated floor,
+    whichever is larger -- raising the knob defers pooling to bigger
+    streams, but auto mode never pools below the floor (pool overhead is
+    measured to lose there; force ``use_processes=True`` to override).
+    The floor defaults to :data:`POOL_MIN_SHARD_INSTRUCTIONS`, which is
+    calibrated in RAPPID instructions; callers whose work unit is not an
+    instruction (the fault-simulation engine counts faults per shard)
+    pass their own calibrated ``floor``.
     """
     cpus = worker_count()
     per_shard = instruction_count // max(shards, 1)
-    threshold = max(POOL_MIN_SHARD_INSTRUCTIONS, min_shard_instructions)
+    threshold = max(
+        POOL_MIN_SHARD_INSTRUCTIONS if floor is None else floor,
+        min_shard_instructions,
+    )
     if forced is not None:
         use_pool = bool(forced)
         reason = "forced-pool" if use_pool else "forced-in-process"
@@ -156,3 +177,114 @@ def decide(
         shards=shards,
     )
     return use_pool, reason
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory payloads
+# ---------------------------------------------------------------------------
+
+# Below this size the one-off cost of creating/attaching a shared-memory
+# segment exceeds just pickling the bytes into every worker call.
+SHM_MIN_PAYLOAD_BYTES = 256 * 1024
+
+# Worker-side payload cache: token -> bytes.  Bounded so a long-lived
+# worker serving many campaigns does not accumulate stale payloads.
+PAYLOAD_CACHE_MAX = 8
+
+# Parent-side registry of live segments: token -> SharedMemory.  Keeping
+# the object alive keeps our mapping open until release_payload unlinks.
+_PUBLISHED: Dict[str, object] = {}
+_PAYLOAD_CACHE: Dict[str, bytes] = {}
+
+
+@dataclass(frozen=True)
+class PayloadRef:
+    """Picklable handle to a published payload.
+
+    ``kind`` is ``"shm"`` (the bytes live in the named shared-memory
+    segment; ``data`` is ``None``) or ``"inline"`` (the bytes ride along
+    in ``data``; ``name`` is ``None``).  ``size`` is the payload length
+    -- shared-memory segments round up to page granularity, so readers
+    must slice.
+    """
+
+    token: str
+    kind: str
+    size: int
+    name: Optional[str] = None
+    data: Optional[bytes] = None
+
+
+def publish_payload(data: bytes, min_shm_bytes: Optional[int] = None) -> PayloadRef:
+    """Publish ``data`` once for consumption by many worker calls.
+
+    Payloads of at least ``min_shm_bytes`` (default
+    :data:`SHM_MIN_PAYLOAD_BYTES`) go into a shared-memory segment so
+    each worker maps the bytes instead of receiving a pickled copy per
+    call; smaller ones -- or any payload when shared memory cannot be
+    created (no ``/dev/shm``, permissions) -- are carried inline in the
+    returned handle.  The caller must :func:`release_payload` shm-backed
+    handles when done (idempotent, and also safe for inline handles).
+    """
+    threshold = SHM_MIN_PAYLOAD_BYTES if min_shm_bytes is None else min_shm_bytes
+    token = uuid.uuid4().hex
+    if len(data) >= threshold:
+        try:
+            from multiprocessing import shared_memory
+
+            segment = shared_memory.SharedMemory(create=True, size=max(len(data), 1))
+            segment.buf[: len(data)] = data
+            _PUBLISHED[token] = segment
+            return PayloadRef(
+                token=token, kind="shm", size=len(data), name=segment.name
+            )
+        except (ImportError, OSError, PermissionError):
+            pass  # fall through to the inline handle
+    return PayloadRef(token=token, kind="inline", size=len(data), data=data)
+
+
+def release_payload(ref: PayloadRef) -> None:
+    """Unlink the payload's segment (no-op for inline handles).
+
+    Workers that already cached the bytes keep serving from their cache;
+    the segment itself is gone once every attachment closes.
+    """
+    segment = _PUBLISHED.pop(ref.token, None)
+    if segment is not None:
+        try:
+            segment.close()
+            segment.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover - already gone
+            pass
+
+
+def fetch_payload(ref: PayloadRef) -> bytes:
+    """Payload bytes for ``ref``, from the per-process cache when warm.
+
+    Worker-side accessor: the first fetch of a shared-memory handle
+    attaches the segment, copies the bytes out, detaches, and caches
+    them under the handle's token, so a persistent worker touches the
+    segment once per campaign no matter how many shard calls it serves.
+    """
+    if ref.kind == "inline":
+        return ref.data or b""
+    cached = _PAYLOAD_CACHE.get(ref.token)
+    if cached is not None:
+        return cached
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=ref.name)
+    try:
+        data = bytes(segment.buf[: ref.size])
+    finally:
+        # Close only: pool workers are forked, so they share the parent's
+        # resource tracker -- attaching re-registers the same name into
+        # the tracker's (set-based) cache, and the parent's unlink in
+        # release_payload is the single unregistration.  An explicit
+        # worker-side unregister would steal that entry and make the
+        # parent's unlink look like a double free.
+        segment.close()
+    while len(_PAYLOAD_CACHE) >= PAYLOAD_CACHE_MAX:
+        _PAYLOAD_CACHE.pop(next(iter(_PAYLOAD_CACHE)))
+    _PAYLOAD_CACHE[ref.token] = data
+    return data

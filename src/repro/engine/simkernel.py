@@ -35,6 +35,14 @@ bit-identical to ``_ReferenceEventDrivenSimulator``; the differential
 suite (``tests/test_engine_differential.py``) enforces this over seeded
 random netlists, the synthesized FIFO fixtures, and adversarial
 same-timestamp glitch cases.
+
+The kernel also accepts a *stuck-at overlay* (``overlay=(net slot,
+value)``): the patched ``gate_op``/``gate_row``/``initial_values``
+tables from :meth:`~repro.engine.events.CompiledNetlist.stuck_at_overlay`
+replace the shared ones, the faulted net's driver dispatching as
+``OP_CONST``.  This is the single-copy form of the batch fault engine's
+per-copy overlays (:mod:`repro.engine.faultsim`, which sweeps many fault
+copies as packed blocks through the same loop structure).
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.events import (
     OP_CALL,
+    OP_CONST,
     OP_TABLE,
     OP_WIDE_AND,
     OP_WIDE_NAND,
@@ -136,6 +145,9 @@ class SimKernel:
         "rng",
         "delay_jitter",
         "_waveform_factory",
+        "gate_op",
+        "gate_row",
+        "initial_values",
         "values",
         "pending",
         "gate_state",
@@ -151,10 +163,22 @@ class SimKernel:
         compiled: CompiledNetlist,
         waveform_factory: Callable[[str, List[Tuple[float, int]]], Any],
         delay_jitter: float = 0.0,
+        overlay: Optional[Tuple[int, int]] = None,
     ) -> None:
         self.compiled = compiled
         self.delay_jitter = delay_jitter
         self._waveform_factory = waveform_factory
+        if overlay is None:
+            self.gate_op = compiled.gate_op
+            self.gate_row = compiled.gate_row
+            self.initial_values = compiled.initial_values
+        else:
+            # Stuck-at overlay: the faulted net's driver becomes OP_CONST
+            # and its initial value is pinned; every other table is
+            # shared with the un-faulted compilation.
+            self.gate_op, self.gate_row, self.initial_values = (
+                compiled.stuck_at_overlay(*overlay)
+            )
         self.rng = None  # set by reset()
 
     def reset(self, rng) -> None:
@@ -167,7 +191,7 @@ class SimKernel:
         """
         compiled = self.compiled
         self.rng = rng
-        initial = compiled.initial_values
+        initial = self.initial_values
         try:
             # Flat integer arrays for the hot-path dedup; netlists with
             # exotic initial values (outside a byte) fall back to lists
@@ -215,12 +239,14 @@ class SimKernel:
         """One gate evaluation by opcode (non-hot-path helper)."""
         compiled = self.compiled
         values = self.values
-        op = compiled.gate_op[gate_slot]
+        op = self.gate_op[gate_slot]
         if op == OP_TABLE:
             idx = self.gate_state[gate_slot]
             for slot in compiled.gate_inputs[gate_slot]:
                 idx += idx + values[slot]
-            return (compiled.gate_row[gate_slot] >> idx) & 1
+            return (self.gate_row[gate_slot] >> idx) & 1
+        if op == OP_CONST:
+            return self.gate_row[gate_slot]
         if op == OP_CALL:
             return compiled.gate_call[gate_slot](
                 [values[slot] for slot in compiled.gate_inputs[gate_slot]],
@@ -230,9 +256,9 @@ class SimKernel:
         for slot in compiled.gate_inputs[gate_slot]:
             total += values[slot]
         if op == OP_WIDE_AND:
-            return 1 if total == compiled.gate_row[gate_slot] else 0
+            return 1 if total == self.gate_row[gate_slot] else 0
         if op == OP_WIDE_NAND:
-            return 0 if total == compiled.gate_row[gate_slot] else 1
+            return 0 if total == self.gate_row[gate_slot] else 1
         if op == OP_WIDE_OR:
             return 1 if total else 0
         if op == OP_WIDE_NOR:
@@ -275,8 +301,8 @@ class SimKernel:
         net_names = compiled.net_names
         fanout = compiled.fanout
         gate_inputs = compiled.gate_inputs
-        gate_op = compiled.gate_op
-        gate_row = compiled.gate_row
+        gate_op = self.gate_op
+        gate_row = self.gate_row
         gate_call = compiled.gate_call
         gate_output = compiled.gate_output
         gate_delay = compiled.gate_delay
@@ -333,6 +359,8 @@ class SimKernel:
                         for slot in gate_inputs[gate_slot]:
                             idx += idx + values[slot]
                         new_output = (gate_row[gate_slot] >> idx) & 1
+                    elif op == OP_CONST:
+                        new_output = gate_row[gate_slot]
                     elif op == OP_CALL:
                         new_output = gate_call[gate_slot](
                             [values[slot] for slot in gate_inputs[gate_slot]],

@@ -164,4 +164,41 @@ def decompose_to_library(
     for signal in stg.signals:
         if signal in netlist.nets:
             netlist.set_initial_value(signal, stg.initial_value(signal))
+    _settle_intermediate_initials(netlist, set(stg.signals))
     return netlist
+
+
+def _settle_intermediate_initials(netlist: Netlist, signal_nets: set) -> None:
+    """Give decomposition-internal nets initial values consistent with the gates.
+
+    ``add_gate`` leaves new nets at 0, so an inverter of a low signal, or
+    a product term that is true in the initial state, started the
+    simulation *wrong*: the simulator's settling pass then fired a storm
+    of corrections at t~0.  For speed-independent logic that transient
+    is harmless, but a fundamental-mode (burst-mode) netlist assumes the
+    environment never races its settling -- the storm's reconvergent
+    glitch pulses could reorder under delay jitter and latch a product
+    term permanently (the ``fifo_evolution.py`` "only 1 rising edges"
+    deadlock).  Iterating the gates to a fixpoint (signal nets keep
+    their specified values and anchor the feedback loops) makes the
+    netlist come up settled, exactly like silicon coming out of reset.
+    """
+    values = netlist.initial_values()
+    gates = netlist.gates
+    for _round in range(len(gates) + 1):
+        changed = False
+        for gate in gates:
+            if gate.output in signal_nets:
+                continue
+            output = gate.gate_type.evaluate(
+                [values.get(net, 0) for net in gate.inputs],
+                values.get(gate.output, 0),
+            )
+            if output != values.get(gate.output, 0):
+                values[gate.output] = output
+                changed = True
+        if not changed:
+            break
+    for gate in gates:
+        if gate.output not in signal_nets:
+            netlist.set_initial_value(gate.output, values[gate.output])

@@ -6,9 +6,15 @@ needed to reproduce those columns:
 
 * :mod:`repro.testability.faults` -- the stuck-at fault model over netlist
   nets.
-* :mod:`repro.testability.simulation` -- functional fault simulation: the
-  circuit is exercised by its natural handshake environment and a fault is
-  *detected* when any interface net behaves observably differently.
+* :mod:`repro.testability.simulation` -- functional fault simulation on
+  the batch engine (:class:`repro.engine.faultsim.FaultSimEngine`): the
+  netlist compiles once, faults become constant-driver overlays on the
+  compiled tables, and the golden run plus all fault copies sweep
+  through one packed kernel pass, sharded over the persistent worker
+  pool for large campaigns.  A fault is *detected* when any interface
+  net behaves observably differently (or the faulty circuit's
+  simulation blows up).  The pre-engine per-fault loop is retained as
+  ``simulation._reference_simulate_faults`` for differential testing.
 * :mod:`repro.testability.coverage` -- coverage summary reports.
 """
 

@@ -1,4 +1,13 @@
-"""Stuck-at coverage reporting."""
+"""Stuck-at coverage reporting.
+
+:func:`stuck_at_coverage` drives a full campaign through the batch fault
+simulation engine (see :mod:`repro.testability.simulation`) and folds
+the per-fault verdicts into the coverage percentages of the paper's
+Table 2.  Every knob of :func:`~repro.testability.simulation.simulate_faults`
+is forwarded -- in particular the campaign ``seed``, so coverage numbers
+are reproducible under caller-chosen seeds, and the ``shards`` /
+``use_processes`` pool knobs for large campaigns.
+"""
 
 from __future__ import annotations
 
@@ -50,6 +59,9 @@ def stuck_at_coverage(
     observables: Optional[Sequence[str]] = None,
     duration_ps: float = 30_000.0,
     faults: Optional[Iterable[StuckAtFault]] = None,
+    seed: int = 7,
+    shards: Optional[int] = None,
+    use_processes: Optional[bool] = None,
 ) -> CoverageReport:
     """Run fault simulation and return the coverage report."""
     results = simulate_faults(
@@ -59,6 +71,9 @@ def stuck_at_coverage(
         faults=faults,
         observables=observables,
         duration_ps=duration_ps,
+        seed=seed,
+        shards=shards,
+        use_processes=use_processes,
     )
     detected = [r for r in results if r.detected]
     undetected = [r.fault for r in results if not r.detected]

@@ -1,29 +1,47 @@
-"""Functional stuck-at fault simulation.
+"""Functional stuck-at fault simulation on the batch engine.
 
-Asynchronous control circuits are tested functionally: the circuit is run in
-its handshake environment and a fault is considered *detected* when the
-observable behaviour differs from the fault-free run -- either a primary
-output ends at a different value, produces a different number of
-transitions, or the handshake stalls (fewer cycles complete).  This mirrors
-the paper's observation that some transistors added purely to prevent
-hazards have undetectable faults (they never change observable behaviour),
-which is why the SI and burst-mode FIFOs score below 100%.
+Asynchronous control circuits are tested functionally: the circuit is run
+in its handshake environment and a fault is considered *detected* when
+the observable behaviour differs from the fault-free run -- either a
+primary output ends at a different value, produces a different number of
+transitions, or the handshake stalls (fewer cycles complete).  This
+mirrors the paper's observation that some transistors added purely to
+prevent hazards have undetectable faults (they never change observable
+behaviour), which is why the SI and burst-mode FIFOs score below 100%.
+
+:func:`simulate_faults` runs the whole campaign through
+:class:`repro.engine.faultsim.FaultSimEngine`: the netlist compiles
+**once**, every stuck-at fault becomes a constant-driver overlay on the
+compiled tables, and the golden run plus all fault copies sweep through
+one packed kernel pass (sharded over the persistent worker pool for
+large campaigns, with the compiled tables shipped once via shared
+memory).  The pre-engine loop -- rebuild a fresh ``Netlist`` with a
+synthesized ``*_SA0/1`` gate type and a fresh ``EventDrivenSimulator``
+per fault -- is retained verbatim as :func:`_reference_simulate_faults`;
+the differential suite (``tests/test_engine_differential.py``) pins the
+batch engine to it: identical detected/undetected sets, identical reason
+strings, identical coverage percentages, for shard counts 1-4.
+
+Abnormal behaviour counts as detection: a fault whose simulation raises
+``RuntimeError`` (oscillation / event explosion) **or** ``ValueError``
+(a gate evaluation rejecting its inputs under the pinned value) is
+classified ``abnormal behaviour: <error>`` by both paths.
 """
 
 from __future__ import annotations
 
-import copy
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.circuit.library import GateType
-from repro.circuit.netlist import GateInstance, Netlist
+from repro.circuit.netlist import Netlist
 from repro.circuit.simulator import (
     EventDrivenSimulator,
     HandshakeRule,
     HandshakeEnvironment,
     SimulationTrace,
 )
+from repro.engine.faultsim import FaultSimEngine
 from repro.testability.faults import StuckAtFault, enumerate_faults
 
 
@@ -34,6 +52,78 @@ class FaultSimulationResult:
     fault: StuckAtFault
     detected: bool
     reason: str = ""
+
+
+def campaign_signature(
+    results: Sequence[FaultSimulationResult],
+) -> List[Tuple[str, int, bool, str]]:
+    """Comparable form of a campaign: (net, value, detected, reason) rows.
+
+    Used by the differential tests and the fault-campaign benchmark to
+    assert the batch engine and :func:`_reference_simulate_faults` agree
+    verdict for verdict, reason string for reason string.
+    """
+    return [
+        (result.fault.net, result.fault.value, result.detected, result.reason)
+        for result in results
+    ]
+
+
+def simulate_faults(
+    netlist: Netlist,
+    environment_rules: Sequence[HandshakeRule],
+    initial_stimuli: Sequence[Tuple[str, int, float]],
+    faults: Optional[Iterable[StuckAtFault]] = None,
+    observables: Optional[Sequence[str]] = None,
+    duration_ps: float = 30_000.0,
+    seed: int = 7,
+    shards: Optional[int] = None,
+    use_processes: Optional[bool] = None,
+) -> List[FaultSimulationResult]:
+    """Simulate each fault and classify it as detected or undetected.
+
+    Parameters
+    ----------
+    netlist:
+        Fault-free circuit.
+    environment_rules, initial_stimuli:
+        The functional test: the circuit's natural handshake environment.
+    observables:
+        Nets compared against the golden run (default: primary outputs).
+    seed:
+        Campaign seed, forwarded to the engine (and honoured by the
+        retained reference path) so campaigns are reproducible under
+        caller-chosen seeds.
+    shards, use_processes:
+        Worker-pool knobs, mirroring ``RappidDecoder.run_sharded``: auto
+        mode keeps small campaigns and single-CPU hosts in-process.
+    """
+    if faults is None:
+        faults = enumerate_faults(netlist)
+    faults = list(faults)
+
+    engine = FaultSimEngine(
+        netlist,
+        environment_rules,
+        initial_stimuli,
+        observables=observables,
+        duration_ps=duration_ps,
+        max_events=500_000,
+        seed=seed,
+    )
+    try:
+        verdicts = engine.run(faults, shards=shards, use_processes=use_processes)
+    finally:
+        engine.close()
+    return [
+        FaultSimulationResult(fault, detected, reason)
+        for fault, (detected, reason) in zip(faults, verdicts)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation retained for the differential test suite.
+# ---------------------------------------------------------------------------
 
 
 def _stuck_gate_type(original: GateType, value: int) -> GateType:
@@ -55,8 +145,9 @@ def _inject_fault(netlist: Netlist, fault: StuckAtFault) -> Netlist:
     """Build a copy of ``netlist`` with the fault injected.
 
     A fault on a gate output replaces that gate with a constant driver; a
-    fault on an undriven (input) net is modelled by pinning its initial value
-    and stripping it from every fanout evaluation via a constant buffer.
+    fault on an undriven (input) net is modelled by pinning its initial
+    value.  The batch engine's table overlay reproduces exactly this
+    construction without building anything.
     """
     faulty = Netlist(f"{netlist.name}__{fault.net}_sa{fault.value}")
     for net in netlist.primary_inputs:
@@ -109,7 +200,7 @@ def _run(
     return simulator.run(duration_ps=duration_ps, max_events=500_000)
 
 
-def simulate_faults(
+def _reference_simulate_faults(
     netlist: Netlist,
     environment_rules: Sequence[HandshakeRule],
     initial_stimuli: Sequence[Tuple[str, int, float]],
@@ -118,16 +209,10 @@ def simulate_faults(
     duration_ps: float = 30_000.0,
     seed: int = 7,
 ) -> List[FaultSimulationResult]:
-    """Simulate each fault and classify it as detected or undetected.
+    """Pre-engine campaign loop: one rebuilt netlist + simulator per fault.
 
-    Parameters
-    ----------
-    netlist:
-        Fault-free circuit.
-    environment_rules, initial_stimuli:
-        The functional test: the circuit's natural handshake environment.
-    observables:
-        Nets compared against the golden run (default: primary outputs).
+    Differential oracle for :func:`simulate_faults`: same verdicts, same
+    reasons, same order, at 2N+1 compilations instead of one.
     """
     if faults is None:
         faults = enumerate_faults(netlist)
@@ -144,8 +229,9 @@ def simulate_faults(
             trace = _run(
                 faulty_netlist, environment_rules, initial_stimuli, duration_ps, seed
             )
-        except RuntimeError as exc:
-            # Oscillation or event explosion is observable behaviour.
+        except (RuntimeError, ValueError) as exc:
+            # Oscillation, event explosion, or a gate evaluation blowing
+            # up under the pinned value: all observable behaviour.
             results.append(
                 FaultSimulationResult(fault, True, f"abnormal behaviour: {exc}")
             )

@@ -81,6 +81,14 @@ def fifo_pulse(fifo_rt_user):
 
 
 @pytest.fixture(scope="session")
+def pipeline_si():
+    """SI synthesis of the 3-stage handshake pipeline (fault campaigns)."""
+    from _spec_helpers import build_pipeline
+
+    return synthesize_si(build_pipeline(3))
+
+
+@pytest.fixture(scope="session")
 def celement_netlist():
     """The AND-OR static C-element of the Section 5 verification example."""
     library = STANDARD_LIBRARY

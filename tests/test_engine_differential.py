@@ -616,6 +616,176 @@ class TestLazyWaveforms:
 
 
 # ---------------------------------------------------------------------------
+# Batch fault simulation: FaultSimEngine vs the per-fault reference loop
+# ---------------------------------------------------------------------------
+
+
+from repro.circuit.analysis import (
+    chain_environment_rules as _chain_rules,
+    fifo_environment_rules as _fifo_rules,
+)
+from repro.circuit.netlist import chain_handshake_cells
+from repro.circuit.simulator import HandshakeRule
+from repro.testability import stuck_at_coverage
+from repro.testability.simulation import (
+    _inject_fault,
+    _reference_simulate_faults,
+    campaign_signature as _campaign_signature,
+    simulate_faults,
+)
+from repro.testability.faults import StuckAtFault, enumerate_faults
+
+
+class TestFaultSimDifferential:
+    """The batch fault engine against the retained per-fault loop.
+
+    The contract is total: same detected/undetected split, same reason
+    strings (including the oscillation error for faults whose copy blows
+    past ``max_events``), same order, and therefore the same coverage
+    percentages -- for every shard count and for the pooled path.
+    """
+
+    @pytest.mark.parametrize("fixture", ["fifo_rt", "fifo_si", "fifo_bm"])
+    def test_fifo_fixture_campaigns_match(self, request, fixture):
+        netlist = request.getfixturevalue(fixture).netlist
+        stimuli = [("li", 1, 50.0)]
+        reference = _reference_simulate_faults(
+            netlist, _fifo_rules(), stimuli, duration_ps=30_000.0
+        )
+        batch = simulate_faults(
+            netlist, _fifo_rules(), stimuli, duration_ps=30_000.0
+        )
+        assert _campaign_signature(batch) == _campaign_signature(reference)
+
+    def test_pipeline_fixture_campaign_matches(self, pipeline_si):
+        netlist = pipeline_si.netlist
+        rules = [
+            HandshakeRule("a0", 1, "r0", 0, 200.0),
+            HandshakeRule("a0", 0, "r0", 1, 200.0),
+        ]
+        stimuli = [("r0", 1, 50.0)]
+        reference = _reference_simulate_faults(
+            netlist, rules, stimuli, duration_ps=30_000.0
+        )
+        batch = simulate_faults(netlist, rules, stimuli, duration_ps=30_000.0)
+        assert _campaign_signature(batch) == _campaign_signature(reference)
+
+    @pytest.mark.parametrize("shards", range(1, 5))
+    def test_shard_sweep_matches_reference(self, fifo_rt, shards):
+        """Shard counts 1-4 (in-process split) are verdict-identical."""
+        netlist = chain_handshake_cells(fifo_rt.netlist, 4)
+        stimuli = [("s0_li", 1, 50.0)]
+        reference = _reference_simulate_faults(
+            netlist, _chain_rules(4), stimuli, duration_ps=20_000.0
+        )
+        batch = simulate_faults(
+            netlist,
+            _chain_rules(4),
+            stimuli,
+            duration_ps=20_000.0,
+            shards=shards,
+            use_processes=False,
+        )
+        assert _campaign_signature(batch) == _campaign_signature(reference)
+
+    def test_pooled_campaign_matches_in_process(self, fifo_rt):
+        """The worker-pool path (shared campaign payload) is identical."""
+        netlist = chain_handshake_cells(fifo_rt.netlist, 4)
+        stimuli = [("s0_li", 1, 50.0)]
+        local = simulate_faults(
+            netlist,
+            _chain_rules(4),
+            stimuli,
+            duration_ps=20_000.0,
+            use_processes=False,
+        )
+        pooled = simulate_faults(
+            netlist,
+            _chain_rules(4),
+            stimuli,
+            duration_ps=20_000.0,
+            shards=2,
+            use_processes=True,
+        )
+        assert _campaign_signature(pooled) == _campaign_signature(local)
+
+    def test_coverage_reports_match(self, fifo_bm):
+        """Coverage numbers (the paper's Table 2 column) are identical."""
+        stimuli = [("li", 1, 50.0)]
+        reference = _reference_simulate_faults(
+            fifo_bm.netlist, _fifo_rules(), stimuli, duration_ps=30_000.0
+        )
+        report = stuck_at_coverage(
+            fifo_bm.netlist, _fifo_rules(), stimuli, duration_ps=30_000.0
+        )
+        detected = sum(1 for result in reference if result.detected)
+        assert report.total_faults == len(reference)
+        assert report.detected_faults == detected
+        assert report.undetected == [
+            result.fault for result in reference if not result.detected
+        ]
+
+    def test_campaigns_are_deterministic(self, fifo_rt):
+        stimuli = [("li", 1, 50.0)]
+        first = simulate_faults(
+            fifo_rt.netlist, _fifo_rules(), stimuli, duration_ps=30_000.0
+        )
+        second = simulate_faults(
+            fifo_rt.netlist, _fifo_rules(), stimuli, duration_ps=30_000.0
+        )
+        assert _campaign_signature(first) == _campaign_signature(second)
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_stuck_at_overlay_matches_injected_netlist(self, fifo_rt, value):
+        """The simulator's ``stuck_at`` hook (compiled-table overlay)
+        reproduces the rebuilt ``*_SA`` netlist trace bit for bit."""
+        netlist = fifo_rt.netlist
+        fault_net = sorted(
+            net for net in netlist.nets if net not in netlist.primary_inputs
+        )[0]
+        fault = StuckAtFault(fault_net, value)
+
+        def run(simulator):
+            simulator.schedule("li", 1, 50.0)
+            return simulator.run(duration_ps=10_000.0, max_events=200_000)
+
+        overlay_trace = run(
+            EventDrivenSimulator(netlist, stuck_at=(fault.net, fault.value))
+        )
+        injected_trace = run(EventDrivenSimulator(_inject_fault(netlist, fault)))
+        assert _trace_signature(overlay_trace) == _trace_signature(injected_trace)
+
+    def test_unknown_fault_net_is_undetected_like_reference(self, fifo_rt):
+        stimuli = [("li", 1, 50.0)]
+        faults = [StuckAtFault("no_such_net", 1)]
+        reference = _reference_simulate_faults(
+            fifo_rt.netlist, _fifo_rules(), stimuli, faults=faults,
+            duration_ps=10_000.0,
+        )
+        batch = simulate_faults(
+            fifo_rt.netlist, _fifo_rules(), stimuli, faults=faults,
+            duration_ps=10_000.0,
+        )
+        assert _campaign_signature(batch) == _campaign_signature(reference)
+        assert not batch[0].detected
+
+    def test_primary_input_faults_match(self, fifo_rt):
+        """PI faults (pinned initial, still driven by the environment)
+        behave identically in overlay and rebuilt form."""
+        stimuli = [("li", 1, 50.0)]
+        faults = enumerate_faults(fifo_rt.netlist, include_primary_inputs=True)
+        reference = _reference_simulate_faults(
+            fifo_rt.netlist, _fifo_rules(), stimuli, faults=faults,
+            duration_ps=20_000.0,
+        )
+        batch = simulate_faults(
+            fifo_rt.netlist, _fifo_rules(), stimuli, faults=faults,
+            duration_ps=20_000.0,
+        )
+        assert _campaign_signature(batch) == _campaign_signature(reference)
+
+
+# ---------------------------------------------------------------------------
 # RAPPID batched runner
 # ---------------------------------------------------------------------------
 

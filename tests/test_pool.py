@@ -80,6 +80,21 @@ class TestPoolDecision:
         assert not use_pool and reason == "single-cpu"
         assert pool.LAST_DECISION["cpu_count"] == 1
 
+    def test_caller_floor_replaces_instruction_calibration(self, monkeypatch):
+        """Work units that are not RAPPID instructions (fault copies) pass
+        their own calibrated floor instead of the 2048-instruction one."""
+        monkeypatch.setattr(pool, "worker_count", lambda: 4)
+        # 40 faults over 4 shards: far below the instruction floor, but
+        # well above a per-shard floor of 8 fault copies.
+        assert pool.decide(40, 4) == (False, "below-threshold")
+        assert pool.decide(40, 4, floor=8) == (True, "pool")
+        # min_shard_instructions still raises the effective threshold.
+        assert pool.decide(40, 4, min_shard_instructions=64, floor=8) == (
+            False,
+            "below-threshold",
+        )
+
+
     def test_small_per_shard_work_stays_in_process(self, monkeypatch):
         monkeypatch.setattr(pool, "worker_count", lambda: 8)
         small = pool.POOL_MIN_SHARD_INSTRUCTIONS * 4 - 4
@@ -126,3 +141,54 @@ class TestPoolDecision:
         )
         assert pool.LAST_DECISION["reason"] == "single-cpu"
         assert sharded.issue_times_ps == decoder.run(instructions, lines).issue_times_ps
+
+
+class TestSharedMemoryPayloads:
+    """publish/fetch/release of campaign payloads, both transports."""
+
+    def test_small_payload_rides_inline(self):
+        data = b"tiny campaign tables"
+        ref = pool.publish_payload(data)
+        try:
+            assert ref.kind == "inline"
+            assert ref.size == len(data)
+            assert pool.fetch_payload(ref) == data
+        finally:
+            pool.release_payload(ref)  # no-op for inline handles
+
+    def test_large_payload_uses_shared_memory(self):
+        data = bytes(range(256)) * 4096  # 1 MiB, above the threshold
+        ref = pool.publish_payload(data)
+        try:
+            if ref.kind != "shm":  # pragma: no cover - no /dev/shm
+                pytest.skip("shared memory unavailable on this host")
+            assert ref.data is None
+            assert ref.name
+            assert pool.fetch_payload(ref) == data
+        finally:
+            pool.release_payload(ref)
+
+    def test_threshold_is_tunable_and_fetch_is_cached(self):
+        data = b"forced into a segment despite its size"
+        ref = pool.publish_payload(data, min_shm_bytes=0)
+        if ref.kind != "shm":  # pragma: no cover - no /dev/shm
+            pytest.skip("shared memory unavailable on this host")
+        assert pool.fetch_payload(ref) == data
+        # After release the segment is unlinked; the per-process cache
+        # still serves the bytes (workers rely on exactly this).
+        pool.release_payload(ref)
+        assert pool.fetch_payload(ref) == data
+        pool.release_payload(ref)  # idempotent
+
+    def test_workers_fetch_published_payload(self, fresh_pool):
+        data = bytes(range(256)) * 2048  # 512 KiB
+        ref = pool.publish_payload(data)
+        try:
+            executor = pool.get_pool()
+            results = [
+                executor.submit(pool.fetch_payload, ref).result(timeout=60)
+                for _ in range(2)
+            ]
+            assert all(result == data for result in results)
+        finally:
+            pool.release_payload(ref)

@@ -168,6 +168,40 @@ class TestTechmap:
         mapped.validate()
         assert mapped.transistor_count() > 0
 
+    def test_decomposed_netlist_comes_up_settled(self, fifo_bm):
+        """Every intermediate net's initial value agrees with its driver,
+        so the simulator's settling pass schedules nothing.
+
+        ``add_gate`` used to leave decomposition-internal nets at 0
+        (inverters of low signals started wrong), and the resulting
+        t~0 correction storm could latch a product term under delay
+        jitter -- the ``fifo_evolution.py`` burst-mode deadlock.
+        """
+        netlist = fifo_bm.netlist
+        values = netlist.initial_values()
+        for gate in netlist.gates:
+            evaluated = gate.gate_type.evaluate(
+                [values[net] for net in gate.inputs], values[gate.output]
+            )
+            assert evaluated == values[gate.output], gate.name
+
+    def test_burst_mode_fifo_survives_jittered_measurement(self, fifo_bm):
+        """Regression for the fifo_evolution.py "only 1 rising edges"
+        deadlock: the default jittered measurement must run cycles."""
+        from repro.circuit.analysis import (
+            fifo_environment_rules,
+            measure_cycle_metrics,
+        )
+
+        metrics = measure_cycle_metrics(
+            fifo_bm.netlist,
+            fifo_environment_rules(),
+            "lo",
+            initial_stimuli=[("li", 1, 50.0)],
+        )
+        assert metrics.cycles_measured >= 2
+        assert metrics.average_delay_ps > 0
+
     def test_decomposition_of_celement(self):
         result = synthesize_si(specs.celement())
         mapped = decompose_to_library(

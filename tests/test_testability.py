@@ -3,7 +3,7 @@
 import pytest
 
 from repro.circuit.analysis import fifo_environment_rules
-from repro.circuit.library import STANDARD_LIBRARY
+from repro.circuit.library import GateType, STANDARD_LIBRARY
 from repro.circuit.netlist import Netlist
 from repro.testability import (
     StuckAtFault,
@@ -11,6 +11,7 @@ from repro.testability import (
     simulate_faults,
     stuck_at_coverage,
 )
+from repro.testability.simulation import _reference_simulate_faults
 from repro.circuit.simulator import HandshakeRule
 
 
@@ -77,6 +78,110 @@ class TestFaultSimulation:
         )
         assert report.coverage < 1.0
         assert any(fault.net == "n" for fault in report.undetected)
+
+
+def _touchy_gate(error: type) -> GateType:
+    """An OR2 whose evaluation blows up when its first input is high."""
+
+    def evaluate(inputs, prev):
+        if inputs[0]:
+            raise error("pull-down fight under fault")
+        return inputs[0] or inputs[1]
+
+    return GateType(
+        name=f"TOUCHY_{error.__name__}",
+        num_inputs=2,
+        eval_fn=evaluate,
+        transistors=4,
+        delay_ps=90.0,
+        energy_pj=0.4,
+    )
+
+
+def _touchy_netlist(error: type) -> Netlist:
+    """The touchy gate only sees a high first input under x stuck-at-1."""
+    netlist = Netlist("touchy")
+    netlist.add_primary_input("a")
+    netlist.add_primary_input("zero")  # never driven high
+    netlist.add_primary_output("y")
+    netlist.add_gate("g", _touchy_gate(error), ["x", "a"], "y")
+    # x is the constant-low output of an AND with a grounded input.
+    netlist.add_gate("gnd", STANDARD_LIBRARY.get("AND2"), ["a", "zero"], "x")
+    return netlist
+
+
+class TestExceptionClassification:
+    """RuntimeError *and* ValueError from a faulty run count as detection,
+    and the batch engine classifies them exactly like the reference."""
+
+    @pytest.mark.parametrize("error", [RuntimeError, ValueError])
+    def test_gate_error_under_fault_is_detected(self, error):
+        netlist = _touchy_netlist(error)
+        faults = [StuckAtFault("x", 1)]
+        kwargs = dict(
+            initial_stimuli=[("a", 1, 50.0)], faults=faults, duration_ps=5_000.0
+        )
+        reference = _reference_simulate_faults(netlist, TOGGLE_RULES, **kwargs)
+        batch = simulate_faults(netlist, TOGGLE_RULES, **kwargs)
+        for results in (reference, batch):
+            assert results[0].detected
+            assert results[0].reason == "abnormal behaviour: pull-down fight under fault"
+        assert [(r.detected, r.reason) for r in batch] == [
+            (r.detected, r.reason) for r in reference
+        ]
+
+    @pytest.mark.parametrize("error", [RuntimeError, ValueError])
+    def test_benign_fault_on_touchy_netlist_stays_clean(self, error):
+        """The un-faulted touchy gate never fires its error."""
+        netlist = _touchy_netlist(error)
+        results = simulate_faults(
+            netlist,
+            TOGGLE_RULES,
+            initial_stimuli=[("a", 1, 50.0)],
+            faults=[StuckAtFault("x", 0)],
+            duration_ps=5_000.0,
+        )
+        assert "abnormal" not in results[0].reason
+
+
+class TestSeedPlumbing:
+    def test_stuck_at_coverage_forwards_seed(self, monkeypatch):
+        captured = {}
+
+        def spy(netlist, rules, stimuli, **kwargs):
+            captured.update(kwargs)
+            return []
+
+        import repro.testability.coverage as coverage_module
+
+        monkeypatch.setattr(coverage_module, "simulate_faults", spy)
+        stuck_at_coverage(
+            buffer_netlist(),
+            TOGGLE_RULES,
+            initial_stimuli=[("a", 1, 50.0)],
+            duration_ps=5_000.0,
+            seed=123,
+            shards=3,
+            use_processes=False,
+        )
+        assert captured["seed"] == 123
+        assert captured["shards"] == 3
+        assert captured["use_processes"] is False
+
+    def test_caller_seed_reproducible(self):
+        netlist = buffer_netlist()
+        kwargs = dict(
+            initial_stimuli=[("a", 1, 50.0)], duration_ps=5_000.0, seed=99
+        )
+        first = simulate_faults(netlist, TOGGLE_RULES, **kwargs)
+        second = simulate_faults(netlist, TOGGLE_RULES, **kwargs)
+        assert [(r.detected, r.reason) for r in first] == [
+            (r.detected, r.reason) for r in second
+        ]
+        reference = _reference_simulate_faults(netlist, TOGGLE_RULES, **kwargs)
+        assert [(r.detected, r.reason) for r in first] == [
+            (r.detected, r.reason) for r in reference
+        ]
 
 
 class TestCoverageOnFifos:
