@@ -19,8 +19,11 @@ replaced (and which remains in-tree for differential testing):
   ``BENCH_sim.json``.
 * the batch fault-simulation engine behind ``simulate_faults`` is >= 5x
   the retained per-fault reference loop on the FIFO corpus (Table 2
-  cells plus chained FIFOs), verdict-identical case by case; its
-  timings and per-case coverage land in ``BENCH_faultsim.json``.
+  cells plus chained FIFOs) and >= 3x on the jittered rows (where the
+  periodic-trajectory extrapolation stands down), verdict-identical
+  case by case; its timings and per-case coverage land in
+  ``BENCH_faultsim.json``, along with a pooled-vs-in-process sharded
+  campaign row whose wall-clock assertion is gated on multi-CPU hosts.
 
 Timing methodology: the two sides are measured interleaved (reference,
 fast, reference, fast, ...) taking each side's best round, so a noisy
@@ -348,6 +351,10 @@ def test_bench_engine_sharded_exact_and_summary():
 
 
 FAULTSIM_REQUIRED_SPEEDUP = 5.0
+# Jittered campaigns cannot use the periodic-trajectory extrapolation
+# (every copy drains in full), so their floor sits below the jitter-free
+# corpus target; 4.2x measured on the single-CPU reference host.
+FAULTSIM_JITTERED_REQUIRED_SPEEDUP = 3.0
 
 
 def _fault_campaign_corpus(fifo_rt, fifo_si, fifo_bm):
@@ -394,17 +401,56 @@ def _fault_campaign_corpus(fifo_rt, fifo_si, fifo_bm):
     return corpus
 
 
+# Jitter knobs of the realistic (jittered) campaign rows: 5% gate-delay
+# spread, 25% environment-response spread -- the same magnitudes the
+# simulator differential suite exercises.
+FAULTSIM_JITTER = {"delay_jitter": 0.05, "environment_jitter": 0.25}
+
+
+def _jittered_campaign_corpus(fifo_rt, fifo_si):
+    """Jittered subset of the FIFO corpus (cells plus one chain).
+
+    Jittered copies drain in full (no periodic extrapolation), so the
+    subset is kept smaller than the jitter-free corpus; quick mode keeps
+    a single cell.
+    """
+    from repro.circuit.analysis import (
+        chain_environment_rules as chain_rules,
+        fifo_environment_rules,
+    )
+    from repro.circuit.netlist import chain_handshake_cells
+
+    cell_rules = fifo_environment_rules()
+    cell_stimuli = [("li", 1, 50.0)]
+    rt = fifo_rt.netlist
+    if QUICK:
+        return {"rt_cell_jittered": (rt, cell_rules, cell_stimuli, 15_000.0)}
+    return {
+        "rt_cell_jittered": (rt, cell_rules, cell_stimuli, 30_000.0),
+        "si_cell_jittered": (fifo_si.netlist, cell_rules, cell_stimuli, 30_000.0),
+        "rt_chain8_jittered": (
+            chain_handshake_cells(rt, 8),
+            chain_rules(8),
+            [("s0_li", 1, 50.0)],
+            30_000.0,
+        ),
+    }
+
+
 def test_bench_engine_faultsim_campaign(fifo_rt, fifo_si, fifo_bm):
     """Batch fault engine vs the per-fault reference on the FIFO corpus.
 
     Verdicts (detected/undetected, reason strings) are asserted identical
     case by case before any timing, so this doubles as a differential
     check at campaign scale; the wall-clock target is
-    ``FAULTSIM_REQUIRED_SPEEDUP`` on the corpus total.  Writes
+    ``FAULTSIM_REQUIRED_SPEEDUP`` on the corpus total and
+    ``FAULTSIM_JITTERED_REQUIRED_SPEEDUP`` on the jittered rows (which
+    cannot use the periodic-trajectory extrapolation).  Writes
     ``BENCH_faultsim.json`` (per-case fault counts, coverage, timings,
-    and the pool decision of the batch run) next to the other BENCH
-    files; quick mode shrinks the corpus and skips the timing assertion
-    but still writes the summary, marked ``"quick": true``.
+    the jittered-campaign row, and the pool decision of the batch run)
+    next to the other BENCH files; quick mode shrinks the corpus and
+    skips the timing assertions but still writes the summary, marked
+    ``"quick": true``.
     """
     from repro.engine import pool as engine_pool
     from repro.engine.rappid_batch import _worker_count
@@ -448,6 +494,46 @@ def test_bench_engine_faultsim_campaign(fifo_rt, fifo_si, fifo_bm):
         if speedup >= FAULTSIM_REQUIRED_SPEEDUP:
             break
 
+    # Jittered rows: parity first (batch engine runs them now instead of
+    # delegating to the reference loop), then the wall-clock comparison.
+    jittered_corpus = _jittered_campaign_corpus(fifo_rt, fifo_si)
+    jittered_cases = {}
+    for label, (netlist, rules, stimuli, duration) in jittered_corpus.items():
+        batch = simulate_faults(
+            netlist, rules, stimuli, duration_ps=duration, **FAULTSIM_JITTER
+        )
+        reference = _reference_simulate_faults(
+            netlist, rules, stimuli, duration_ps=duration, **FAULTSIM_JITTER
+        )
+        assert campaign_signature(batch) == campaign_signature(reference), label
+        detected = sum(1 for result in batch if result.detected)
+        jittered_cases[label] = {
+            "faults": len(batch),
+            "detected": detected,
+            "coverage_percent": round(100.0 * detected / max(len(batch), 1), 1),
+        }
+
+    def run_jittered_reference():
+        for netlist, rules, stimuli, duration in jittered_corpus.values():
+            _reference_simulate_faults(
+                netlist, rules, stimuli, duration_ps=duration, **FAULTSIM_JITTER
+            )
+
+    def run_jittered_batch():
+        for netlist, rules, stimuli, duration in jittered_corpus.values():
+            simulate_faults(
+                netlist, rules, stimuli, duration_ps=duration, **FAULTSIM_JITTER
+            )
+
+    jittered_speedup = 0.0
+    for _attempt in range(attempts):
+        jittered_reference_time, jittered_batch_time = _interleaved_best(
+            run_jittered_reference, run_jittered_batch, rounds=1 if QUICK else 2
+        )
+        jittered_speedup = jittered_reference_time / jittered_batch_time
+        if jittered_speedup >= FAULTSIM_JITTERED_REQUIRED_SPEEDUP:
+            break
+
     summary = {
         "quick": QUICK,
         "cpu_count": _worker_count(),
@@ -457,6 +543,14 @@ def test_bench_engine_faultsim_campaign(fifo_rt, fifo_si, fifo_bm):
         "pool_decision": {
             "use_pool": bool(decision.get("use_pool")),
             "reason": decision.get("reason"),
+        },
+        "jittered": {
+            "delay_jitter": FAULTSIM_JITTER["delay_jitter"],
+            "environment_jitter": FAULTSIM_JITTER["environment_jitter"],
+            "reference_s": round(jittered_reference_time, 3),
+            "batch_s": round(jittered_batch_time, 3),
+            "speedup": round(jittered_speedup, 2),
+            "cases": jittered_cases,
         },
         "cases": {},
     }
@@ -483,10 +577,106 @@ def test_bench_engine_faultsim_campaign(fifo_rt, fifo_si, fifo_bm):
         json.dump(summary, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
+    print(
+        f"[bench-engine] jittered faultsim: reference "
+        f"{jittered_reference_time * 1e3:.0f} ms, batch "
+        f"{jittered_batch_time * 1e3:.0f} ms -> {jittered_speedup:.2f}x"
+    )
+
     if not QUICK:
         assert speedup >= FAULTSIM_REQUIRED_SPEEDUP, (
             f"batch fault simulation speedup {speedup:.2f}x below "
             f"{FAULTSIM_REQUIRED_SPEEDUP}x target on the FIFO corpus"
+        )
+        assert jittered_speedup >= FAULTSIM_JITTERED_REQUIRED_SPEEDUP, (
+            f"jittered batch fault simulation speedup {jittered_speedup:.2f}x "
+            f"below {FAULTSIM_JITTERED_REQUIRED_SPEEDUP}x target"
+        )
+
+
+def test_bench_engine_faultsim_sharded_wallclock(fifo_rt):
+    """Sharded fault campaigns: bit-identity always, wall-clock gated.
+
+    Splits a chained-FIFO campaign over the persistent pool (forced, so
+    the shared-memory campaign payload path runs even where auto mode
+    would delegate) and compares against the in-process sweep.  The
+    wall-clock assertion -- the pooled campaign must beat the in-process
+    one -- applies only in full mode on multi-CPU hosts: worker
+    processes cannot beat a single loop on one core, which is exactly
+    why the ROADMAP called the multi-CPU win unmeasured.  The timings,
+    shard count, and payload transport are appended to
+    ``BENCH_faultsim.json`` under ``"sharded"``.
+    """
+    from repro.circuit.analysis import chain_environment_rules as chain_rules
+    from repro.circuit.netlist import chain_handshake_cells
+    from repro.engine import pool as engine_pool
+    from repro.engine.rappid_batch import _worker_count
+    from repro.testability.simulation import campaign_signature, simulate_faults
+
+    cpus = _worker_count()
+    stages = 4 if QUICK else 16
+    netlist = chain_handshake_cells(fifo_rt.netlist, stages)
+    rules = chain_rules(stages)
+    stimuli = [("s0_li", 1, 50.0)]
+    duration = 15_000.0 if QUICK else 30_000.0
+    shards = max(2, min(8, cpus))
+
+    def run_pooled():
+        return simulate_faults(
+            netlist, rules, stimuli, duration_ps=duration,
+            shards=shards, use_processes=True,
+        )
+
+    def run_local():
+        return simulate_faults(
+            netlist, rules, stimuli, duration_ps=duration, use_processes=False,
+        )
+
+    pooled = run_pooled()
+    decision = dict(engine_pool.LAST_DECISION)
+    assert campaign_signature(pooled) == campaign_signature(run_local())
+
+    speedup = 0.0
+    # Retrying only helps where a pooled win is possible at all; one
+    # core cannot beat the in-process sweep, so single-CPU hosts record
+    # a single measurement.
+    attempts = 1 if QUICK or cpus <= 1 else ATTEMPTS
+    for _attempt in range(attempts):
+        local_time, pooled_time = _interleaved_best(
+            run_local, run_pooled, rounds=1 if QUICK else 2
+        )
+        speedup = local_time / pooled_time
+        if speedup > 1.0:
+            break
+    print(
+        f"\n[bench-engine] sharded faultsim ({stages}-stage chain, "
+        f"{shards} shards): in-process {local_time * 1e3:.0f} ms, pooled "
+        f"{pooled_time * 1e3:.0f} ms -> {speedup:.2f}x "
+        f"[{decision.get('payload', decision.get('reason'))}]"
+    )
+
+    out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_faultsim.json")
+    summary = {}
+    if os.path.exists(out_path):
+        with open(out_path) as handle:
+            summary = json.load(handle)
+    summary["sharded"] = {
+        "stages": stages,
+        "shards": shards,
+        "cpu_count": cpus,
+        "payload": decision.get("payload"),
+        "in_process_s": round(local_time, 3),
+        "pooled_s": round(pooled_time, 3),
+        "speedup": round(speedup, 3),
+    }
+    with open(out_path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    if not QUICK and cpus > 1:
+        assert speedup > 1.0, (
+            f"pooled fault campaign should beat in-process on {cpus} CPUs, "
+            f"got {speedup:.2f}x"
         )
 
 

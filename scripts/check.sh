@@ -14,6 +14,11 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q tests
 
+# Docs checks: README snippets must execute against the current API and
+# every src/repro/engine module must carry a module docstring.
+echo "== docs (README snippets + engine docstrings) =="
+python scripts/check_docs.py
+
 BENCH_STAMP="$(mktemp)"
 trap 'rm -f "$BENCH_STAMP"' EXIT
 

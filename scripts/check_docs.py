@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Documentation checks for scripts/check.sh.
+
+Two failure modes this script exists to catch:
+
+* **README drift** — every fenced ``python`` code block in README.md is
+  executed in a fresh interpreter (with ``src`` on ``PYTHONPATH``); a
+  snippet that no longer runs against the current API fails the check.
+  Shell blocks are not executed (they are the check scripts themselves).
+* **Undocumented engine modules** — every module under
+  ``src/repro/engine/`` must carry a module docstring; the engine is the
+  layer new contributors hit first, and `docs/architecture.md` links
+  into those docstrings.
+
+Exit status is non-zero on any failure, with one line per problem.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SNIPPET_PATTERN = re.compile(r"```python\n(.*?)```", re.DOTALL)
+REQUIRED_DOCS = ("README.md", "docs/architecture.md", "docs/benchmarks.md")
+
+
+def missing_required_docs() -> list:
+    return [path for path in REQUIRED_DOCS if not (ROOT / path).is_file()]
+
+
+def undocumented_engine_modules() -> list:
+    """Engine modules whose module docstring is missing or empty."""
+    failures = []
+    for path in sorted((ROOT / "src" / "repro" / "engine").glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        if not ast.get_docstring(tree):
+            failures.append(str(path.relative_to(ROOT)))
+    return failures
+
+
+def readme_snippets() -> list:
+    return SNIPPET_PATTERN.findall((ROOT / "README.md").read_text())
+
+
+def run_snippet(index: int, code: str) -> str:
+    """Run one README snippet in a fresh interpreter; '' on success."""
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-"],
+        input=code,
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        env=env,
+        timeout=600,
+    )
+    if result.returncode == 0:
+        return ""
+    first_line = code.strip().splitlines()[0] if code.strip() else "<empty>"
+    tail = (result.stderr or result.stdout).strip().splitlines()[-12:]
+    return (
+        f"README.md python snippet #{index} ({first_line!r}) failed "
+        f"(exit {result.returncode}):\n  " + "\n  ".join(tail)
+    )
+
+
+def main() -> int:
+    problems = []
+    for path in missing_required_docs():
+        problems.append(f"required documentation file missing: {path}")
+    for path in undocumented_engine_modules():
+        problems.append(f"module docstring missing: {path}")
+    if (ROOT / "README.md").is_file():
+        snippets = readme_snippets()
+        if not snippets:
+            problems.append("README.md has no executable python snippets")
+        for index, code in enumerate(snippets, start=1):
+            failure = run_snippet(index, code)
+            if failure:
+                problems.append(failure)
+            else:
+                print(f"check_docs: README snippet #{index} OK")
+    if problems:
+        for problem in problems:
+            print(f"check_docs: FAIL - {problem}", file=sys.stderr)
+        return 1
+    print("check_docs: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

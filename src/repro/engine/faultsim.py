@@ -42,6 +42,24 @@ behind the rewritten :func:`repro.testability.simulation.simulate_faults`:
   most one partial tail cycle runs when ``max_events`` lands inside
   it).  Non-integral delays or aperiodic behaviour simply fall back to
   draining in full, still bit-identical.
+* **Jittered campaigns run exactly.**  Realistic testability workloads
+  randomise gate delays (``delay_jitter``) and environment response
+  times (``environment_jitter``).  The reference loop gives every fault
+  copy a standalone simulator whose RNGs restart from the campaign
+  seed, so draw order is a per-copy property: each copy draws exactly
+  the delays its own trajectory requests, in its own commit order.  The
+  batch engine reproduces that bookkeeping with two per-copy
+  ``random.Random(seed)`` streams threaded through the delta-cycle
+  batches -- one for gate-delay draws (the simulator RNG), one for
+  handshake-rule draws (the environment RNG) -- drawing at exactly the
+  points ``SimKernel.settle``/``drain`` and
+  ``HandshakeEnvironment.on_change`` would.  Because drawn delays are
+  continuous (and advance RNG state each cycle), a jittered copy's
+  trajectory is never periodic, so the periodic-trajectory
+  extrapolation is disabled for jittered campaigns; pure-integer-delay
+  campaigns (both knobs zero) keep it.  The provable event-cap shortcut
+  (queue population exceeding ``max_events``) does not depend on
+  periodicity and stays active.
 * **Shards ride the persistent pool.**  Large campaigns split
   round-robin across the process-global pool (:mod:`repro.engine.pool`).
   The compiled tables, environment, and golden signature are published
@@ -63,6 +81,7 @@ pipelines for shard counts 1-4.
 from __future__ import annotations
 
 import pickle
+import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine import pool
@@ -154,9 +173,16 @@ class _FaultSweep:
         "obs_of",
         "duration_ps",
         "max_events",
+        "delay_jitter",
+        "env_jitter",
+        "seed",
+        "jittered",
         "integral_times",
         "golden_finals",
         "golden_counts",
+        "last_copy_rng",
+        "rng_states",
+        "golden_rng_state",
     )
 
     def __init__(
@@ -167,6 +193,9 @@ class _FaultSweep:
         obs_slots: Sequence[int],
         duration_ps: Optional[float],
         max_events: int,
+        delay_jitter: float = 0.0,
+        env_jitter: float = 0.0,
+        seed: int = 7,
         golden: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None,
     ) -> None:
         self.compiled = compiled
@@ -178,6 +207,16 @@ class _FaultSweep:
             self.obs_of[slot] = index
         self.duration_ps = duration_ps
         self.max_events = max_events
+        self.delay_jitter = delay_jitter
+        self.env_jitter = env_jitter
+        self.seed = seed
+        # Jitter draws continuous delays (and advances per-copy RNG
+        # state every cycle), so jittered trajectories are never
+        # periodic and the extrapolation shortcut must stand down.
+        self.jittered = delay_jitter > 0.0 or env_jitter > 0.0
+        self.last_copy_rng = None
+        self.rng_states: List[Optional[Tuple]] = []
+        self.golden_rng_state = None
         # Every event time is a sum of stimulus times and gate/rule
         # delays; when all of those are integers, every time is an
         # exactly-representable double and the periodic-extrapolation
@@ -201,6 +240,7 @@ class _FaultSweep:
             # the per-fault reference loop.
             finals, counts, _diverged = self._run_copy(None)
             golden = (finals, counts)
+            self.golden_rng_state = self.last_copy_rng
         self.golden_finals, self.golden_counts = golden
 
     def golden_signature(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
@@ -213,10 +253,16 @@ class _FaultSweep:
 
         Every copy runs through the one compiled event loop with its own
         flat state block; the shared tables, environment, observable
-        mapping, and golden signature are built exactly once.
+        mapping, and golden signature are built exactly once.  For
+        jittered campaigns, ``rng_states`` afterwards holds each copy's
+        final ``(simulator RNG, environment RNG)`` states (``None`` for
+        copies that raised), letting the differential suite pin the
+        per-copy draw order against standalone reference simulators.
         """
         golden = (self.golden_finals, self.golden_counts)
         verdicts: List[Tuple[bool, str]] = []
+        rng_states: List[Optional[Tuple]] = []
+        self.rng_states = rng_states
         for slot, value in faults:
             overlay = None if slot < 0 else (slot, value)
             try:
@@ -225,7 +271,9 @@ class _FaultSweep:
                 # Oscillation, event explosion, or a gate evaluation
                 # blowing up under the pinned value: all observable.
                 verdicts.append((True, f"{REASON_ABNORMAL}: {exc}"))
+                rng_states.append(None)
                 continue
+            rng_states.append(self.last_copy_rng)
             if (
                 diverged
                 or finals != self.golden_finals
@@ -249,7 +297,10 @@ class _FaultSweep:
         out of observable bookkeeping once divergence is committed
         (``diverged`` true forces the detected verdict regardless of the
         frozen counts).  Mirrors ``SimKernel.settle`` + ``SimKernel.drain``
-        (jitter-free) over the copy's flat state block.
+        over the copy's flat state block; under jitter the copy owns two
+        fresh ``random.Random(seed)`` streams (gate delays / handshake
+        rules) drawing in exactly the reference order, and its final RNG
+        states land in ``last_copy_rng``.
         """
         compiled = self.compiled
         num_nets = len(compiled.net_names)
@@ -267,6 +318,22 @@ class _FaultSweep:
         fanout = compiled.fanout
         rules_by = self.rules_by
         obs_of = self.obs_of
+
+        # Per-copy RNG streams: the reference path builds a standalone
+        # simulator plus a fresh HandshakeEnvironment for every fault,
+        # both seeded with the campaign seed, so every copy restarts
+        # both streams (matching draw order is then purely a matter of
+        # drawing at the same points the kernel and environment would).
+        jitter = self.delay_jitter
+        env_jitter = self.env_jitter
+        self.last_copy_rng = None
+        if self.jittered:
+            sim_rng = random.Random(self.seed)
+            env_rng = random.Random(self.seed)
+            sim_uniform = sim_rng.uniform
+            env_uniform = env_rng.uniform
+        else:
+            sim_rng = env_rng = None
 
         # The copy's flat state block.
         vals = bytearray(initial)
@@ -310,7 +377,14 @@ class _FaultSweep:
                     output = total & 1
             output_slot = gate_output[gate_slot]
             if output != vals[output_slot]:
-                queue.push(gate_delay[gate_slot], output_slot, output)
+                if jitter <= 0:
+                    delay = gate_delay[gate_slot]
+                else:
+                    nominal = gate_delay[gate_slot]
+                    delay = sim_uniform(
+                        nominal * (1.0 - jitter), nominal * (1.0 + jitter)
+                    )
+                queue.push(delay, output_slot, output)
                 pend[output_slot] = output
         for slot, value, time in self.stimuli:
             queue.push(time, slot, value)
@@ -325,10 +399,12 @@ class _FaultSweep:
         # Period hunt: (state, relative queue) -> (processed, time,
         # observable counts) at the top of the drain loop.  Fault copies
         # with exact (integral) event times snapshot from the start;
-        # oversized queues (event avalanches never become periodic) and
-        # the golden run do not.
+        # oversized queues (event avalanches never become periodic),
+        # jittered copies (drawn delays make every cycle distinct and
+        # skipping cycles would skip RNG draws) and the golden run do
+        # not.
         snapshots: Optional[Dict] = None
-        if golden is not None and self.integral_times:
+        if golden is not None and self.integral_times and not self.jittered:
             snapshots = {}
         queue_cap = 8 * num_nets + 64
 
@@ -494,16 +570,28 @@ class _FaultSweep:
                     gstate[gate_slot] = new_output
                     output_slot = gate_output[gate_slot]
                     if new_output != pend[output_slot]:
-                        queue.push(
-                            batch_time + gate_delay[gate_slot],
-                            output_slot,
-                            new_output,
-                        )
+                        if jitter <= 0:
+                            delay = gate_delay[gate_slot]
+                        else:
+                            nominal = gate_delay[gate_slot]
+                            delay = sim_uniform(
+                                nominal * (1.0 - jitter),
+                                nominal * (1.0 + jitter),
+                            )
+                        queue.push(batch_time + delay, output_slot, new_output)
                         pend[output_slot] = new_output
 
                 for tslot, tvalue, delay, tname in rules_by[
                     net_slot + net_slot + value
                 ]:
+                    if env_jitter > 0:
+                        # HandshakeEnvironment._delay draws per matching
+                        # rule -- before schedule() can reject an
+                        # unknown target (argument evaluation order).
+                        delay = env_uniform(
+                            delay * (1.0 - env_jitter),
+                            delay * (1.0 + env_jitter),
+                        )
                     if tslot < 0:
                         from repro.circuit.netlist import NetlistError
 
@@ -519,6 +607,8 @@ class _FaultSweep:
                     )
                     break
 
+        if sim_rng is not None:
+            self.last_copy_rng = (sim_rng.getstate(), env_rng.getstate())
         finals = tuple(vals[slot] for slot in self.obs_slots)
         return finals, tuple(counts), diverged
 
@@ -608,6 +698,11 @@ def _run_fault_shard(ref, items):
     sweep = _SWEEP_CACHE.get(ref.token)
     if sweep is None:
         campaign = pickle.loads(pool.fetch_payload(ref))
+        # The decoded sweep below supersedes the raw bytes; drop them
+        # rather than double-retaining (a re-fetch after a rare sweep
+        # eviction re-attaches the still-published segment, and inline
+        # handles carry their bytes in the ref anyway).
+        pool.forget_cached_payload(ref)
         sweep = _FaultSweep(
             CompiledNetlist.from_tables(campaign["tables"]),
             [tuple(map(tuple, entries)) for entries in campaign["rules_by"]],
@@ -615,6 +710,9 @@ def _run_fault_shard(ref, items):
             campaign["obs_slots"],
             campaign["duration_ps"],
             campaign["max_events"],
+            delay_jitter=campaign["delay_jitter"],
+            env_jitter=campaign["env_jitter"],
+            seed=campaign["seed"],
             golden=campaign["golden"],
         )
         while len(_SWEEP_CACHE) >= _SWEEP_CACHE_MAX:
@@ -631,16 +729,22 @@ class FaultSimEngine:
     """Compile-once batch fault simulator for one campaign setup.
 
     One engine owns one ``(netlist, environment, stimuli, observables,
-    duration)`` configuration: construction compiles the netlist, runs
-    the golden trace, and captures its observable signature.  Each
-    :meth:`run` call then sweeps a batch of stuck-at faults -- in
-    process, or sharded over the persistent worker pool with the
-    campaign published once through the shared-memory payload path.
+    duration, jitter)`` configuration: construction compiles the
+    netlist, runs the golden trace, and captures its observable
+    signature.  Each :meth:`run` call then sweeps a batch of stuck-at
+    faults -- in process, or sharded over the persistent worker pool
+    with the campaign published once through the shared-memory payload
+    path.
 
-    ``seed`` matches the reference path's knob for reproducibility
-    bookkeeping; the functional-test environments are jitter-free, so no
-    random draw ever occurs, but the value is carried so future jittered
-    campaigns stay caller-controlled.
+    ``delay_jitter`` randomises every gate delay uniformly in
+    ``[nominal * (1 - j), nominal * (1 + j)]`` and
+    ``environment_jitter`` does the same for handshake-rule response
+    times, both per copy from ``random.Random(seed)`` streams -- the
+    exact draws a standalone :class:`EventDrivenSimulator` plus
+    :class:`HandshakeEnvironment` seeded identically would make, so
+    jittered campaigns remain bit-identical to the per-fault reference
+    loop.  With both knobs at zero no draw ever occurs and the
+    periodic-trajectory extrapolation stays enabled.
     """
 
     def __init__(
@@ -652,6 +756,8 @@ class FaultSimEngine:
         duration_ps: Optional[float] = 30_000.0,
         max_events: int = 500_000,
         seed: int = 7,
+        delay_jitter: float = 0.0,
+        environment_jitter: float = 0.0,
         compiled: Optional[CompiledNetlist] = None,
     ) -> None:
         if compiled is None:
@@ -681,7 +787,15 @@ class FaultSimEngine:
             environment_rules, compiled.net_index, len(compiled.net_names)
         )
         self._sweep = _FaultSweep(
-            compiled, rules_by, stimuli, obs_slots, duration_ps, max_events
+            compiled,
+            rules_by,
+            stimuli,
+            obs_slots,
+            duration_ps,
+            max_events,
+            delay_jitter=delay_jitter,
+            env_jitter=environment_jitter,
+            seed=seed,
         )
         self._campaign_blob: Optional[bytes] = None
         self._payload_ref: Optional[pool.PayloadRef] = None
@@ -707,6 +821,9 @@ class FaultSimEngine:
                     "obs_slots": sweep.obs_slots,
                     "duration_ps": sweep.duration_ps,
                     "max_events": sweep.max_events,
+                    "delay_jitter": sweep.delay_jitter,
+                    "env_jitter": sweep.env_jitter,
+                    "seed": sweep.seed,
                     "golden": sweep.golden_signature(),
                 },
                 protocol=pickle.HIGHEST_PROTOCOL,

@@ -258,6 +258,17 @@ def release_payload(ref: PayloadRef) -> None:
             pass
 
 
+def forget_cached_payload(ref: PayloadRef) -> None:
+    """Drop this process's cached bytes for ``ref`` (worker-side).
+
+    One-shot payloads (``run_sharded`` publishes a fresh token per call)
+    would otherwise pin their blob in the worker cache with no chance of
+    a future hit; callers that decode the bytes into a longer-lived form
+    call this right after decoding.
+    """
+    _PAYLOAD_CACHE.pop(ref.token, None)
+
+
 def fetch_payload(ref: PayloadRef) -> bytes:
     """Payload bytes for ``ref``, from the per-process cache when warm.
 

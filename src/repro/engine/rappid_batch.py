@@ -36,7 +36,20 @@ Exact sharded evaluation (:func:`run_sharded`)
 each shard to worker processes as compact flat arrays (``array`` of
 lengths, class codes and line indices -- never pickled ``Instruction``
 dataclasses), and has every worker solve its shard from a *cold* seam in
-parallel.  The parent then stitches shards sequentially: it replays a few
+parallel.  On the pool path, large calls publish the whole set of shard
+arrays **once** through the shared-memory payload machinery of
+:mod:`repro.engine.pool` (:func:`~repro.engine.pool.publish_payload`):
+each worker call ships only a tiny ``(handle, shard index)`` pair, the
+worker attaches/unpickles the shard set once per call token
+(:func:`_cold_shard_payload` caches the decoded set), and the parent
+unlinks the segment when every shard has returned -- large streams stop
+pushing their flat buffers through the executor pipe per shard.  Calls
+whose arrays sit below the shared-memory threshold, or any call when
+``/dev/shm`` is unavailable, dispatch each shard's own arrays directly
+in its worker call instead (shipping the full set inline per call would
+multiply the IPC volume); the transport taken is recorded as
+``payload`` (``"shm"``/``"inline"``) in
+:data:`repro.engine.pool.LAST_DECISION`.  The parent then stitches shards sequentially: it replays a few
 cache lines of each shard from the true (warm) seam state and watches for
 the warm trajectory to lock onto the worker's cold trajectory at one
 constant offset ``d``.  All calibration latencies are integer-valued
@@ -58,6 +71,7 @@ not parallel.
 from __future__ import annotations
 
 import os
+import pickle
 from array import array
 from dataclasses import dataclass, field
 from operator import attrgetter
@@ -715,6 +729,65 @@ def _cold_shard(payload: tuple) -> tuple:
     return array("d", avail), array("d", tags), consumed_arr, arrival_arr
 
 
+def _publish_shard_set(config, payloads: Sequence[tuple]):
+    """Publish one call's shard arrays as a shared-memory handle, or None.
+
+    The blob holds the config once plus every shard's flat arrays (the
+    config is stripped from each per-shard tuple); workers rebuild the
+    per-shard payload from ``(handle, index)``.  Returns ``None`` when a
+    segment is not worth it or cannot be created -- arrays cheaply
+    estimated below the shared-memory threshold, or ``/dev/shm``
+    unavailable.  An inline handle would ship the *whole* shard set in
+    every worker call (N times the data); the caller then dispatches
+    each shard's own arrays directly instead, which is the same
+    per-call pickling the pre-payload protocol paid.
+    """
+    from repro.engine import pool
+
+    estimate = sum(
+        arr.itemsize * len(arr) for payload in payloads for arr in payload[1:]
+    )
+    if estimate < pool.SHM_MIN_PAYLOAD_BYTES:
+        return None
+    blob = pickle.dumps(
+        {"config": config, "shards": [payload[1:] for payload in payloads]},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    ref = pool.publish_payload(blob)
+    if ref.kind != "shm":
+        pool.release_payload(ref)  # no-op for inline handles
+        return None
+    return ref
+
+
+# Worker-side cache of the one in-flight call's shard set, so a worker
+# serving several shards of one run_sharded call attaches and unpickles
+# it once.  Tokens are one per call and never recur (the parent releases
+# the segment before returning), so a single slot is the right bound --
+# anything older is dead weight in a long-lived worker.
+_SHARD_SET_CACHE: Dict[str, dict] = {}
+
+
+def _cold_shard_payload(ref, index: int) -> tuple:
+    """Worker entry point for the published-payload route.
+
+    Fetches the call's shard set from the shared-memory segment, caches
+    the decoded form per token, and solves shard ``index`` exactly like
+    :func:`_cold_shard`.
+    """
+    from repro.engine import pool
+
+    shard_set = _SHARD_SET_CACHE.get(ref.token)
+    if shard_set is None:
+        shard_set = pickle.loads(pool.fetch_payload(ref))
+        # The decoded set supersedes the raw bytes; drop both the blob
+        # and any previous call's set rather than pinning dead payloads.
+        pool.forget_cached_payload(ref)
+        _SHARD_SET_CACHE.clear()
+        _SHARD_SET_CACHE[ref.token] = shard_set
+    return _cold_shard((shard_set["config"],) + tuple(shard_set["shards"][index]))
+
+
 def _offset_exact(cold_arrays: Sequence) -> bool:
     """True when every finite cold value is an integer within the exact bound.
 
@@ -1010,10 +1083,33 @@ def run_sharded(
     results = None
     if use_pool:
         # Persistent process-global pool: created lazily on the first
-        # sharded call, reused (warm workers) by every later one.
+        # sharded call, reused (warm workers) by every later one.  The
+        # shard arrays publish once through the shared-memory payload
+        # path; each worker call carries only (handle, shard index).
         try:
             executor = pool.get_pool()
-            results = list(executor.map(_cold_shard, payloads))
+            ref = _publish_shard_set(config, payloads)
+            if ref is not None:
+                try:
+                    futures = [
+                        executor.submit(_cold_shard_payload, ref, index)
+                        for index in range(len(payloads))
+                    ]
+                    results = [future.result() for future in futures]
+                finally:
+                    # Every worker that needed the bytes has copied them
+                    # out (futures are resolved above); on failure the
+                    # segment must not leak either.
+                    pool.release_payload(ref)
+                pool.LAST_DECISION.update(payload="shm")
+            else:
+                # Small stream or no shared memory: each worker call
+                # carries its own shard's arrays (and nothing else).
+                futures = [
+                    executor.submit(_cold_shard, payload) for payload in payloads
+                ]
+                results = [future.result() for future in futures]
+                pool.LAST_DECISION.update(payload="inline")
         except (OSError, ImportError, RuntimeError, PermissionError):
             pool.discard()  # broken/unspawnable pool: next call starts clean
             pool.LAST_DECISION.update(use_pool=False, reason="pool-spawn-failed")

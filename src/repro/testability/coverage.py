@@ -60,10 +60,29 @@ def stuck_at_coverage(
     duration_ps: float = 30_000.0,
     faults: Optional[Iterable[StuckAtFault]] = None,
     seed: int = 7,
+    delay_jitter: float = 0.0,
+    environment_jitter: float = 0.0,
     shards: Optional[int] = None,
     use_processes: Optional[bool] = None,
 ) -> CoverageReport:
-    """Run fault simulation and return the coverage report."""
+    """Run fault simulation and return the coverage report.
+
+    Every knob of :func:`~repro.testability.simulation.simulate_faults`
+    is forwarded verbatim:
+
+    * ``seed`` -- campaign seed; coverage numbers are reproducible
+      under caller-chosen seeds, and under jitter it seeds each fault
+      copy's simulator/environment RNG streams.
+    * ``delay_jitter`` / ``environment_jitter`` -- randomise gate
+      delays and handshake-rule response times uniformly in
+      ``[nominal * (1 - j), nominal * (1 + j)]``.  Jittered campaigns
+      run on the batch engine and stay bit-identical to the per-fault
+      reference loop, so jittered coverage percentages are exact, not
+      sampled approximations of a different estimator.
+    * ``shards`` / ``use_processes`` -- worker-pool knobs for large
+      campaigns, mirroring ``RappidDecoder.run_sharded`` (auto mode
+      keeps small campaigns and single-CPU hosts in-process).
+    """
     results = simulate_faults(
         netlist,
         environment_rules,
@@ -72,6 +91,8 @@ def stuck_at_coverage(
         observables=observables,
         duration_ps=duration_ps,
         seed=seed,
+        delay_jitter=delay_jitter,
+        environment_jitter=environment_jitter,
         shards=shards,
         use_processes=use_processes,
     )

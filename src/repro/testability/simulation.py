@@ -26,6 +26,14 @@ Abnormal behaviour counts as detection: a fault whose simulation raises
 ``RuntimeError`` (oscillation / event explosion) **or** ``ValueError``
 (a gate evaluation rejecting its inputs under the pinned value) is
 classified ``abnormal behaviour: <error>`` by both paths.
+
+Realistic campaigns run under randomised timing: ``delay_jitter``
+spreads every gate delay and ``environment_jitter`` spreads every
+handshake-rule response, each drawn per fault copy from RNG streams
+seeded with the campaign ``seed``.  Jittered campaigns run on the batch
+engine too -- per-copy ``random.Random`` streams reproduce the
+reference's draw order exactly, so the bit-identity contract holds with
+jitter on.
 """
 
 from __future__ import annotations
@@ -47,7 +55,25 @@ from repro.testability.faults import StuckAtFault, enumerate_faults
 
 @dataclass
 class FaultSimulationResult:
-    """Outcome of simulating one fault."""
+    """Outcome of simulating one stuck-at fault.
+
+    Attributes
+    ----------
+    fault:
+        The :class:`~repro.testability.faults.StuckAtFault` that was
+        injected for this run.
+    detected:
+        ``True`` when the faulty circuit's observable behaviour differs
+        from the golden (fault-free) run -- a different final value or
+        transition count on an observable net, or abnormal behaviour
+        (the simulation raised).
+    reason:
+        Why the verdict fell the way it did: ``"observable
+        difference"``, ``"no observable difference"``, or ``"abnormal
+        behaviour: <error>"``.  Reason strings are part of the
+        batch-vs-reference bit-identity contract, including under
+        ``delay_jitter``/``environment_jitter``.
+    """
 
     fault: StuckAtFault
     detected: bool
@@ -77,6 +103,8 @@ def simulate_faults(
     observables: Optional[Sequence[str]] = None,
     duration_ps: float = 30_000.0,
     seed: int = 7,
+    delay_jitter: float = 0.0,
+    environment_jitter: float = 0.0,
     shards: Optional[int] = None,
     use_processes: Optional[bool] = None,
 ) -> List[FaultSimulationResult]:
@@ -93,10 +121,26 @@ def simulate_faults(
     seed:
         Campaign seed, forwarded to the engine (and honoured by the
         retained reference path) so campaigns are reproducible under
-        caller-chosen seeds.
+        caller-chosen seeds.  Under jitter it seeds every copy's
+        simulator and environment RNG streams.
+    delay_jitter:
+        Gate-delay jitter: each scheduled gate delay is drawn uniformly
+        from ``[nominal * (1 - j), nominal * (1 + j)]``.  ``0.0``
+        (default) keeps delays nominal and draw-free.
+    environment_jitter:
+        Handshake-environment jitter: each fired rule's response delay
+        is drawn the same way from the environment's own RNG stream.
+        Equivalent to running every fault copy against a
+        ``HandshakeEnvironment(rules, jitter=environment_jitter,
+        seed=seed)``.
     shards, use_processes:
         Worker-pool knobs, mirroring ``RappidDecoder.run_sharded``: auto
         mode keeps small campaigns and single-CPU hosts in-process.
+
+    Jittered campaigns run on the batch engine too (per-copy RNG
+    streams reproduce the reference draw order exactly); verdicts,
+    reason strings, and coverage stay bit-identical to
+    :func:`_reference_simulate_faults` for every knob combination.
     """
     if faults is None:
         faults = enumerate_faults(netlist)
@@ -110,6 +154,8 @@ def simulate_faults(
         duration_ps=duration_ps,
         max_events=500_000,
         seed=seed,
+        delay_jitter=delay_jitter,
+        environment_jitter=environment_jitter,
     )
     try:
         verdicts = engine.run(faults, shards=shards, use_processes=use_processes)
@@ -192,11 +238,18 @@ def _run(
     initial_stimuli: Sequence[Tuple[str, int, float]],
     duration_ps: float,
     seed: int,
+    delay_jitter: float = 0.0,
+    environment_jitter: float = 0.0,
 ) -> SimulationTrace:
     environment = HandshakeEnvironment(
-        environment_rules, jitter=0.0, seed=seed, initial_stimuli=initial_stimuli
+        environment_rules,
+        jitter=environment_jitter,
+        seed=seed,
+        initial_stimuli=initial_stimuli,
     )
-    simulator = EventDrivenSimulator(netlist, [environment], delay_jitter=0.0, seed=seed)
+    simulator = EventDrivenSimulator(
+        netlist, [environment], delay_jitter=delay_jitter, seed=seed
+    )
     return simulator.run(duration_ps=duration_ps, max_events=500_000)
 
 
@@ -208,18 +261,32 @@ def _reference_simulate_faults(
     observables: Optional[Sequence[str]] = None,
     duration_ps: float = 30_000.0,
     seed: int = 7,
+    delay_jitter: float = 0.0,
+    environment_jitter: float = 0.0,
 ) -> List[FaultSimulationResult]:
     """Pre-engine campaign loop: one rebuilt netlist + simulator per fault.
 
     Differential oracle for :func:`simulate_faults`: same verdicts, same
-    reasons, same order, at 2N+1 compilations instead of one.
+    reasons, same order, at 2N+1 compilations instead of one.  Every
+    fault copy gets a fresh simulator and a fresh jittered
+    ``HandshakeEnvironment``, both seeded with the campaign ``seed`` --
+    the draw-order contract the batch engine's per-copy RNG streams
+    must (and do) reproduce.
     """
     if faults is None:
         faults = enumerate_faults(netlist)
     if observables is None:
         observables = netlist.primary_outputs or netlist.nets
 
-    golden = _run(netlist, environment_rules, initial_stimuli, duration_ps, seed)
+    golden = _run(
+        netlist,
+        environment_rules,
+        initial_stimuli,
+        duration_ps,
+        seed,
+        delay_jitter,
+        environment_jitter,
+    )
     golden_signature = _observable_signature(golden, observables)
 
     results: List[FaultSimulationResult] = []
@@ -227,7 +294,13 @@ def _reference_simulate_faults(
         faulty_netlist = _inject_fault(netlist, fault)
         try:
             trace = _run(
-                faulty_netlist, environment_rules, initial_stimuli, duration_ps, seed
+                faulty_netlist,
+                environment_rules,
+                initial_stimuli,
+                duration_ps,
+                seed,
+                delay_jitter,
+                environment_jitter,
             )
         except (RuntimeError, ValueError) as exc:
             # Oscillation, event explosion, or a gate evaluation blowing

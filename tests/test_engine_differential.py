@@ -625,7 +625,8 @@ from repro.circuit.analysis import (
     fifo_environment_rules as _fifo_rules,
 )
 from repro.circuit.netlist import chain_handshake_cells
-from repro.circuit.simulator import HandshakeRule
+from repro.circuit.simulator import HandshakeEnvironment, HandshakeRule
+from repro.engine.faultsim import FaultSimEngine
 from repro.testability import stuck_at_coverage
 from repro.testability.simulation import (
     _inject_fault,
@@ -783,6 +784,213 @@ class TestFaultSimDifferential:
             duration_ps=20_000.0,
         )
         assert _campaign_signature(batch) == _campaign_signature(reference)
+
+
+def _gated_ring_netlist() -> Netlist:
+    """A ring oscillator gated off by ``en``: stable fault-free, but
+    ``en`` stuck-at-1 closes a 3-inversion loop that oscillates forever."""
+    netlist = Netlist("gated_ring")
+    netlist.add_primary_input("en", initial=0)
+    netlist.add_primary_output("n0")
+    netlist.add_gate(
+        "g0", STANDARD_LIBRARY.get("NAND2"), ["en", "n2"], "n0", output_initial=1
+    )
+    netlist.add_gate("g1", STANDARD_LIBRARY.get("INV"), ["n0"], "n1", output_initial=0)
+    netlist.add_gate("g2", STANDARD_LIBRARY.get("INV"), ["n1"], "n2", output_initial=1)
+    return netlist
+
+
+class TestJitteredFaultSimDifferential:
+    """Jittered campaigns on the batch engine vs the per-fault reference.
+
+    ``delay_jitter`` randomises every gate delay, ``environment_jitter``
+    every handshake-rule response; the reference loop gives each fault
+    copy a standalone simulator + environment whose RNGs restart from
+    the campaign seed.  The batch engine must keep the full bit-identity
+    contract under jitter -- verdicts, reason strings, coverage, and the
+    per-copy RNG draw order -- with the periodic-trajectory shortcut
+    standing down (jittered trajectories are never periodic) and the
+    provable event-cap shortcut staying active.
+    """
+
+    JITTER_CASES = [(0.1, 0.0), (0.0, 0.25), (0.08, 0.3)]
+
+    @pytest.mark.parametrize("delay_jitter,environment_jitter", JITTER_CASES)
+    @pytest.mark.parametrize("fixture", ["fifo_rt", "fifo_si"])
+    def test_jittered_fifo_campaigns_match(
+        self, request, fixture, delay_jitter, environment_jitter
+    ):
+        netlist = request.getfixturevalue(fixture).netlist
+        stimuli = [("li", 1, 50.0)]
+        kwargs = dict(
+            duration_ps=20_000.0,
+            seed=11,
+            delay_jitter=delay_jitter,
+            environment_jitter=environment_jitter,
+        )
+        reference = _reference_simulate_faults(
+            netlist, _fifo_rules(), stimuli, **kwargs
+        )
+        batch = simulate_faults(netlist, _fifo_rules(), stimuli, **kwargs)
+        assert _campaign_signature(batch) == _campaign_signature(reference)
+
+    def test_overunity_jitter_campaign_matches(self, fifo_rt):
+        """delay_jitter > 1: negative effective delays schedule into the
+        past mid-batch; the packed copies must yield exactly like the
+        kernel (and therefore like the reference simulator)."""
+        stimuli = [("li", 1, 50.0)]
+        kwargs = dict(
+            duration_ps=15_000.0, seed=2, delay_jitter=1.5, environment_jitter=0.5
+        )
+        reference = _reference_simulate_faults(
+            fifo_rt.netlist, _fifo_rules(), stimuli, **kwargs
+        )
+        batch = simulate_faults(fifo_rt.netlist, _fifo_rules(), stimuli, **kwargs)
+        assert _campaign_signature(batch) == _campaign_signature(reference)
+
+    @pytest.mark.parametrize("shards", range(1, 5))
+    def test_jittered_shard_sweep_matches_reference(self, fifo_rt, shards):
+        """Shards 1-4 of a jittered chained-FIFO campaign are identical."""
+        netlist = chain_handshake_cells(fifo_rt.netlist, 4)
+        stimuli = [("s0_li", 1, 50.0)]
+        kwargs = dict(duration_ps=15_000.0, delay_jitter=0.1, environment_jitter=0.25)
+        reference = _reference_simulate_faults(
+            netlist, _chain_rules(4), stimuli, **kwargs
+        )
+        batch = simulate_faults(
+            netlist,
+            _chain_rules(4),
+            stimuli,
+            shards=shards,
+            use_processes=False,
+            **kwargs,
+        )
+        assert _campaign_signature(batch) == _campaign_signature(reference)
+
+    def test_jittered_pooled_campaign_matches_in_process(self, fifo_rt):
+        """The worker-pool path ships the jitter knobs + seed in the
+        published campaign payload; verdicts stay identical."""
+        netlist = chain_handshake_cells(fifo_rt.netlist, 4)
+        stimuli = [("s0_li", 1, 50.0)]
+        kwargs = dict(duration_ps=15_000.0, delay_jitter=0.1, environment_jitter=0.25)
+        local = simulate_faults(
+            netlist, _chain_rules(4), stimuli, use_processes=False, **kwargs
+        )
+        pooled = simulate_faults(
+            netlist, _chain_rules(4), stimuli, shards=2, use_processes=True, **kwargs
+        )
+        assert _campaign_signature(pooled) == _campaign_signature(local)
+
+    def test_jittered_coverage_matches_reference(self, fifo_rt):
+        stimuli = [("li", 1, 50.0)]
+        kwargs = dict(duration_ps=15_000.0, delay_jitter=0.05, environment_jitter=0.3)
+        reference = _reference_simulate_faults(
+            fifo_rt.netlist, _fifo_rules(), stimuli, **kwargs
+        )
+        report = stuck_at_coverage(fifo_rt.netlist, _fifo_rules(), stimuli, **kwargs)
+        assert report.total_faults == len(reference)
+        assert report.detected_faults == sum(1 for r in reference if r.detected)
+        assert report.undetected == [
+            r.fault for r in reference if not r.detected
+        ]
+
+    def test_rng_draw_order_matches_standalone_simulators(self, fifo_rt):
+        """Each copy's final (simulator RNG, environment RNG) states equal
+        those of a standalone EventDrivenSimulator + HandshakeEnvironment
+        run of the injected netlist with the same seed: the draws were
+        the same draws, in the same order."""
+        netlist = fifo_rt.netlist
+        rules = _fifo_rules()
+        stimuli = [("li", 1, 50.0)]
+        faults = enumerate_faults(netlist)
+        engine = FaultSimEngine(
+            netlist,
+            rules,
+            stimuli,
+            duration_ps=12_000.0,
+            seed=5,
+            delay_jitter=0.1,
+            environment_jitter=0.25,
+        )
+        try:
+            verdicts = engine.run(faults, use_processes=False)
+            states = engine._sweep.rng_states
+
+            def reference_states(reference_netlist):
+                environment = HandshakeEnvironment(
+                    rules, jitter=0.25, seed=5, initial_stimuli=stimuli
+                )
+                simulator = EventDrivenSimulator(
+                    reference_netlist, [environment], delay_jitter=0.1, seed=5
+                )
+                simulator.run(duration_ps=12_000.0, max_events=500_000)
+                return (simulator._rng.getstate(), environment._rng.getstate())
+
+            assert engine._sweep.golden_rng_state == reference_states(netlist)
+            checked = 0
+            for fault, (_detected, reason), state in zip(faults, verdicts, states):
+                if reason.startswith("abnormal"):
+                    continue  # raising copies legitimately cut the drain short
+                assert state == reference_states(_inject_fault(netlist, fault))
+                checked += 1
+            assert checked, "campaign produced no completed copies to compare"
+        finally:
+            engine.close()
+
+    def test_jittered_oscillating_fault_matches_reference(self):
+        """A fault that closes a free-running ring under jitter: the copy
+        drains in full (no extrapolation) and the verdict still matches."""
+        netlist = _gated_ring_netlist()
+        faults = [StuckAtFault("en", 1), StuckAtFault("n1", 0)]
+        kwargs = dict(
+            faults=faults, duration_ps=20_000.0, seed=9,
+            delay_jitter=0.2, environment_jitter=0.0,
+        )
+        reference = _reference_simulate_faults(netlist, [], [], **kwargs)
+        batch = simulate_faults(netlist, [], [], **kwargs)
+        assert _campaign_signature(batch) == _campaign_signature(reference)
+        assert batch[0].detected  # the closed ring transitions forever
+
+    def test_jittered_event_cap_reports_reference_oscillation_error(self):
+        """With no time limit the event cap is provably crossed; the
+        shortcut raise must word the error exactly like the reference."""
+        netlist = _gated_ring_netlist()
+        engine = FaultSimEngine(
+            netlist, [], [], duration_ps=None, max_events=5_000,
+            seed=3, delay_jitter=0.1,
+        )
+        try:
+            verdicts = engine.run([StuckAtFault("en", 1)], use_processes=False)
+        finally:
+            engine.close()
+        assert verdicts == [
+            (
+                True,
+                "abnormal behaviour: simulation exceeded 5000 events; "
+                "the circuit is probably oscillating",
+            )
+        ]
+
+    def test_jitter_free_campaign_keeps_extrapolation(self, fifo_rt):
+        """Both knobs zero: the sweep still snapshot-hunts for periods
+        (the jittered gate must not disable the exact shortcut)."""
+        engine = FaultSimEngine(
+            fifo_rt.netlist, _fifo_rules(), [("li", 1, 50.0)],
+            duration_ps=10_000.0,
+        )
+        try:
+            assert not engine._sweep.jittered
+            assert engine._sweep.integral_times
+            jittered = FaultSimEngine(
+                fifo_rt.netlist, _fifo_rules(), [("li", 1, 50.0)],
+                duration_ps=10_000.0, delay_jitter=0.1,
+            )
+            try:
+                assert jittered._sweep.jittered
+            finally:
+                jittered.close()
+        finally:
+            engine.close()
 
 
 # ---------------------------------------------------------------------------

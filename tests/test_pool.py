@@ -192,3 +192,100 @@ class TestSharedMemoryPayloads:
             assert all(result == data for result in results)
         finally:
             pool.release_payload(ref)
+
+    def test_publish_falls_back_inline_when_shm_unavailable(self, monkeypatch):
+        """No /dev/shm (or SharedMemory refusing): the same handle API
+        serves the bytes pickled-inline instead of failing."""
+        import multiprocessing.shared_memory as shared_memory
+
+        def unavailable(*args, **kwargs):
+            raise OSError("forced: shared memory unavailable")
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", unavailable)
+        data = bytes(range(256)) * 4096  # 1 MiB, would normally take shm
+        ref = pool.publish_payload(data)
+        assert ref.kind == "inline"
+        assert ref.data is not None and ref.name is None
+        assert pool.fetch_payload(ref) == data
+        pool.release_payload(ref)  # still a no-op for inline handles
+
+
+class TestRunShardedPayloadRoute:
+    """run_sharded's per-call shard arrays ride the payload path: one
+    publish per call, (handle, shard index) per worker call, and the
+    transport taken recorded as ``payload`` in LAST_DECISION."""
+
+    def _identity(self, decoder, instructions, lines, **kwargs):
+        sharded = decoder.run_sharded(
+            instructions, lines, min_shard_instructions=64,
+            use_processes=True, **kwargs,
+        )
+        exact = decoder.run(instructions, lines)
+        assert sharded.issue_times_ps == exact.issue_times_ps
+        assert sharded.total_time_ps == exact.total_time_ps
+        assert sharded.energy_pj == exact.energy_pj
+
+    def test_payload_route_records_decision(self, fresh_pool):
+        generator = WorkloadGenerator(seed=4)
+        instructions, lines = generator.workload(4_000)
+        self._identity(RappidDecoder(), instructions, lines, shards=2)
+        decision = pool.LAST_DECISION
+        assert decision["use_pool"] is True
+        assert decision["payload"] in ("shm", "inline")
+
+    def test_large_stream_publishes_through_shared_memory(self, fresh_pool):
+        probe = pool.publish_payload(b"x", min_shm_bytes=0)
+        pool.release_payload(probe)
+        if probe.kind != "shm":  # pragma: no cover - no /dev/shm
+            pytest.skip("shared memory unavailable on this host")
+        generator = WorkloadGenerator(seed=4)
+        instructions, lines = generator.workload(50_000)  # ~1 MiB of arrays
+        self._identity(RappidDecoder(), instructions, lines, shards=3)
+        assert pool.LAST_DECISION["payload"] == "shm"
+
+    def test_inline_fallback_without_shm_stays_exact(self, fresh_pool, monkeypatch):
+        """Force the shm attempt (threshold 0) *and* make it fail: the
+        publish falls back inline and the sharded result is unchanged."""
+        import multiprocessing.shared_memory as shared_memory
+
+        def unavailable(*args, **kwargs):
+            raise OSError("forced: shared memory unavailable")
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", unavailable)
+        monkeypatch.setattr(pool, "SHM_MIN_PAYLOAD_BYTES", 0)
+        generator = WorkloadGenerator(seed=6)
+        instructions, lines = generator.workload(4_000)
+        self._identity(RappidDecoder(), instructions, lines, shards=2)
+        assert pool.LAST_DECISION["payload"] == "inline"
+
+    def test_fault_campaign_inline_fallback_matches(
+        self, fresh_pool, monkeypatch, fifo_rt
+    ):
+        """The fault-sim engine's campaign payload takes the same inline
+        fallback; a forced-pool jittered campaign stays bit-identical."""
+        from repro.circuit.analysis import fifo_environment_rules
+        from repro.testability.simulation import (
+            campaign_signature,
+            simulate_faults,
+        )
+        import multiprocessing.shared_memory as shared_memory
+
+        def unavailable(*args, **kwargs):
+            raise OSError("forced: shared memory unavailable")
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", unavailable)
+        monkeypatch.setattr(pool, "SHM_MIN_PAYLOAD_BYTES", 0)
+        kwargs = dict(
+            duration_ps=10_000.0, delay_jitter=0.1, environment_jitter=0.25
+        )
+        stimuli = [("li", 1, 50.0)]
+        pooled = simulate_faults(
+            fifo_rt.netlist, fifo_environment_rules(), stimuli,
+            shards=2, use_processes=True, **kwargs,
+        )
+        assert pool.LAST_DECISION["payload"] == "inline"
+        local = simulate_faults(
+            fifo_rt.netlist, fifo_environment_rules(), stimuli,
+            use_processes=False, **kwargs,
+        )
+        assert campaign_signature(pooled) == campaign_signature(local)

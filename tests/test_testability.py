@@ -161,10 +161,14 @@ class TestSeedPlumbing:
             initial_stimuli=[("a", 1, 50.0)],
             duration_ps=5_000.0,
             seed=123,
+            delay_jitter=0.1,
+            environment_jitter=0.25,
             shards=3,
             use_processes=False,
         )
         assert captured["seed"] == 123
+        assert captured["delay_jitter"] == 0.1
+        assert captured["environment_jitter"] == 0.25
         assert captured["shards"] == 3
         assert captured["use_processes"] is False
 
@@ -182,6 +186,20 @@ class TestSeedPlumbing:
         assert [(r.detected, r.reason) for r in first] == [
             (r.detected, r.reason) for r in reference
         ]
+
+    def test_jittered_campaign_reproducible_and_reference_identical(self):
+        """Same seed + jitter knobs -> same verdicts, batch == reference."""
+        netlist = buffer_netlist()
+        kwargs = dict(
+            initial_stimuli=[("a", 1, 50.0)], duration_ps=5_000.0,
+            seed=42, delay_jitter=0.15, environment_jitter=0.3,
+        )
+        first = simulate_faults(netlist, TOGGLE_RULES, **kwargs)
+        second = simulate_faults(netlist, TOGGLE_RULES, **kwargs)
+        reference = _reference_simulate_faults(netlist, TOGGLE_RULES, **kwargs)
+        assert [(r.detected, r.reason) for r in first] == [
+            (r.detected, r.reason) for r in second
+        ] == [(r.detected, r.reason) for r in reference]
 
 
 class TestCoverageOnFifos:
