@@ -17,13 +17,15 @@ replaced (and which remains in-tree for differential testing):
   the reference simulator on a ring oscillator and on a RAPPID-style
   32-byte-unit netlist; its transitions/sec trajectory is written to
   ``BENCH_sim.json``.
-* the batch fault-simulation engine behind ``simulate_faults`` is >= 5x
+* the batch fault-simulation engine behind ``simulate_faults`` is >= 6x
   the retained per-fault reference loop on the FIFO corpus (Table 2
   cells plus chained FIFOs) and >= 3x on the jittered rows (where the
   periodic-trajectory extrapolation stands down), verdict-identical
-  case by case; its timings and per-case coverage land in
-  ``BENCH_faultsim.json``, along with a pooled-vs-in-process sharded
-  campaign row whose wall-clock assertion is gated on multi-CPU hosts.
+  case by case; its timings, per-case coverage, and per-case speedups
+  (order-of-magnitude on the shortcuttable cases, ~2x on the cap-bound
+  avalanche case) land in ``BENCH_faultsim.json``, along with a
+  pooled-vs-in-process sharded campaign row whose wall-clock assertion
+  is gated on multi-CPU hosts.
 
 Timing methodology: the two sides are measured interleaved (reference,
 fast, reference, fast, ...) taking each side's best round, so a noisy
@@ -350,7 +352,16 @@ def test_bench_engine_sharded_exact_and_summary():
             )
 
 
-FAULTSIM_REQUIRED_SPEEDUP = 5.0
+# Corpus-aggregate floor for the lockstep sweep.  ~7.1x measured
+# (CPU-time, interleaved) on the single-CPU reference host; the assert
+# sits below that to absorb shared-host wall-clock noise.  The aggregate
+# is dominated by bm_cell, whose two avalanche copies drain ~450k
+# aperiodic events each straight into the event cap -- the reference
+# runs the same compiled kernel there, capping that case near 2x no
+# matter how the sweep is organised.  Cases the vectorised sweep can
+# actually shortcut (chains, SI cells) measure 8-23x individually; the
+# per-case ratios land in BENCH_faultsim.json.
+FAULTSIM_REQUIRED_SPEEDUP = 6.0
 # Jittered campaigns cannot use the periodic-trajectory extrapolation
 # (every copy drains in full), so their floor sits below the jitter-free
 # corpus target; 4.2x measured on the single-CPU reference host.
@@ -476,13 +487,38 @@ def test_bench_engine_faultsim_campaign(fifo_rt, fifo_si, fifo_bm):
         assert campaign_signature(batch) == campaign_signature(reference), label
         case_results[label] = batch
 
+    # Per-case best times, captured inside the same interleaved passes
+    # the corpus ratio is measured over (no extra timing runs): the
+    # corpus aggregate hides that cap-bound cases (bm_cell's avalanche
+    # copies drain ~450k events through the same compiled kernel on
+    # both sides) sit near 2x while the cases the vectorised sweep can
+    # shortcut reach an order of magnitude.
+    case_reference_s: dict = {}
+    case_batch_s: dict = {}
+
+    def _timed(into, label, runner):
+        start = time.perf_counter()
+        runner()
+        elapsed = time.perf_counter() - start
+        into[label] = min(elapsed, into.get(label, elapsed))
+
     def run_reference():
-        for netlist, rules, stimuli, duration in corpus.values():
-            _reference_simulate_faults(netlist, rules, stimuli, duration_ps=duration)
+        for label, (netlist, rules, stimuli, duration) in corpus.items():
+            _timed(
+                case_reference_s,
+                label,
+                lambda: _reference_simulate_faults(
+                    netlist, rules, stimuli, duration_ps=duration
+                ),
+            )
 
     def run_batch():
-        for netlist, rules, stimuli, duration in corpus.values():
-            simulate_faults(netlist, rules, stimuli, duration_ps=duration)
+        for label, (netlist, rules, stimuli, duration) in corpus.items():
+            _timed(
+                case_batch_s,
+                label,
+                lambda: simulate_faults(netlist, rules, stimuli, duration_ps=duration),
+            )
 
     attempts = 1 if QUICK else 3
     speedup = 0.0
@@ -559,12 +595,19 @@ def test_bench_engine_faultsim_campaign(fifo_rt, fifo_si, fifo_bm):
         netlist = corpus[label][0]
         detected = sum(1 for result in results if result.detected)
         total_faults += len(results)
-        summary["cases"][label] = {
+        case = {
             "gates": netlist.gate_count(),
             "faults": len(results),
             "detected": detected,
             "coverage_percent": round(100.0 * detected / max(len(results), 1), 1),
         }
+        if label in case_reference_s and label in case_batch_s:
+            case["reference_s"] = round(case_reference_s[label], 3)
+            case["batch_s"] = round(case_batch_s[label], 3)
+            case["speedup"] = round(
+                case_reference_s[label] / max(case_batch_s[label], 1e-9), 2
+            )
+        summary["cases"][label] = case
     summary["faults"] = total_faults
     print(
         f"\n[bench-engine] faultsim corpus ({total_faults} faults): reference "

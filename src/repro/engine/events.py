@@ -21,9 +21,14 @@ into the flat, index-based form the simulation kernel
   - ``OP_WIDE_XOR`` -- parity row for wide XOR.
   - ``OP_CALL`` -- fallback to :meth:`GateType.evaluate` for gates that
     cannot be compiled (unrecognised wide behaviour, arity mismatches,
-    evaluation functions that raise during enumeration).  This preserves
+    legitimately *partial* evaluation functions that reject some input
+    combinations with ``ArithmeticError``/``LookupError``/
+    ``RuntimeError``/``ValueError`` during enumeration).  This preserves
     the reference simulator's error behaviour exactly: a mis-wired gate
-    still raises at its first evaluation, not at compile time.
+    still raises at its first evaluation, not at compile time.  A
+    *broken* ``eval_fn`` -- one raising anything else, e.g. a
+    ``TypeError`` from a bad signature -- is not silently demoted: the
+    error propagates at compile time, where it is actionable.
   - ``OP_CONST`` -- the gate drives a constant (the packed row is the
     value).  Never produced by :func:`_compile_gate`; it exists for
     *stuck-at overlays* (:meth:`CompiledNetlist.stuck_at_overlay`), which
@@ -105,8 +110,17 @@ def _compile_gate(gate: "GateInstance") -> Tuple[int, int, Optional[Callable]]:
                 inputs = [(bits >> (n - 1 - k)) & 1 for k in range(n)]
                 if int(bool(eval_fn(inputs, prev))):
                     table |= 1 << ((prev << n) | bits)
-    except Exception:
-        # Behaviour not enumerable offline; evaluate per event instead.
+    except (ArithmeticError, LookupError, RuntimeError, ValueError):
+        # A legitimately partial gate function (domain checks, table
+        # lookups, guards that reject off-protocol input combinations)
+        # raises one of these for the combinations it refuses to
+        # enumerate: fall back to evaluating per event, which preserves
+        # the reference simulator's error behaviour on the combinations
+        # that actually occur.  Anything else (``TypeError`` from a bad
+        # signature, ``AttributeError`` from a typo, ...) is a broken
+        # ``eval_fn``, not a partial one -- demoting it to ``OP_CALL``
+        # would only resurface the bug mid-simulation, so it propagates
+        # here, at compile time.
         return OP_CALL, 0, gate_type.evaluate
     return OP_TABLE, table, None
 
@@ -302,3 +316,37 @@ class BatchEventQueue:
             bucket[0][:0] = nets
             bucket[1][:0] = values
         self._count += len(nets)
+
+    def clone(self) -> "BatchEventQueue":
+        """Deep-enough copy: private heap and buckets, shared immutables.
+
+        The vectorised fault sweep extracts a deviating copy by cloning
+        the leader's queue at the pre-event point; the clone and the
+        original then evolve independently (bucket lists are copied,
+        times and values are immutable).
+        """
+        other = BatchEventQueue()
+        other._times = list(self._times)
+        other._buckets = {
+            time: (list(nets), list(values))
+            for time, (nets, values) in self._buckets.items()
+        }
+        other._count = self._count
+        return other
+
+    def relative_snapshot(self, now: float) -> Tuple:
+        """Hashable queue content with times relative to ``now``.
+
+        Canonical (sorted) form used by the fault sweep's period hunt:
+        two drain-loop iterations with equal state planes and equal
+        relative snapshots evolve identically, shifted in time.
+        """
+        buckets = self._buckets
+        return tuple(
+            (
+                time - now,
+                tuple(buckets[time][0]),
+                tuple(buckets[time][1]),
+            )
+            for time in sorted(buckets)
+        )

@@ -20,19 +20,38 @@ behind the rewritten :func:`repro.testability.simulation.simulate_faults`:
   rebuilt netlist -- the constant driver never schedules (its output
   always equals its pending value), the pinned initial value matches,
   and the driver's delay/sequential characterisation is untouched.
-* **One kernel sweep over all copies.**  :class:`_FaultSweep` compiles
-  the environment, observable mapping, and golden signature exactly
-  once, then runs every fault copy through the same delta-cycle event
-  loop as :class:`~repro.engine.simkernel.SimKernel`, each over its own
-  flat state block (``bytearray`` values/pending/gate-state).  Copies
-  record no waveform columns at all -- only per-observable transition
-  counts -- and a copy is **dropped early** the moment it diverges from the golden
+* **One vectorised sweep over all copies.**  A stuck-at copy's state
+  differs from the fault-free trajectory in exactly three cells -- its
+  own value/pending entries for the faulted net, and the driver gate's
+  state bit -- until the first event whose handling actually depends on
+  one of those cells.  :meth:`_FaultSweep.sweep` exploits that:
+  **one** leader pass replays the golden trajectory while every fault
+  copy rides along as a column of per-copy overrides (``ov_val`` /
+  ``ov_pend``) plus a live-copy bitmask.  Precomputed touch masks
+  (which copies' faulted nets an event's fanout cone can read or
+  drive) keep the hot path to a single ``touch_mask[net] & live`` test
+  per event; a touched event triggers a *pure* dry-run -- evaluated
+  against the copy's override before the leader mutates anything --
+  and a copy whose action would differ (commit decision, gate push,
+  push value, or a raising evaluation) is **extracted**: its exact
+  pre-event state (value/pending planes with overrides applied, gate
+  state, a cloned time-bucketed queue with the batch remainder pushed
+  back, observable counts, the event count, and -- under jitter -- the
+  leader's RNG states) is snapshotted and the copy finishes later in
+  the resumable scalar drain.  Copies still in lockstep at the end of
+  the leader pass read their verdict straight off the override column.
+  Extractions drain in **fault order** during verdict assembly, so
+  exception propagation (``NetlistError``, uncompilable-gate errors)
+  matches the per-fault reference loop exactly.
+* **Diverged copies retire early.**  Copies record no waveform columns
+  -- only per-observable transition counts -- and a copy is dropped
+  from observable bookkeeping the moment it diverges from the golden
   trace (its transition count on some observable exceeds the golden
   run's final count, which is monotone and therefore a committed
   detection).  Dropping must not change the *reason* string: a faulty
-  circuit that would have exploded past ``max_events`` has to report the
-  oscillation error, not a generic difference.  So a diverged copy keeps
-  draining, but with an exact shortcut: stuck-at oscillations are
+  circuit that would have exploded past ``max_events`` has to report
+  the oscillation error, not a generic difference.  So a diverged copy
+  keeps draining, but with an exact shortcut: stuck-at oscillations are
   periodic, and when every delay in the system is an integer picosecond
   count (the library's are) all event times are exactly-representable
   doubles, so once a ``(state, relative queue)`` snapshot repeats the
@@ -40,20 +59,25 @@ behind the rewritten :func:`repro.testability.simulation.simulate_faults`:
   reports the oscillation error immediately, or retires as an
   observable difference without simulating the remaining cycles (at
   most one partial tail cycle runs when ``max_events`` lands inside
-  it).  Non-integral delays or aperiodic behaviour simply fall back to
+  it).  The hunt samples every eighth delta-cycle batch: a periodic
+  orbit still repeats a sampled snapshot within a bounded number of
+  periods (the measured repeat is then a whole multiple of the
+  fundamental period, which extrapolates just as exactly), while
+  non-periodic copies no longer pay the snapshot cost every batch.
+  Non-integral delays or aperiodic behaviour simply fall back to
   draining in full, still bit-identical.
 * **Jittered campaigns run exactly.**  Realistic testability workloads
   randomise gate delays (``delay_jitter``) and environment response
   times (``environment_jitter``).  The reference loop gives every fault
   copy a standalone simulator whose RNGs restart from the campaign
   seed, so draw order is a per-copy property: each copy draws exactly
-  the delays its own trajectory requests, in its own commit order.  The
-  batch engine reproduces that bookkeeping with two per-copy
-  ``random.Random(seed)`` streams threaded through the delta-cycle
-  batches -- one for gate-delay draws (the simulator RNG), one for
-  handshake-rule draws (the environment RNG) -- drawing at exactly the
-  points ``SimKernel.settle``/``drain`` and
-  ``HandshakeEnvironment.on_change`` would.  Because drawn delays are
+  the delays its own trajectory requests, in its own commit order.  A
+  copy in lockstep requests *exactly the leader's draws* (same events,
+  same pushes, same order), so the leader's two ``random.Random(seed)``
+  streams stand in for every live copy at once; the moment a copy's
+  push set would differ it is extracted -- before the leader draws for
+  that event -- with a ``getstate()`` clone, and its scalar drain
+  continues the stream bit-exactly.  Because drawn delays are
   continuous (and advance RNG state each cycle), a jittered copy's
   trajectory is never periodic, so the periodic-trajectory
   extrapolation is disabled for jittered campaigns; pure-integer-delay
@@ -62,26 +86,29 @@ behind the rewritten :func:`repro.testability.simulation.simulate_faults`:
   periodicity and stays active.
 * **Shards ride the persistent pool.**  Large campaigns split
   round-robin across the process-global pool (:mod:`repro.engine.pool`).
-  The compiled tables, environment, and golden signature are published
-  **once** per campaign through the shared-memory payload path
-  (:func:`repro.engine.pool.publish_payload`); every shard call ships
-  only the tiny payload handle plus its fault list, and workers cache
-  the reconstructed sweep per campaign token, so nothing is re-pickled
-  per call.  Netlists with ``OP_CALL`` gates (uncompilable ``eval_fn``
-  closures) cannot cross a process boundary and automatically stay
-  in-process, recorded in ``pool.LAST_DECISION``.
+  The compiled tables, environment, golden signature, and golden event
+  count are published **once** per campaign through the shared-memory
+  payload path (:func:`repro.engine.pool.publish_payload`); every shard
+  call ships only the tiny payload handle plus its fault list, and
+  workers cache the reconstructed sweep per campaign token, so nothing
+  is re-pickled per call.  Netlists with ``OP_CALL`` gates
+  (uncompilable ``eval_fn`` closures) cannot cross a process boundary
+  and automatically stay in-process, recorded in ``pool.LAST_DECISION``.
 
-Verdicts -- the detected/undetected split, reason strings, and therefore
-every coverage percentage -- are bit-identical to the retained
-``_reference_simulate_faults`` loop; ``tests/test_engine_differential.py``
-enforces this over the synthesized FIFO fixtures and seeded handshake
-pipelines for shard counts 1-4.
+Verdicts -- the detected/undetected split, reason strings, per-copy RNG
+draw order, and therefore every coverage percentage -- are bit-identical
+to the retained ``_reference_simulate_faults`` loop;
+``tests/test_engine_differential.py`` enforces this over the synthesized
+FIFO fixtures and seeded handshake pipelines for shard counts 1-4,
+pooled, shm-forced, and jittered.
 """
 
 from __future__ import annotations
 
 import pickle
 import random
+import weakref
+from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine import pool
@@ -113,6 +140,18 @@ _SWEEP_CACHE_MAX = 4
 _SWEEP_CACHE: Dict[str, "_FaultSweep"] = {}
 
 _NO_RULES: Tuple = ()
+
+# Arity-specialized OP_TABLE variants, private to the packed per-net
+# fanout representation the drain loop builds: table gates of arity 1-6
+# (every synthesized complex gate in practice) index their row with a
+# single unrolled expression instead of a per-input loop.  Never stored
+# in CompiledNetlist tables.
+_OP_TABLE1 = -1
+_OP_TABLE2 = -2
+_OP_TABLE3 = -3
+_OP_TABLE4 = -4
+_OP_TABLE5 = -5
+_OP_TABLE6 = -6
 
 # Cap on the number of (state, queue) snapshots kept while hunting for a
 # period in a diverged copy; aperiodic copies stop snapshotting past it
@@ -156,6 +195,36 @@ def _compile_rules(rules, net_index: Dict[str, int], num_nets: int):
     return table
 
 
+def _eval_gate(op, row, call, input_slots, state, vals):
+    """Evaluate one compiled gate row against a flat value plane.
+
+    Exactly the kernel's inline opcode dispatch, factored out for the
+    settle pass and the vectorised sweep's dry-run checks (the hot
+    drain loop keeps its inlined copy).
+    """
+    if op == OP_TABLE:
+        idx = state
+        for slot in input_slots:
+            idx += idx + vals[slot]
+        return (row >> idx) & 1
+    if op == OP_CONST:
+        return row
+    if op == OP_CALL:
+        return call([vals[slot] for slot in input_slots], state)
+    total = 0
+    for slot in input_slots:
+        total += vals[slot]
+    if op == OP_WIDE_AND:
+        return 1 if total == row else 0
+    if op == OP_WIDE_NAND:
+        return 0 if total == row else 1
+    if op == OP_WIDE_OR:
+        return 1 if total else 0
+    if op == OP_WIDE_NOR:
+        return 0 if total else 1
+    return total & 1
+
+
 class _FaultSweep:
     """Golden run plus a batch of fault copies over one compiled netlist.
 
@@ -180,9 +249,13 @@ class _FaultSweep:
         "integral_times",
         "golden_finals",
         "golden_counts",
+        "golden_events",
         "last_copy_rng",
+        "last_processed",
         "rng_states",
         "golden_rng_state",
+        "_packed_base",
+        "_any_rule",
     )
 
     def __init__(
@@ -197,6 +270,7 @@ class _FaultSweep:
         env_jitter: float = 0.0,
         seed: int = 7,
         golden: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None,
+        golden_events: int = 0,
     ) -> None:
         self.compiled = compiled
         self.rules_by = rules_by
@@ -215,6 +289,10 @@ class _FaultSweep:
         # periodic and the extrapolation shortcut must stand down.
         self.jittered = delay_jitter > 0.0 or env_jitter > 0.0
         self.last_copy_rng = None
+        self.last_processed = 0
+        self.golden_events = golden_events
+        self._packed_base = None
+        self._any_rule = None
         self.rng_states: List[Optional[Tuple]] = []
         self.golden_rng_state = None
         # Every event time is a sum of stimulus times and gate/rule
@@ -241,93 +319,99 @@ class _FaultSweep:
             finals, counts, _diverged = self._run_copy(None)
             golden = (finals, counts)
             self.golden_rng_state = self.last_copy_rng
+            self.golden_events = self.last_processed
         self.golden_finals, self.golden_counts = golden
 
     def golden_signature(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
         return self.golden_finals, self.golden_counts
 
+    # -- the vectorised sweep ---------------------------------------------------------
     def sweep(
         self, faults: Sequence[Tuple[int, int]]
     ) -> List[Tuple[bool, str]]:
         """Verdicts for ``faults`` (``(net slot, value)``; slot -1 = no-op).
 
-        Every copy runs through the one compiled event loop with its own
-        flat state block; the shared tables, environment, observable
-        mapping, and golden signature are built exactly once.  For
+        One leader pass replays the golden trajectory (``golden_events``
+        events, validated when the golden signature was recorded) while
+        every fault copy rides along as an override column: ``ov_val[c]``
+        / ``ov_pend[c]`` hold copy ``c``'s value and pending entries for
+        its faulted net, and precomputed bitmasks say which copies an
+        event can possibly affect.  Untouched events (the vast majority)
+        cost one mask test on top of golden processing; touched events
+        dry-run the affected copies' actions against their overrides and
+        extract any copy whose behaviour deviates into a pre-event
+        snapshot.  Extracted copies finish through the resumable scalar
+        drain during verdict assembly, **in fault order**, so errors
+        propagate exactly as they do for C independent passes.  For
         jittered campaigns, ``rng_states`` afterwards holds each copy's
         final ``(simulator RNG, environment RNG)`` states (``None`` for
         copies that raised), letting the differential suite pin the
         per-copy draw order against standalone reference simulators.
         """
-        golden = (self.golden_finals, self.golden_counts)
-        verdicts: List[Tuple[bool, str]] = []
-        rng_states: List[Optional[Tuple]] = []
-        self.rng_states = rng_states
-        for slot, value in faults:
-            overlay = None if slot < 0 else (slot, value)
-            try:
-                finals, counts, diverged = self._run_copy(overlay, golden)
-            except (RuntimeError, ValueError) as exc:
-                # Oscillation, event explosion, or a gate evaluation
-                # blowing up under the pinned value: all observable.
-                verdicts.append((True, f"{REASON_ABNORMAL}: {exc}"))
-                rng_states.append(None)
-                continue
-            rng_states.append(self.last_copy_rng)
-            if (
-                diverged
-                or finals != self.golden_finals
-                or counts != self.golden_counts
-            ):
-                verdicts.append((True, REASON_DIFFERENT))
-            else:
-                verdicts.append((False, REASON_SAME))
-        return verdicts
-
-    # -- one copy through the kernel loop ---------------------------------------------
-    def _run_copy(
-        self,
-        overlay: Optional[Tuple[int, int]],
-        golden: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None,
-    ) -> Tuple[Tuple[int, ...], Tuple[int, ...], bool]:
-        """Simulate one copy; returns ``(finals, counts, diverged)``.
-
-        ``golden is None`` is the recording (golden) run; otherwise the
-        copy is compared against the golden counts as it goes and drops
-        out of observable bookkeeping once divergence is committed
-        (``diverged`` true forces the detected verdict regardless of the
-        frozen counts).  Mirrors ``SimKernel.settle`` + ``SimKernel.drain``
-        over the copy's flat state block; under jitter the copy owns two
-        fresh ``random.Random(seed)`` streams (gate delays / handshake
-        rules) drawing in exactly the reference order, and its final RNG
-        states land in ``last_copy_rng``.
-        """
+        faults = list(faults)
+        if not faults:
+            self.rng_states = []
+            return []
         compiled = self.compiled
         num_nets = len(compiled.net_names)
         num_gates = len(compiled.gate_op)
-        if overlay is None:
-            gate_op = compiled.gate_op
-            gate_row = compiled.gate_row
-            initial = compiled.initial_values
-        else:
-            gate_op, gate_row, initial = compiled.stuck_at_overlay(*overlay)
+        gate_op = compiled.gate_op
+        gate_row = compiled.gate_row
         gate_inputs = compiled.gate_inputs
         gate_output = compiled.gate_output
         gate_call = compiled.gate_call
         gate_delay = compiled.gate_delay
         fanout = compiled.fanout
+        driver_of = compiled.driver_of
         rules_by = self.rules_by
         obs_of = self.obs_of
 
-        # Per-copy RNG streams: the reference path builds a standalone
-        # simulator plus a fresh HandshakeEnvironment for every fault,
-        # both seeded with the campaign seed, so every copy restarts
-        # both streams (matching draw order is then purely a matter of
-        # drawing at the same points the kernel and environment would).
+        count = len(faults)
+        fslot = [slot for slot, _value in faults]
+        fval = [int(bool(value)) for _slot, value in faults]
+        # Copy c's overrides: its private value / pending entries for
+        # its faulted net.  Everything else it shares with the leader
+        # while in lockstep.
+        ov_val = fval[:]
+        ov_pend = fval[:]
+
+        # Bitmasks over copies.  con_mask[n]: copies faulted *at* net n
+        # (an event targeting n needs their commit decision checked).
+        # driver_mask[g]: copies whose faulted net g drives (their g is
+        # an OP_CONST row).  reads_mask[g]: copies whose faulted net is
+        # an input of g (g evaluates differently for them) -- excluding
+        # their own driver, which driver_mask already covers.
+        live = 0
+        con_mask = [0] * num_nets
+        driver_mask: Dict[int, int] = {}
+        reads_mask: Dict[int, int] = {}
+        for c in range(count):
+            slot = fslot[c]
+            if slot < 0:
+                continue
+            bit = 1 << c
+            live |= bit
+            con_mask[slot] |= bit
+            driver = driver_of[slot]
+            if driver >= 0:
+                driver_mask[driver] = driver_mask.get(driver, 0) | bit
+            for g in fanout[slot]:
+                if g != driver:
+                    reads_mask[g] = reads_mask.get(g, 0) | bit
+        # touch_mask[n]: every copy an event on net n could possibly
+        # affect -- its own commit decision, or any gate in n's fanout
+        # that the copy reads differently or drives constantly.
+        touch_mask = [0] * num_nets
+        for n in range(num_nets):
+            mask = con_mask[n]
+            for g in fanout[n]:
+                mask |= driver_mask.get(g, 0) | reads_mask.get(g, 0)
+            touch_mask[n] = mask
+
         jitter = self.delay_jitter
         env_jitter = self.env_jitter
-        self.last_copy_rng = None
-        if self.jittered:
+        jittered = self.jittered
+        if jittered:
             sim_rng = random.Random(self.seed)
             env_rng = random.Random(self.seed)
             sim_uniform = sim_rng.uniform
@@ -335,209 +419,215 @@ class _FaultSweep:
         else:
             sim_rng = env_rng = None
 
-        # The copy's flat state block.
-        vals = bytearray(initial)
+        # Leader planes: the golden trajectory's state.
+        vals = bytearray(compiled.initial_values)
         pend = vals[:]
         gstate = bytearray(vals[output] for output in gate_output)
-
         queue = BatchEventQueue()
         counts = [0] * len(self.obs_slots)
-        golden_counts = None if golden is None else golden[1]
-        counting = True
 
-        # Settle pass (gate state intentionally not updated), then the
-        # environment's initial stimuli: the reference ``run()`` order.
-        for gate_slot in range(num_gates):
-            op = gate_op[gate_slot]
-            if op == OP_TABLE:
-                idx = gstate[gate_slot]
-                for slot in gate_inputs[gate_slot]:
-                    idx += idx + vals[slot]
-                output = (gate_row[gate_slot] >> idx) & 1
-            elif op == OP_CONST:
-                output = gate_row[gate_slot]
-            elif op == OP_CALL:
-                output = gate_call[gate_slot](
-                    [vals[slot] for slot in gate_inputs[gate_slot]],
-                    gstate[gate_slot],
-                )
-            else:
-                total = 0
-                for slot in gate_inputs[gate_slot]:
-                    total += vals[slot]
-                if op == OP_WIDE_AND:
-                    output = 1 if total == gate_row[gate_slot] else 0
-                elif op == OP_WIDE_NAND:
-                    output = 0 if total == gate_row[gate_slot] else 1
-                elif op == OP_WIDE_OR:
-                    output = 1 if total else 0
-                elif op == OP_WIDE_NOR:
-                    output = 0 if total else 1
-                else:
-                    output = total & 1
-            output_slot = gate_output[gate_slot]
-            if output != vals[output_slot]:
+        # -- settle pass (leader + per-copy checks) -----------------------------------
+        # Settle evaluates every gate against the *initial* values and
+        # pushes where output != current value; gate state is not
+        # updated.  A copy's settle differs from the leader's only
+        # through its overrides: its driver gate is a constant equal to
+        # the pinned initial (so it never pushes -- a leader push there
+        # is a deviation), and gates reading the faulted net may
+        # evaluate differently (a differing output is a differing push
+        # action, since binary outputs make exactly one side push).
+        settle_deviators = 0
+        for g in range(num_gates):
+            out_l = _eval_gate(
+                gate_op[g], gate_row[g], gate_call[g],
+                gate_inputs[g], gstate[g], vals,
+            )
+            slot_g = gate_output[g]
+            l_push = out_l != vals[slot_g]
+            dmask = driver_mask.get(g, 0) & live
+            if dmask and l_push:
+                settle_deviators |= dmask
+                live &= ~dmask
+            rmask = reads_mask.get(g, 0) & live
+            while rmask:
+                bit = rmask & -rmask
+                rmask -= bit
+                c = bit.bit_length() - 1
+                f = fslot[c]
+                if ov_val[c] == vals[f]:
+                    continue
+                old = vals[f]
+                vals[f] = ov_val[c]
+                try:
+                    out_c = _eval_gate(
+                        gate_op[g], gate_row[g], gate_call[g],
+                        gate_inputs[g], gstate[g], vals,
+                    )
+                except Exception:
+                    out_c = None  # raises for real in the scalar rerun
+                vals[f] = old
+                if out_c != out_l:
+                    settle_deviators |= bit
+                    live &= ~bit
+            if l_push:
                 if jitter <= 0:
-                    delay = gate_delay[gate_slot]
+                    delay = gate_delay[g]
                 else:
-                    nominal = gate_delay[gate_slot]
+                    nominal = gate_delay[g]
                     delay = sim_uniform(
                         nominal * (1.0 - jitter), nominal * (1.0 + jitter)
                     )
-                queue.push(delay, output_slot, output)
-                pend[output_slot] = output
+                queue.push(delay, slot_g, out_l)
+                pend[slot_g] = out_l
+                # No ov_pend hook needed here: a leader push to a live
+                # copy's faulted net means g is that copy's driver, and
+                # the driver check above just extracted it.
         for slot, value, time in self.stimuli:
             queue.push(time, slot, value)
             pend[slot] = value
+            mask = con_mask[slot] & live
+            while mask:
+                bit = mask & -mask
+                mask -= bit
+                ov_pend[bit.bit_length() - 1] = value
 
+        # -- leader drain with lockstep riders ----------------------------------------
         heap_times = queue._times
         buckets = queue._buckets
+        qcount = queue._count
         limit = float("inf") if self.duration_ps is None else self.duration_ps
-        max_events = self.max_events
         processed = 0
-        diverged = False
-        # Period hunt: (state, relative queue) -> (processed, time,
-        # observable counts) at the top of the drain loop.  Fault copies
-        # with exact (integral) event times snapshot from the start;
-        # oversized queues (event avalanches never become periodic),
-        # jittered copies (drawn delays make every cycle distinct and
-        # skipping cycles would skip RNG draws) and the golden run do
-        # not.
-        snapshots: Optional[Dict] = None
-        if golden is not None and self.integral_times and not self.jittered:
-            snapshots = {}
-        queue_cap = 8 * num_nets + 64
-
-        while queue._count:
+        extractions: Dict[int, Tuple] = {}
+        # The leader replays the golden trajectory, which already ran to
+        # completion under max_events when the golden signature was
+        # recorded, so the leader needs no event-cap or period-hunt
+        # bookkeeping of its own.
+        while qcount:
             batch_time = heap_times[0]
             if batch_time > limit:
                 break
-            if processed + queue._count > max_events:
-                # Every queued event at or before the limit must be
-                # popped before the loop can end any other way, so the
-                # event cap is provably crossed: raise the reference's
-                # oscillation error without draining the flood.  (Event
-                # avalanches -- glitch trains amplified through
-                # reconvergent fanout -- grow the queue geometrically
-                # and are never periodic.)
-                eligible = processed + sum(
-                    len(nets)
-                    for time, (nets, _values) in buckets.items()
-                    if time <= limit
-                )
-                if eligible > max_events:
-                    raise RuntimeError(
-                        f"simulation exceeded {max_events} events; "
-                        "the circuit is probably oscillating"
-                    )
-            if (
-                snapshots is not None
-                and queue._count <= queue_cap
-                and len(snapshots) < _CYCLE_SNAPSHOT_MAX
-            ):
-                # Two-level key: the flat state bytes are cheap to build
-                # every iteration; the relative queue tuple (sorting,
-                # nested tuples) is only built when the flat state has
-                # been seen before -- i.e. when a repeat is plausible.
-                # A fresh flat state is stored without its queue; the
-                # first revisit anchors the entry with the queue seen
-                # then (which, for a periodic orbit, is already the
-                # orbit's queue even when the flat state also occurred
-                # during the transient); later revisits compare exactly.
-                cheap_key = bytes(vals) + bytes(pend) + bytes(gstate)
-                seen = snapshots.get(cheap_key)
-                if seen is None:
-                    snapshots[cheap_key] = (
-                        processed,
-                        batch_time,
-                        tuple(counts),
-                        None,
-                    )
-                else:
-                    seen_processed, seen_time, seen_counts, seen_queue = seen
-                    queue_rel = tuple(
-                        (
-                            time - batch_time,
-                            tuple(buckets[time][0]),
-                            tuple(buckets[time][1]),
-                        )
-                        for time in sorted(buckets)
-                    )
-                    if seen_queue is None:
-                        snapshots[cheap_key] = (
-                            processed,
-                            batch_time,
-                            tuple(counts),
-                            queue_rel,
-                        )
-                    elif queue_rel == seen_queue:
-                        period = batch_time - seen_time
-                        period_events = processed - seen_processed
-                        if period > 0 and period_events > 0:
-                            # The trajectory is periodic: the remaining
-                            # evolution (events, observable commits, the
-                            # verdict) extrapolates exactly.
-                            resolution = self._extrapolate_cycles(
-                                queue,
-                                processed,
-                                batch_time,
-                                period,
-                                period_events,
-                                limit,
-                                counts,
-                                seen_counts,
-                                golden_counts,
-                                diverged,
-                            )
-                            if resolution is None:
-                                # Detection committed and the event cap
-                                # is provably unreachable: nothing left
-                                # to run.
-                                diverged = True
-                                break
-                            # Whole periods were skipped (queue shifted
-                            # and counts advanced in place); drain the
-                            # remaining partial tail exactly.
-                            skipped, will_diverge = resolution
-                            processed += skipped
-                            if will_diverge:
-                                diverged = True
-                                counting = False
-                            snapshots = None
-                            continue
-            batch_time, batch_nets, batch_values = queue.pop_batch()
+            batch_time = heappop(heap_times)
+            batch_nets, batch_values = buckets.pop(batch_time)
+            qcount -= len(batch_nets)
             batch_size = len(batch_nets)
             index = 0
             while index < batch_size:
                 net_slot = batch_nets[index]
                 value = batch_values[index]
+                tmask = touch_mask[net_slot] & live
+                if tmask:
+                    # Pure dry-run: decide which touched copies deviate
+                    # *before* the leader mutates state or draws jitter,
+                    # so an extraction snapshot is exactly the copy's
+                    # pre-event state and RNG position.
+                    deviators = 0
+                    leader_take = vals[net_slot] != value
+                    mask = con_mask[net_slot] & tmask
+                    while mask:
+                        bit = mask & -mask
+                        mask -= bit
+                        c = bit.bit_length() - 1
+                        if (ov_val[c] != value) != leader_take:
+                            deviators |= bit
+                    if leader_take:
+                        val_old = vals[net_slot]
+                        vals[net_slot] = value  # temp-commit for evals
+                        for g in fanout[net_slot]:
+                            gmask = (
+                                driver_mask.get(g, 0) | reads_mask.get(g, 0)
+                            ) & tmask & ~deviators
+                            if not gmask:
+                                continue
+                            out_l = _eval_gate(
+                                gate_op[g], gate_row[g], gate_call[g],
+                                gate_inputs[g], gstate[g], vals,
+                            )
+                            slot_g = gate_output[g]
+                            dmask = driver_mask.get(g, 0) & gmask
+                            if dmask:
+                                l_push = out_l != pend[slot_g]
+                                mask = dmask
+                                while mask:
+                                    bit = mask & -mask
+                                    mask -= bit
+                                    c = bit.bit_length() - 1
+                                    pinned = fval[c]
+                                    c_push = pinned != ov_pend[c]
+                                    if l_push != c_push or (
+                                        l_push and out_l != pinned
+                                    ):
+                                        deviators |= bit
+                            mask = reads_mask.get(g, 0) & gmask
+                            while mask:
+                                bit = mask & -mask
+                                mask -= bit
+                                c = bit.bit_length() - 1
+                                f = fslot[c]
+                                # f == net_slot: matched commit decisions
+                                # mean the copy's value of this net now
+                                # equals the leader's.
+                                if f == net_slot or ov_val[c] == vals[f]:
+                                    continue
+                                old = vals[f]
+                                vals[f] = ov_val[c]
+                                try:
+                                    out_c = _eval_gate(
+                                        gate_op[g], gate_row[g], gate_call[g],
+                                        gate_inputs[g], gstate[g], vals,
+                                    )
+                                except Exception:
+                                    out_c = None
+                                vals[f] = old
+                                if out_c != out_l:
+                                    deviators |= bit
+                        vals[net_slot] = val_old
+                    if deviators:
+                        queue._count = qcount
+                        rem_nets = batch_nets[index:]
+                        rem_values = batch_values[index:]
+                        rng_pair = (
+                            (sim_rng.getstate(), env_rng.getstate())
+                            if jittered
+                            else None
+                        )
+                        mask = deviators
+                        while mask:
+                            bit = mask & -mask
+                            mask -= bit
+                            c = bit.bit_length() - 1
+                            f = fslot[c]
+                            vals_c = bytearray(vals)
+                            vals_c[f] = ov_val[c]
+                            pend_c = bytearray(pend)
+                            pend_c[f] = ov_pend[c]
+                            gstate_c = bytearray(gstate)
+                            driver = driver_of[f]
+                            if driver >= 0:
+                                gstate_c[driver] = fval[c]
+                            queue_c = queue.clone()
+                            queue_c.push_front(batch_time, rem_nets, rem_values)
+                            extractions[c] = (
+                                vals_c,
+                                pend_c,
+                                gstate_c,
+                                queue_c,
+                                list(counts),
+                                processed,
+                                rng_pair,
+                            )
+                        live &= ~deviators
                 index += 1
                 processed += 1
-                if processed > max_events:
-                    raise RuntimeError(
-                        f"simulation exceeded {max_events} events; "
-                        "the circuit is probably oscillating"
-                    )
                 if vals[net_slot] == value:
                     continue
                 vals[net_slot] = value
-                if counting:
-                    obs_index = obs_of[net_slot]
-                    if obs_index >= 0:
-                        count = counts[obs_index] + 1
-                        counts[obs_index] = count
-                        if (
-                            golden_counts is not None
-                            and count > golden_counts[obs_index]
-                        ):
-                            # Counts are monotone: exceeding the golden
-                            # final count commits the detection.  Drop
-                            # the copy from observable bookkeeping; the
-                            # event loop keeps draining (or is resolved
-                            # by the period hunt) so error semantics
-                            # stay bit-identical to the reference.
-                            counting = False
-                            diverged = True
+                mask = con_mask[net_slot] & live
+                while mask:
+                    bit = mask & -mask
+                    mask -= bit
+                    ov_val[bit.bit_length() - 1] = value
+                obs_index = obs_of[net_slot]
+                if obs_index >= 0:
+                    counts[obs_index] += 1
 
                 for gate_slot in fanout[net_slot]:
                     op = gate_op[gate_slot]
@@ -578,8 +668,21 @@ class _FaultSweep:
                                 nominal * (1.0 - jitter),
                                 nominal * (1.0 + jitter),
                             )
-                        queue.push(batch_time + delay, output_slot, new_output)
+                        time = batch_time + delay
+                        bucket = buckets.get(time)
+                        if bucket is None:
+                            heappush(heap_times, time)
+                            buckets[time] = ([output_slot], [new_output])
+                        else:
+                            bucket[0].append(output_slot)
+                            bucket[1].append(new_output)
+                        qcount += 1
                         pend[output_slot] = new_output
+                        mask = con_mask[output_slot] & live
+                        while mask:
+                            bit = mask & -mask
+                            mask -= bit
+                            ov_pend[bit.bit_length() - 1] = new_output
 
                 for tslot, tvalue, delay, tname in rules_by[
                     net_slot + net_slot + value
@@ -596,19 +699,826 @@ class _FaultSweep:
                         from repro.circuit.netlist import NetlistError
 
                         raise NetlistError(f"unknown net {tname!r}")
-                    queue.push(batch_time + delay, tslot, tvalue)
+                    time = batch_time + delay
+                    bucket = buckets.get(time)
+                    if bucket is None:
+                        heappush(heap_times, time)
+                        buckets[time] = ([tslot], [tvalue])
+                    else:
+                        bucket[0].append(tslot)
+                        bucket[1].append(tvalue)
+                    qcount += 1
                     pend[tslot] = tvalue
+                    mask = con_mask[tslot] & live
+                    while mask:
+                        bit = mask & -mask
+                        mask -= bit
+                        ov_pend[bit.bit_length() - 1] = tvalue
 
                 if index < batch_size and heap_times and heap_times[0] < batch_time:
                     # Negative-delay rule scheduled into the past: yield
                     # to the earlier timestamp exactly like the heap.
-                    queue.push_front(
-                        batch_time, batch_nets[index:], batch_values[index:]
+                    rem_nets = batch_nets[index:]
+                    rem_values = batch_values[index:]
+                    bucket = buckets.get(batch_time)
+                    if bucket is None:
+                        heappush(heap_times, batch_time)
+                        buckets[batch_time] = (rem_nets, rem_values)
+                    else:
+                        bucket[0][:0] = rem_nets
+                        bucket[1][:0] = rem_values
+                    qcount += len(rem_nets)
+                    break
+        queue._count = qcount
+        leader_rng = (
+            (sim_rng.getstate(), env_rng.getstate()) if jittered else None
+        )
+
+        # -- verdict assembly, in fault order -----------------------------------------
+        golden = (self.golden_finals, self.golden_counts)
+        golden_finals = self.golden_finals
+        golden_counts = self.golden_counts
+        verdicts: List[Optional[Tuple[bool, str]]] = [None] * count
+        rng_states: List[Optional[Tuple]] = [None] * count
+        self.rng_states = rng_states
+        for c in range(count):
+            slot = fslot[c]
+            bit = 1 << c
+            if slot < 0:
+                # Unknown net: a no-op overlay that replays the golden
+                # trajectory (and its draw history) unchanged.
+                verdicts[c] = (False, REASON_SAME)
+                rng_states[c] = leader_rng
+                continue
+            if live & bit:
+                # Still in lockstep at the end: state equals the
+                # leader's everywhere but the faulted net, and counts
+                # equal the golden counts, so the verdict reads straight
+                # off the override column.
+                if obs_of[slot] >= 0 and ov_val[c] != vals[slot]:
+                    verdicts[c] = (True, REASON_DIFFERENT)
+                else:
+                    verdicts[c] = (False, REASON_SAME)
+                rng_states[c] = leader_rng
+                continue
+            if settle_deviators & bit:
+                # Deviated before any event fired: run the copy whole.
+                try:
+                    finals, fcounts, diverged = self._run_copy(
+                        (slot, fval[c]), golden
                     )
+                except (RuntimeError, ValueError) as exc:
+                    verdicts[c] = (True, f"{REASON_ABNORMAL}: {exc}")
+                    continue
+                rng_states[c] = self.last_copy_rng
+                if (
+                    diverged
+                    or finals != golden_finals
+                    or fcounts != golden_counts
+                ):
+                    verdicts[c] = (True, REASON_DIFFERENT)
+                else:
+                    verdicts[c] = (False, REASON_SAME)
+                continue
+            # Extracted mid-trajectory: resume the scalar drain from the
+            # pre-deviation snapshot.
+            (
+                vals_c,
+                pend_c,
+                gstate_c,
+                queue_c,
+                counts_c,
+                processed_c,
+                rng_pair,
+            ) = extractions[c]
+            gate_op_c, gate_row_c, _initial = compiled.stuck_at_overlay(
+                slot, fval[c]
+            )
+            if rng_pair is None:
+                sim_c = env_c = None
+            else:
+                sim_c = random.Random()
+                sim_c.setstate(rng_pair[0])
+                env_c = random.Random()
+                env_c.setstate(rng_pair[1])
+            try:
+                finals, fcounts, diverged = self._drain(
+                    gate_op_c,
+                    gate_row_c,
+                    vals_c,
+                    pend_c,
+                    gstate_c,
+                    queue_c,
+                    counts_c,
+                    processed_c,
+                    sim_c,
+                    env_c,
+                    golden_counts,
+                )
+            except (RuntimeError, ValueError) as exc:
+                verdicts[c] = (True, f"{REASON_ABNORMAL}: {exc}")
+                continue
+            rng_states[c] = self.last_copy_rng
+            if (
+                diverged
+                or finals != golden_finals
+                or fcounts != golden_counts
+            ):
+                verdicts[c] = (True, REASON_DIFFERENT)
+            else:
+                verdicts[c] = (False, REASON_SAME)
+        return verdicts  # type: ignore[return-value]
+
+    # -- one copy through the kernel loop ---------------------------------------------
+    def _run_copy(
+        self,
+        overlay: Optional[Tuple[int, int]],
+        golden: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None,
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...], bool]:
+        """Simulate one copy from scratch; returns ``(finals, counts, diverged)``.
+
+        ``golden is None`` is the recording (golden) run; otherwise the
+        copy is compared against the golden counts as it goes and drops
+        out of observable bookkeeping once divergence is committed
+        (``diverged`` true forces the detected verdict regardless of the
+        frozen counts).  Mirrors ``SimKernel.settle`` + ``SimKernel.drain``
+        over the copy's flat state block; under jitter the copy owns two
+        fresh ``random.Random(seed)`` streams (gate delays / handshake
+        rules) drawing in exactly the reference order, and its final RNG
+        states land in ``last_copy_rng``.
+        """
+        compiled = self.compiled
+        num_gates = len(compiled.gate_op)
+        if overlay is None:
+            gate_op = compiled.gate_op
+            gate_row = compiled.gate_row
+            initial = compiled.initial_values
+        else:
+            gate_op, gate_row, initial = compiled.stuck_at_overlay(*overlay)
+        gate_inputs = compiled.gate_inputs
+        gate_output = compiled.gate_output
+        gate_call = compiled.gate_call
+        gate_delay = compiled.gate_delay
+
+        # Per-copy RNG streams: the reference path builds a standalone
+        # simulator plus a fresh HandshakeEnvironment for every fault,
+        # both seeded with the campaign seed, so every copy restarts
+        # both streams (matching draw order is then purely a matter of
+        # drawing at the same points the kernel and environment would).
+        jitter = self.delay_jitter
+        self.last_copy_rng = None
+        if self.jittered:
+            sim_rng = random.Random(self.seed)
+            env_rng = random.Random(self.seed)
+            sim_uniform = sim_rng.uniform
+        else:
+            sim_rng = env_rng = None
+
+        # The copy's flat state block.
+        vals = bytearray(initial)
+        pend = vals[:]
+        gstate = bytearray(vals[output] for output in gate_output)
+
+        queue = BatchEventQueue()
+        counts = [0] * len(self.obs_slots)
+
+        # Settle pass (gate state intentionally not updated), then the
+        # environment's initial stimuli: the reference ``run()`` order.
+        for gate_slot in range(num_gates):
+            output = _eval_gate(
+                gate_op[gate_slot],
+                gate_row[gate_slot],
+                gate_call[gate_slot],
+                gate_inputs[gate_slot],
+                gstate[gate_slot],
+                vals,
+            )
+            output_slot = gate_output[gate_slot]
+            if output != vals[output_slot]:
+                if jitter <= 0:
+                    delay = gate_delay[gate_slot]
+                else:
+                    nominal = gate_delay[gate_slot]
+                    delay = sim_uniform(
+                        nominal * (1.0 - jitter), nominal * (1.0 + jitter)
+                    )
+                queue.push(delay, output_slot, output)
+                pend[output_slot] = output
+        for slot, value, time in self.stimuli:
+            queue.push(time, slot, value)
+            pend[slot] = value
+
+        return self._drain(
+            gate_op,
+            gate_row,
+            vals,
+            pend,
+            gstate,
+            queue,
+            counts,
+            0,
+            sim_rng,
+            env_rng,
+            None if golden is None else golden[1],
+        )
+
+    def _pack_net(self, net: int, gate_op, gate_row) -> Tuple:
+        """Pack one net's fanout gates for the drain loop.
+
+        Each entry is ``(gate, op, row, inputs, output, delay)`` with
+        1/2/3-input table gates demoted to the arity-specialized private
+        opcodes so the hot loop indexes their row without a per-input
+        loop.
+        """
+        compiled = self.compiled
+        gate_inputs = compiled.gate_inputs
+        gate_output = compiled.gate_output
+        gate_delay = compiled.gate_delay
+        entries = []
+        for g in compiled.fanout[net]:
+            op = gate_op[g]
+            inputs = gate_inputs[g]
+            if op == OP_TABLE:
+                arity = len(inputs)
+                if 1 <= arity <= 6:
+                    op = -arity
+            entries.append(
+                (g, op, gate_row[g], inputs, gate_output[g], gate_delay[g])
+            )
+        return tuple(entries)
+
+    def _packed_tables(self, gate_op, gate_row) -> List[Tuple]:
+        """Per-net packed fanout view of (possibly overlay-patched) tables.
+
+        The fault-free packing is built once and cached; an overlay
+        differs from it in exactly the faulted net's driver gate, so an
+        overlay packing reuses every untouched net's tuple and rebuilds
+        only the nets feeding a patched gate.
+        """
+        compiled = self.compiled
+        base_op = compiled.gate_op
+        base_row = compiled.gate_row
+        base = self._packed_base
+        if base is None:
+            base = self._packed_base = [
+                self._pack_net(net, base_op, base_row)
+                for net in range(len(compiled.fanout))
+            ]
+        if gate_op is base_op and gate_row is base_row:
+            return base
+        patched_nets = set()
+        for g, op in enumerate(gate_op):
+            if op != base_op[g] or gate_row[g] != base_row[g]:
+                patched_nets.update(compiled.gate_inputs[g])
+        if not patched_nets:
+            return base
+        packed = list(base)
+        for net in patched_nets:
+            packed[net] = self._pack_net(net, gate_op, gate_row)
+        return packed
+
+    # -- the resumable scalar drain ----------------------------------------------------
+    def _drain(
+        self,
+        gate_op,
+        gate_row,
+        vals: bytearray,
+        pend: bytearray,
+        gstate: bytearray,
+        queue: BatchEventQueue,
+        counts: List[int],
+        processed: int,
+        sim_rng: Optional[random.Random],
+        env_rng: Optional[random.Random],
+        golden_counts: Optional[Tuple[int, ...]],
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...], bool]:
+        """Drain one copy's queue to the duration limit.
+
+        Resumable: state planes, queue, counts, event count, and RNG
+        streams arrive exactly as they stood mid-trajectory (the sweep's
+        extraction path) or fresh after settle+stimuli
+        (:meth:`_run_copy`).  Heap and bucket operations are inlined --
+        the queue object's ``_times``/``_buckets`` are mutated directly
+        and ``_count`` is synced on every exit -- and each net's fanout
+        is pre-packed into ``(gate, op, row, inputs, output, delay)``
+        tuples so the hot loop pays one list index plus an unpack per
+        gate evaluation instead of six table lookups.  Sets
+        ``last_copy_rng`` and ``last_processed`` on normal completion.
+        """
+        compiled = self.compiled
+        gate_inputs = compiled.gate_inputs
+        gate_output = compiled.gate_output
+        gate_call = compiled.gate_call
+        gate_delay = compiled.gate_delay
+        fanout = compiled.fanout
+        rules_by = self.rules_by
+        obs_of = self.obs_of
+        jitter = self.delay_jitter
+        env_jitter = self.env_jitter
+        self.last_copy_rng = None
+        if sim_rng is not None:
+            sim_uniform = sim_rng.uniform
+            env_uniform = env_rng.uniform
+        # Struct-of-rows view of this copy's tables, packed per net
+        # (cached against the fault-free tables; only nets feeding the
+        # overlay-patched driver gate are rebuilt per copy).
+        fanout_packed = self._packed_tables(gate_op, gate_row)
+        any_rule = self._any_rule
+        if any_rule is None:
+            any_rule = self._any_rule = bytes(
+                1 if (rules_by[i + i] or rules_by[i + i + 1]) else 0
+                for i in range(len(compiled.net_names))
+            )
+        # An event can only preempt the rest of its batch when something
+        # schedules strictly into the past: a negative base delay, or
+        # over-unity jitter flipping a positive one.  With neither in
+        # the system the per-event heap peek is provably dead.
+        may_preempt = (
+            jitter >= 1.0
+            or env_jitter >= 1.0
+            or any(delay < 0 for delay in gate_delay)
+            or any(
+                entry[2] < 0 for entries in rules_by for entry in entries
+            )
+        )
+
+        heap_times = queue._times
+        buckets = queue._buckets
+        qcount = queue._count
+        limit = float("inf") if self.duration_ps is None else self.duration_ps
+        max_events = self.max_events
+        counting = True
+        diverged = False
+        # Period hunt: (state, relative queue) -> (processed, time,
+        # observable counts) at the top of each drain batch.  Fault
+        # copies with exact (integral) event times hunt; oversized
+        # queues (event avalanches never become periodic), jittered
+        # copies (drawn delays make every cycle distinct and skipping
+        # cycles would skip RNG draws) and the golden run do not.
+        snapshots: Optional[Dict] = None
+        if golden_counts is not None and self.integral_times and not self.jittered:
+            snapshots = {}
+        queue_cap = 8 * len(compiled.net_names) + 64
+        batch_no = 0
+        # One-entry push-target cache (see the gate push below); None
+        # never compares equal to a float time.
+        cached_time = None
+        cached_nets = cached_vals = None
+
+        while qcount:
+            batch_time = heap_times[0]
+            if batch_time > limit:
+                break
+            if processed + qcount > max_events:
+                # Every queued event at or before the limit must be
+                # popped before the loop can end any other way, so the
+                # event cap is provably crossed: raise the reference's
+                # oscillation error without draining the flood.  (Event
+                # avalanches -- glitch trains amplified through
+                # reconvergent fanout -- grow the queue geometrically
+                # and are never periodic.)
+                eligible = processed + sum(
+                    len(nets)
+                    for time, (nets, _values) in buckets.items()
+                    if time <= limit
+                )
+                if eligible > max_events:
+                    queue._count = qcount
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events; "
+                        "the circuit is probably oscillating"
+                    )
+            if snapshots is not None and (batch_no := batch_no + 1) & 7 == 0 and (
+                qcount <= queue_cap
+                and len(snapshots) < _CYCLE_SNAPSHOT_MAX
+            ):
+                # Two-level key: the flat state bytes are cheap to
+                # build; the relative queue tuple (sorting, nested
+                # tuples) is only built when the flat state has been
+                # seen before -- i.e. when a repeat is plausible.  A
+                # fresh flat state is stored without its queue; the
+                # first revisit anchors the entry with the queue
+                # seen then (which, for a periodic orbit, is already
+                # the orbit's queue even when the flat state also
+                # occurred during the transient); later revisits
+                # compare exactly.  A key whose anchor keeps
+                # mismatching is phase aliasing (the flat state recurs
+                # with distinct queues), not a period: blacklist it so
+                # non-periodic copies stop paying for queue snapshots.
+                cheap_key = bytes(vals) + bytes(pend) + bytes(gstate)
+                seen = snapshots.get(cheap_key)
+                if seen is None:
+                    snapshots[cheap_key] = (
+                        processed,
+                        batch_time,
+                        tuple(counts),
+                        None,
+                        0,
+                    )
+                elif seen is not False:
+                    (
+                        seen_processed,
+                        seen_time,
+                        seen_counts,
+                        seen_queue,
+                        misses,
+                    ) = seen
+                    queue_rel = queue.relative_snapshot(batch_time)
+                    if seen_queue is None:
+                        snapshots[cheap_key] = (
+                            processed,
+                            batch_time,
+                            tuple(counts),
+                            queue_rel,
+                            0,
+                        )
+                    elif queue_rel == seen_queue:
+                        period = batch_time - seen_time
+                        period_events = processed - seen_processed
+                        if period > 0 and period_events > 0:
+                            # The trajectory is periodic: the
+                            # remaining evolution (events, observable
+                            # commits, the verdict) extrapolates
+                            # exactly.
+                            queue._count = qcount
+                            resolution = self._extrapolate_cycles(
+                                queue,
+                                processed,
+                                batch_time,
+                                period,
+                                period_events,
+                                limit,
+                                counts,
+                                seen_counts,
+                                golden_counts,
+                                diverged,
+                            )
+                            if resolution is None:
+                                # Detection committed and the event
+                                # cap is provably unreachable:
+                                # nothing left to run.
+                                diverged = True
+                                break
+                            # Whole periods were skipped (queue
+                            # shifted and counts advanced in place);
+                            # drain the remaining partial tail
+                            # exactly.
+                            skipped, will_diverge = resolution
+                            processed += skipped
+                            if will_diverge:
+                                diverged = True
+                                counting = False
+                            snapshots = None
+                            # The queue was shifted in place: the cached
+                            # push target no longer matches its time.
+                            cached_time = None
+                            continue
+                    elif misses >= 7:
+                        snapshots[cheap_key] = False
+                    else:
+                        snapshots[cheap_key] = (
+                            seen_processed,
+                            seen_time,
+                            seen_counts,
+                            seen_queue,
+                            misses + 1,
+                        )
+            batch_time = heappop(heap_times)
+            batch_nets, batch_values = buckets.pop(batch_time)
+            if batch_time == cached_time:
+                # The cached bucket is now the batch being consumed.
+                cached_time = None
+            qcount -= len(batch_nets)
+            batch_size = len(batch_nets)
+            if not may_preempt and processed + batch_size <= max_events:
+                # Fast batch path: preemption is impossible (no negative
+                # delays or over-unity jitter) and the event cap provably
+                # cannot be crossed inside this batch, so the per-event
+                # index/cap bookkeeping is hoisted out of the loop.  The
+                # body mirrors the careful loop below exactly.
+                processed += batch_size
+                for net_slot, value in zip(batch_nets, batch_values):
+                    if vals[net_slot] == value:
+                        continue
+                    vals[net_slot] = value
+                    if counting:
+                        obs_index = obs_of[net_slot]
+                        if obs_index >= 0:
+                            count = counts[obs_index] + 1
+                            counts[obs_index] = count
+                            if (
+                                golden_counts is not None
+                                and count > golden_counts[obs_index]
+                            ):
+                                counting = False
+                                diverged = True
+
+                    for (
+                        gate_slot,
+                        op,
+                        row,
+                        g_inputs,
+                        output_slot,
+                        g_delay,
+                    ) in fanout_packed[net_slot]:
+                        if op == _OP_TABLE2:
+                            a, b = g_inputs
+                            idx = (
+                                ((gstate[gate_slot] << 1) + vals[a]) << 1
+                            ) + vals[b]
+                            new_output = (row >> idx) & 1
+                        elif op == _OP_TABLE3:
+                            a, b, c = g_inputs
+                            idx = (
+                                ((gstate[gate_slot] << 1) + vals[a]) << 1
+                            ) + vals[b]
+                            new_output = (row >> ((idx << 1) + vals[c])) & 1
+                        elif op == _OP_TABLE4:
+                            a, b, c, d = g_inputs
+                            idx = (
+                                ((gstate[gate_slot] << 1) + vals[a]) << 1
+                            ) + vals[b]
+                            idx = (((idx << 1) + vals[c]) << 1) + vals[d]
+                            new_output = (row >> idx) & 1
+                        elif op == _OP_TABLE5:
+                            a, b, c, d, e = g_inputs
+                            idx = (
+                                ((gstate[gate_slot] << 1) + vals[a]) << 1
+                            ) + vals[b]
+                            idx = (((idx << 1) + vals[c]) << 1) + vals[d]
+                            new_output = (row >> ((idx << 1) + vals[e])) & 1
+                        elif op == _OP_TABLE6:
+                            a, b, c, d, e, f2 = g_inputs
+                            idx = (
+                                ((gstate[gate_slot] << 1) + vals[a]) << 1
+                            ) + vals[b]
+                            idx = (((idx << 1) + vals[c]) << 1) + vals[d]
+                            idx = (((idx << 1) + vals[e]) << 1) + vals[f2]
+                            new_output = (row >> idx) & 1
+                        elif op == _OP_TABLE1:
+                            (a,) = g_inputs
+                            new_output = (
+                                row >> ((gstate[gate_slot] << 1) + vals[a])
+                            ) & 1
+                        elif op == OP_TABLE:
+                            idx = gstate[gate_slot]
+                            for slot in g_inputs:
+                                idx += idx + vals[slot]
+                            new_output = (row >> idx) & 1
+                        elif op == OP_CONST:
+                            new_output = row
+                        elif op == OP_CALL:
+                            new_output = gate_call[gate_slot](
+                                [vals[s] for s in g_inputs],
+                                gstate[gate_slot],
+                            )
+                        else:
+                            total = 0
+                            for slot in g_inputs:
+                                total += vals[slot]
+                            if op == OP_WIDE_AND:
+                                new_output = 1 if total == row else 0
+                            elif op == OP_WIDE_NAND:
+                                new_output = 0 if total == row else 1
+                            elif op == OP_WIDE_OR:
+                                new_output = 1 if total else 0
+                            elif op == OP_WIDE_NOR:
+                                new_output = 0 if total else 1
+                            else:
+                                new_output = total & 1
+                        gstate[gate_slot] = new_output
+                        if new_output != pend[output_slot]:
+                            if jitter <= 0:
+                                delay = g_delay
+                            else:
+                                delay = sim_uniform(
+                                    g_delay * (1.0 - jitter),
+                                    g_delay * (1.0 + jitter),
+                                )
+                            time = batch_time + delay
+                            if time == cached_time:
+                                cached_nets.append(output_slot)
+                                cached_vals.append(new_output)
+                            else:
+                                bucket = buckets.get(time)
+                                if bucket is None:
+                                    cached_nets = [output_slot]
+                                    cached_vals = [new_output]
+                                    heappush(heap_times, time)
+                                    buckets[time] = (cached_nets, cached_vals)
+                                else:
+                                    cached_nets, cached_vals = bucket
+                                    cached_nets.append(output_slot)
+                                    cached_vals.append(new_output)
+                                cached_time = time
+                            qcount += 1
+                            pend[output_slot] = new_output
+
+                    if any_rule[net_slot]:
+                        for tslot, tvalue, delay, tname in rules_by[
+                            net_slot + net_slot + value
+                        ]:
+                            if env_jitter > 0:
+                                delay = env_uniform(
+                                    delay * (1.0 - env_jitter),
+                                    delay * (1.0 + env_jitter),
+                                )
+                            if tslot < 0:
+                                from repro.circuit.netlist import NetlistError
+
+                                queue._count = qcount
+                                raise NetlistError(f"unknown net {tname!r}")
+                            time = batch_time + delay
+                            bucket = buckets.get(time)
+                            if bucket is None:
+                                heappush(heap_times, time)
+                                buckets[time] = ([tslot], [tvalue])
+                            else:
+                                bucket[0].append(tslot)
+                                bucket[1].append(tvalue)
+                            qcount += 1
+                            pend[tslot] = tvalue
+                continue
+            index = 0
+            while index < batch_size:
+                net_slot = batch_nets[index]
+                value = batch_values[index]
+                index += 1
+                processed += 1
+                if processed > max_events:
+                    queue._count = qcount
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events; "
+                        "the circuit is probably oscillating"
+                    )
+                if vals[net_slot] == value:
+                    continue
+                vals[net_slot] = value
+                if counting:
+                    obs_index = obs_of[net_slot]
+                    if obs_index >= 0:
+                        count = counts[obs_index] + 1
+                        counts[obs_index] = count
+                        if (
+                            golden_counts is not None
+                            and count > golden_counts[obs_index]
+                        ):
+                            # Counts are monotone: exceeding the golden
+                            # final count commits the detection.  Drop
+                            # the copy from observable bookkeeping; the
+                            # event loop keeps draining (or is resolved
+                            # by the period hunt) so error semantics
+                            # stay bit-identical to the reference.
+                            counting = False
+                            diverged = True
+
+                for (
+                    gate_slot,
+                    op,
+                    row,
+                    g_inputs,
+                    output_slot,
+                    g_delay,
+                ) in fanout_packed[net_slot]:
+                    if op == _OP_TABLE2:
+                        a, b = g_inputs
+                        idx = (((gstate[gate_slot] << 1) + vals[a]) << 1) + vals[b]
+                        new_output = (row >> idx) & 1
+                    elif op == _OP_TABLE3:
+                        a, b, c = g_inputs
+                        idx = (((gstate[gate_slot] << 1) + vals[a]) << 1) + vals[b]
+                        new_output = (row >> ((idx << 1) + vals[c])) & 1
+                    elif op == _OP_TABLE4:
+                        a, b, c, d = g_inputs
+                        idx = (((gstate[gate_slot] << 1) + vals[a]) << 1) + vals[b]
+                        idx = (((idx << 1) + vals[c]) << 1) + vals[d]
+                        new_output = (row >> idx) & 1
+                    elif op == _OP_TABLE5:
+                        a, b, c, d, e = g_inputs
+                        idx = (((gstate[gate_slot] << 1) + vals[a]) << 1) + vals[b]
+                        idx = (((idx << 1) + vals[c]) << 1) + vals[d]
+                        new_output = (row >> ((idx << 1) + vals[e])) & 1
+                    elif op == _OP_TABLE6:
+                        a, b, c, d, e, f2 = g_inputs
+                        idx = (((gstate[gate_slot] << 1) + vals[a]) << 1) + vals[b]
+                        idx = (((idx << 1) + vals[c]) << 1) + vals[d]
+                        idx = (((idx << 1) + vals[e]) << 1) + vals[f2]
+                        new_output = (row >> idx) & 1
+                    elif op == _OP_TABLE1:
+                        (a,) = g_inputs
+                        new_output = (
+                            row >> ((gstate[gate_slot] << 1) + vals[a])
+                        ) & 1
+                    elif op == OP_TABLE:
+                        idx = gstate[gate_slot]
+                        for slot in g_inputs:
+                            idx += idx + vals[slot]
+                        new_output = (row >> idx) & 1
+                    elif op == OP_CONST:
+                        new_output = row
+                    elif op == OP_CALL:
+                        new_output = gate_call[gate_slot](
+                            [vals[s] for s in g_inputs],
+                            gstate[gate_slot],
+                        )
+                    else:
+                        total = 0
+                        for slot in g_inputs:
+                            total += vals[slot]
+                        if op == OP_WIDE_AND:
+                            new_output = 1 if total == row else 0
+                        elif op == OP_WIDE_NAND:
+                            new_output = 0 if total == row else 1
+                        elif op == OP_WIDE_OR:
+                            new_output = 1 if total else 0
+                        elif op == OP_WIDE_NOR:
+                            new_output = 0 if total else 1
+                        else:
+                            new_output = total & 1
+                    gstate[gate_slot] = new_output
+                    if new_output != pend[output_slot]:
+                        if jitter <= 0:
+                            delay = g_delay
+                        else:
+                            delay = sim_uniform(
+                                g_delay * (1.0 - jitter),
+                                g_delay * (1.0 + jitter),
+                            )
+                        time = batch_time + delay
+                        # One-entry bucket cache: glitch trains push the
+                        # same target time many times in a row, so the
+                        # float compare usually replaces a dict probe.
+                        if time == cached_time:
+                            cached_nets.append(output_slot)
+                            cached_vals.append(new_output)
+                        else:
+                            bucket = buckets.get(time)
+                            if bucket is None:
+                                cached_nets = [output_slot]
+                                cached_vals = [new_output]
+                                heappush(heap_times, time)
+                                buckets[time] = (cached_nets, cached_vals)
+                            else:
+                                cached_nets, cached_vals = bucket
+                                cached_nets.append(output_slot)
+                                cached_vals.append(new_output)
+                            cached_time = time
+                        qcount += 1
+                        pend[output_slot] = new_output
+
+                if any_rule[net_slot]:
+                    for tslot, tvalue, delay, tname in rules_by[
+                        net_slot + net_slot + value
+                    ]:
+                        if env_jitter > 0:
+                            # HandshakeEnvironment._delay draws per
+                            # matching rule -- before schedule() can
+                            # reject an unknown target (argument
+                            # evaluation order).
+                            delay = env_uniform(
+                                delay * (1.0 - env_jitter),
+                                delay * (1.0 + env_jitter),
+                            )
+                        if tslot < 0:
+                            from repro.circuit.netlist import NetlistError
+
+                            queue._count = qcount
+                            raise NetlistError(f"unknown net {tname!r}")
+                        time = batch_time + delay
+                        bucket = buckets.get(time)
+                        if bucket is None:
+                            heappush(heap_times, time)
+                            buckets[time] = ([tslot], [tvalue])
+                        else:
+                            bucket[0].append(tslot)
+                            bucket[1].append(tvalue)
+                        qcount += 1
+                        pend[tslot] = tvalue
+
+                if (
+                    may_preempt
+                    and index < batch_size
+                    and heap_times
+                    and heap_times[0] < batch_time
+                ):
+                    # Negative-delay rule scheduled into the past: yield
+                    # to the earlier timestamp exactly like the heap.
+                    rem_nets = batch_nets[index:]
+                    rem_values = batch_values[index:]
+                    bucket = buckets.get(batch_time)
+                    if bucket is None:
+                        heappush(heap_times, batch_time)
+                        buckets[batch_time] = (rem_nets, rem_values)
+                    else:
+                        bucket[0][:0] = rem_nets
+                        bucket[1][:0] = rem_values
+                    qcount += len(rem_nets)
                     break
 
+        queue._count = qcount
         if sim_rng is not None:
             self.last_copy_rng = (sim_rng.getstate(), env_rng.getstate())
+        self.last_processed = processed
         finals = tuple(vals[slot] for slot in self.obs_slots)
         return finals, tuple(counts), diverged
 
@@ -714,6 +1624,7 @@ def _run_fault_shard(ref, items):
             env_jitter=campaign["env_jitter"],
             seed=campaign["seed"],
             golden=campaign["golden"],
+            golden_events=campaign.get("golden_events", 0),
         )
         while len(_SWEEP_CACHE) >= _SWEEP_CACHE_MAX:
             _SWEEP_CACHE.pop(next(iter(_SWEEP_CACHE)))
@@ -734,7 +1645,10 @@ class FaultSimEngine:
     signature.  Each :meth:`run` call then sweeps a batch of stuck-at
     faults -- in process, or sharded over the persistent worker pool
     with the campaign published once through the shared-memory payload
-    path.
+    path.  The published payload is released by :meth:`close` (or the
+    context manager); as a backstop a ``weakref.finalize`` hook releases
+    it when an unclosed engine is garbage-collected or the interpreter
+    exits, so no ``/dev/shm`` segment outlives the process.
 
     ``delay_jitter`` randomises every gate delay uniformly in
     ``[nominal * (1 - j), nominal * (1 + j)]`` and
@@ -797,8 +1711,8 @@ class FaultSimEngine:
             env_jitter=environment_jitter,
             seed=seed,
         )
-        self._campaign_blob: Optional[bytes] = None
         self._payload_ref: Optional[pool.PayloadRef] = None
+        self._finalizer: Optional[weakref.finalize] = None
 
     @property
     def compiled(self) -> CompiledNetlist:
@@ -825,23 +1739,26 @@ class FaultSimEngine:
                     "env_jitter": sweep.env_jitter,
                     "seed": sweep.seed,
                     "golden": sweep.golden_signature(),
+                    "golden_events": sweep.golden_events,
                 },
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
-            self._payload_ref = pool.publish_payload(blob)
+            ref = pool.publish_payload(blob)
+            self._payload_ref = ref
+            # Release on garbage collection *or* interpreter exit: a
+            # finalize hook runs before module globals are torn down,
+            # unlike ``__del__`` during shutdown, so an engine that was
+            # never closed still cannot leak its /dev/shm segment.
+            self._finalizer = weakref.finalize(self, pool.release_payload, ref)
         return self._payload_ref
 
     def close(self) -> None:
         """Release the published campaign payload (idempotent)."""
-        if self._payload_ref is not None:
-            pool.release_payload(self._payload_ref)
-            self._payload_ref = None
-
-    def __del__(self):  # pragma: no cover - defensive cleanup
-        try:
-            self.close()
-        except Exception:
-            pass
+        finalizer = self._finalizer
+        self._finalizer = None
+        self._payload_ref = None
+        if finalizer is not None:
+            finalizer()
 
     def __enter__(self) -> "FaultSimEngine":
         return self

@@ -191,10 +191,21 @@ SHM_MIN_PAYLOAD_BYTES = 256 * 1024
 # worker serving many campaigns does not accumulate stale payloads.
 PAYLOAD_CACHE_MAX = 8
 
-# Parent-side registry of live segments: token -> SharedMemory.  Keeping
-# the object alive keeps our mapping open until release_payload unlinks.
-_PUBLISHED: Dict[str, object] = {}
+# Parent-side registry of live segments: token -> (SharedMemory, owner
+# PID).  Keeping the object alive keeps our mapping open until
+# release_payload unlinks; the owner PID pins the unlink to the process
+# that created the segment -- a forked child inherits this dict, and a
+# child-side release must not destroy a segment the parent still serves.
+_PUBLISHED: Dict[str, Tuple[object, int]] = {}
 _PAYLOAD_CACHE: Dict[str, bytes] = {}
+
+# Tokens whose segment this process has released (or inherited as
+# released across a fork).  fetch_payload fails fast on them instead of
+# surfacing a confusing FileNotFoundError from the unlinked segment, and
+# release_payload reports repeats as duplicates.  Bounded FIFO: tokens
+# are uuid4 and never recur, old entries are only diagnostic.
+_RELEASED_MAX = 64
+_RELEASED: Dict[str, None] = {}
 
 
 @dataclass(frozen=True)
@@ -234,7 +245,7 @@ def publish_payload(data: bytes, min_shm_bytes: Optional[int] = None) -> Payload
 
             segment = shared_memory.SharedMemory(create=True, size=max(len(data), 1))
             segment.buf[: len(data)] = data
-            _PUBLISHED[token] = segment
+            _PUBLISHED[token] = (segment, os.getpid())
             return PayloadRef(
                 token=token, kind="shm", size=len(data), name=segment.name
             )
@@ -246,16 +257,47 @@ def publish_payload(data: bytes, min_shm_bytes: Optional[int] = None) -> Payload
 def release_payload(ref: PayloadRef) -> None:
     """Unlink the payload's segment (no-op for inline handles).
 
-    Workers that already cached the bytes keep serving from their cache;
-    the segment itself is gone once every attachment closes.
+    Worker *processes* that already cached the bytes keep serving their
+    own copies; in the releasing process the token is retired -- its
+    cache entry is purged and a later :func:`fetch_payload` of the same
+    handle raises instead of reading an unlinked segment.  Only the
+    process that published the segment unlinks it: a forked child that
+    inherited the registry merely closes its mapping (the parent's
+    release remains the single unlink, matching the resource-tracker
+    accounting described in :func:`fetch_payload`).  The outcome is
+    recorded as ``payload_release`` in :data:`LAST_DECISION`
+    (``released`` / ``duplicate`` / ``unknown-token`` /
+    ``foreign-owner`` / ``inline``) so campaigns can assert their
+    cleanup discipline.
     """
-    segment = _PUBLISHED.pop(ref.token, None)
-    if segment is not None:
-        try:
-            segment.close()
-            segment.unlink()
-        except (OSError, FileNotFoundError):  # pragma: no cover - already gone
-            pass
+    _PAYLOAD_CACHE.pop(ref.token, None)
+    if ref.kind != "shm":
+        outcome = "inline"
+    else:
+        entry = _PUBLISHED.pop(ref.token, None)
+        if entry is None:
+            outcome = "duplicate" if ref.token in _RELEASED else "unknown-token"
+        else:
+            segment, owner_pid = entry
+            if owner_pid != os.getpid():
+                # Inherited across fork: the parent owns the unlink.
+                try:
+                    segment.close()
+                except (OSError, ValueError):  # pragma: no cover - defensive
+                    pass
+                outcome = "foreign-owner"
+            else:
+                try:
+                    segment.close()
+                    segment.unlink()
+                except (OSError, FileNotFoundError):  # pragma: no cover
+                    pass
+                outcome = "released"
+        if outcome != "foreign-owner":
+            _RELEASED[ref.token] = None
+            while len(_RELEASED) > _RELEASED_MAX:
+                _RELEASED.pop(next(iter(_RELEASED)))
+    LAST_DECISION["payload_release"] = outcome
 
 
 def forget_cached_payload(ref: PayloadRef) -> None:
@@ -279,6 +321,15 @@ def fetch_payload(ref: PayloadRef) -> bytes:
     """
     if ref.kind == "inline":
         return ref.data or b""
+    if ref.token in _RELEASED:
+        # Fail fast on stale handles: the segment is unlinked (or will
+        # be by the owner), so serving a fetch here would either read
+        # freed memory semantics or raise a bare FileNotFoundError far
+        # from the caller that kept the dead handle.
+        raise RuntimeError(
+            f"payload token {ref.token!r} was released; "
+            "re-publish before fetching"
+        )
     cached = _PAYLOAD_CACHE.get(ref.token)
     if cached is not None:
         return cached

@@ -1,9 +1,10 @@
 """Stuck-at coverage reporting.
 
 :func:`stuck_at_coverage` drives a full campaign through the batch fault
-simulation engine (see :mod:`repro.testability.simulation`) and folds
-the per-fault verdicts into the coverage percentages of the paper's
-Table 2.  Every knob of :func:`~repro.testability.simulation.simulate_faults`
+simulation engine -- the copy-vectorised lockstep sweep of
+:mod:`repro.engine.faultsim` (see :mod:`repro.testability.simulation`)
+-- and folds the per-fault verdicts into the coverage percentages of
+the paper's Table 2.  Every knob of :func:`~repro.testability.simulation.simulate_faults`
 is forwarded -- in particular the campaign ``seed``, so coverage numbers
 are reproducible under caller-chosen seeds, and the ``shards`` /
 ``use_processes`` pool knobs for large campaigns.

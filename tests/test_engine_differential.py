@@ -508,6 +508,39 @@ class TestSimKernelDifferential:
             messages.append(str(excinfo.value))
         assert messages[0] == messages[1] == "pull-down fight on touchy gate"
 
+    def test_broken_eval_fn_raises_at_compile_time(self):
+        """A buggy eval_fn (bad signature -> TypeError, typo ->
+        AttributeError) is not a *partial* gate function: enumeration
+        must propagate the bug at CompiledNetlist construction instead
+        of demoting the gate to OP_CALL, where the error would only
+        resurface mid-simulation."""
+        from repro.circuit.library import GateType
+        from repro.engine.events import CompiledNetlist
+
+        def build(eval_fn):
+            gate_type = GateType(
+                name="BROKEN", num_inputs=2, eval_fn=eval_fn,
+                transistors=4, delay_ps=90.0, energy_pj=0.4,
+            )
+            netlist = Netlist("broken")
+            netlist.add_primary_input("a")
+            netlist.add_primary_input("b")
+            netlist.add_primary_output("y")
+            netlist.add_gate("g", gate_type, ["a", "b"], "y")
+            return netlist
+
+        def bad_signature(inputs):  # missing the prev-state parameter
+            return inputs[0] and inputs[1]
+
+        with pytest.raises(TypeError):
+            CompiledNetlist(build(bad_signature))
+
+        def typo(inputs, prev):
+            return inputs.andd(prev)  # no such list attribute
+
+        with pytest.raises(AttributeError):
+            CompiledNetlist(build(typo))
+
 
 class TestSimulatorReset:
     """reset() fully re-arms the simulator, its RNG and its environments."""

@@ -168,17 +168,23 @@ class TestSharedMemoryPayloads:
         finally:
             pool.release_payload(ref)
 
-    def test_threshold_is_tunable_and_fetch_is_cached(self):
+    def test_threshold_is_tunable_and_release_retires_the_token(self):
         data = b"forced into a segment despite its size"
         ref = pool.publish_payload(data, min_shm_bytes=0)
         if ref.kind != "shm":  # pragma: no cover - no /dev/shm
             pytest.skip("shared memory unavailable on this host")
         assert pool.fetch_payload(ref) == data
-        # After release the segment is unlinked; the per-process cache
-        # still serves the bytes (workers rely on exactly this).
+        # Release retires the token in this process: the cache entry is
+        # purged and a re-fetch fails fast instead of attaching (or
+        # silently serving) an unlinked segment.  Worker *processes*
+        # keep their own caches -- see
+        # TestPayloadReleaseAudit.test_worker_caches_survive_parent_release.
         pool.release_payload(ref)
-        assert pool.fetch_payload(ref) == data
-        pool.release_payload(ref)  # idempotent
+        assert pool.LAST_DECISION["payload_release"] == "released"
+        with pytest.raises(RuntimeError, match="released"):
+            pool.fetch_payload(ref)
+        pool.release_payload(ref)  # idempotent, reported as a duplicate
+        assert pool.LAST_DECISION["payload_release"] == "duplicate"
 
     def test_workers_fetch_published_payload(self, fresh_pool):
         data = bytes(range(256)) * 2048  # 512 KiB
@@ -208,6 +214,137 @@ class TestSharedMemoryPayloads:
         assert ref.data is not None and ref.name is None
         assert pool.fetch_payload(ref) == data
         pool.release_payload(ref)  # still a no-op for inline handles
+
+
+class TestPayloadReleaseAudit:
+    """Double-release and cross-fork stale-token discipline
+    (``LAST_DECISION["payload_release"]`` records every outcome)."""
+
+    def _shm_ref(self, data=b"audit payload"):
+        ref = pool.publish_payload(data, min_shm_bytes=0)
+        if ref.kind != "shm":  # pragma: no cover - no /dev/shm
+            pool.release_payload(ref)
+            pytest.skip("shared memory unavailable on this host")
+        return ref
+
+    def test_inline_release_is_recorded(self):
+        ref = pool.publish_payload(b"small")
+        assert ref.kind == "inline"
+        pool.release_payload(ref)
+        assert pool.LAST_DECISION["payload_release"] == "inline"
+
+    def test_release_of_unknown_token_is_recorded(self):
+        stray = pool.PayloadRef(
+            token="not-a-published-token", kind="shm", size=1, name="gone"
+        )
+        pool.release_payload(stray)
+        assert pool.LAST_DECISION["payload_release"] == "unknown-token"
+
+    def test_double_release_unlinks_once(self):
+        ref = self._shm_ref()
+        segment_path = f"/dev/shm/{ref.name.lstrip('/')}"
+        assert os.path.exists(segment_path)
+        pool.release_payload(ref)
+        assert pool.LAST_DECISION["payload_release"] == "released"
+        assert not os.path.exists(segment_path)
+        pool.release_payload(ref)
+        assert pool.LAST_DECISION["payload_release"] == "duplicate"
+
+    def test_foreign_owner_release_leaves_the_segment_alive(self):
+        """A forked child inherits ``_PUBLISHED``; its release must not
+        unlink the segment the parent still serves (simulated by
+        rewriting the recorded owner PID)."""
+        ref = self._shm_ref()
+        segment_path = f"/dev/shm/{ref.name.lstrip('/')}"
+        segment, owner_pid = pool._PUBLISHED[ref.token]
+        pool._PUBLISHED[ref.token] = (segment, owner_pid + 1)
+        try:
+            pool.release_payload(ref)
+            assert pool.LAST_DECISION["payload_release"] == "foreign-owner"
+            # The segment survives, and the handle is still fetchable
+            # here (the token was NOT retired by a non-owner release).
+            assert os.path.exists(segment_path)
+            assert pool.fetch_payload(ref) == b"audit payload"
+        finally:
+            from multiprocessing import shared_memory
+
+            cleanup = shared_memory.SharedMemory(name=ref.name)
+            cleanup.close()
+            cleanup.unlink()
+            pool.forget_cached_payload(ref)
+
+    def test_worker_caches_survive_parent_release(self, fresh_pool):
+        """The documented lifecycle: workers fetch-and-cache while the
+        campaign runs; the parent's release only retires the token in
+        the parent.  A worker that cached the bytes keeps serving them."""
+        data = bytes(range(256)) * 2048  # 512 KiB
+        ref = pool.publish_payload(data)
+        if ref.kind != "shm":  # pragma: no cover - no /dev/shm
+            pool.release_payload(ref)
+            pytest.skip("shared memory unavailable on this host")
+        try:
+            executor = pool.get_pool(max_workers=1)
+            assert executor.submit(pool.fetch_payload, ref).result(60) == data
+        finally:
+            pool.release_payload(ref)
+        # Same single worker, same token, segment now unlinked: the
+        # worker's per-process cache still serves the bytes.
+        assert executor.submit(pool.fetch_payload, ref).result(60) == data
+        # The parent, by contrast, refuses the stale handle.
+        with pytest.raises(RuntimeError, match="released"):
+            pool.fetch_payload(ref)
+
+
+class TestEngineShmLifecycle:
+    """A dropped (never-closed) engine must not leak its /dev/shm
+    segment -- the ``weakref.finalize`` hook releases the payload."""
+
+    def _engine(self, fifo_rt):
+        from repro.circuit.analysis import fifo_environment_rules
+        from repro.engine.faultsim import FaultSimEngine
+
+        return FaultSimEngine(
+            fifo_rt.netlist,
+            fifo_environment_rules(),
+            [("li", 1, 50.0)],
+            duration_ps=5_000.0,
+        )
+
+    def test_dropped_engine_leaves_no_segment_behind(self, fifo_rt, monkeypatch):
+        import gc
+
+        monkeypatch.setattr(pool, "SHM_MIN_PAYLOAD_BYTES", 0)
+        engine = self._engine(fifo_rt)
+        ref = engine._payload()
+        if ref.kind != "shm":  # pragma: no cover - no /dev/shm
+            engine.close()
+            pytest.skip("shared memory unavailable on this host")
+        segment_path = f"/dev/shm/{ref.name.lstrip('/')}"
+        assert os.path.exists(segment_path)
+        del engine  # dropped without close()
+        gc.collect()
+        assert not os.path.exists(segment_path)
+        assert pool.LAST_DECISION["payload_release"] == "released"
+
+    def test_close_releases_and_finalizer_does_not_double_release(
+        self, fifo_rt, monkeypatch
+    ):
+        import gc
+
+        monkeypatch.setattr(pool, "SHM_MIN_PAYLOAD_BYTES", 0)
+        engine = self._engine(fifo_rt)
+        ref = engine._payload()
+        if ref.kind != "shm":  # pragma: no cover - no /dev/shm
+            engine.close()
+            pytest.skip("shared memory unavailable on this host")
+        engine.close()
+        assert pool.LAST_DECISION["payload_release"] == "released"
+        pool.LAST_DECISION.pop("payload_release")
+        del engine
+        gc.collect()
+        # close() detached the finalizer: garbage collection must not
+        # re-release (no duplicate outcome recorded).
+        assert "payload_release" not in pool.LAST_DECISION
 
 
 class TestRunShardedPayloadRoute:
