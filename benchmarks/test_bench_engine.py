@@ -723,6 +723,186 @@ def test_bench_engine_faultsim_sharded_wallclock(fifo_rt):
         )
 
 
+# Static collapsing must remove at least a quarter of the simulated
+# faults on the buffered Table 2 + chain corpus (measured: ~29% with
+# six-BUF inter-stage wiring), which is a >=1.3x reduction in simulated
+# fault workload.  The *wall* ratio is recorded informationally and not
+# gated: the vectorised sweep makes the statically-removed copies
+# (freeze faults that deadlock immediately) nearly free, so wall time
+# moves far less than the workload does (see docs/analysis.md).
+COLLAPSE_REQUIRED_RATIO = 0.25
+COLLAPSE_REQUIRED_FAULT_SPEEDUP = 1.3
+
+
+def test_bench_engine_faultsim_collapsed(fifo_rt, fifo_si, fifo_bm):
+    """Static fault collapsing on the buffered corpus; appends to the summary.
+
+    Builds the Table 2 cells plus chained FIFOs with driven inter-stage
+    wiring (``wire_buffers=6`` -- the Figure 6 interconnect that classic
+    collapsing folds away), runs every campaign with collapsing off and
+    on, and asserts the expanded verdicts bit-identical before recording
+    anything.  Appends two entries to ``BENCH_faultsim.json``:
+
+    * ``"collapsed"`` -- fault counts before/after collapsing, the
+      static-reduction ratio (gated at ``COLLAPSE_REQUIRED_RATIO`` in
+      full mode), the simulated-fault workload speedup (gated at
+      ``COLLAPSE_REQUIRED_FAULT_SPEEDUP``), and the informational wall
+      times of both sweeps.
+    * ``"compile_cache"`` -- pass-manager hit/miss counts for a repeat
+      campaign on an unmutated netlist, which must construct zero new
+      ``CompiledNetlist`` objects (every analysis hits).
+    """
+    import repro.analysis as analysis
+    from repro.circuit.analysis import (
+        chain_environment_rules as chain_rules,
+        fifo_environment_rules,
+    )
+    from repro.circuit.netlist import chain_handshake_cells
+    from repro.engine.faultsim import FaultSimEngine
+    from repro.testability.faults import enumerate_faults
+
+    wire_buffers = 6
+    cell_rules = fifo_environment_rules()
+    cell_stimuli = [("li", 1, 50.0)]
+    rt = fifo_rt.netlist
+    si = fifo_si.netlist
+    if QUICK:
+        corpus = {
+            "rt_cell": (rt, cell_rules, cell_stimuli, 15_000.0),
+            "rt_chain4_buf": (
+                chain_handshake_cells(rt, 4, wire_buffers=wire_buffers),
+                chain_rules(4),
+                [("s0_li", 1, 50.0)],
+                15_000.0,
+            ),
+        }
+    else:
+        bm = fifo_bm.netlist
+        corpus = {
+            "rt_cell": (rt, cell_rules, cell_stimuli, 30_000.0),
+            "si_cell": (si, cell_rules, cell_stimuli, 30_000.0),
+            "bm_cell": (bm, cell_rules, cell_stimuli, 30_000.0),
+        }
+        for label, cell in (("rt", rt), ("si", si)):
+            for stages in (8, 16):
+                corpus[f"{label}_chain{stages}_buf"] = (
+                    chain_handshake_cells(
+                        cell, stages, wire_buffers=wire_buffers
+                    ),
+                    chain_rules(stages),
+                    [("s0_li", 1, 50.0)],
+                    30_000.0,
+                )
+
+    totals = {"faults": 0, "simulated": 0, "static": 0, "fallback": 0}
+    cases = {}
+    uncollapsed_s = 0.0
+    collapsed_s = 0.0
+    last_case = None
+    for label, (netlist, rules, stimuli, duration) in corpus.items():
+        faults = enumerate_faults(netlist)
+        start = time.perf_counter()
+        with FaultSimEngine(
+            netlist, rules, stimuli, duration_ps=duration, collapse=False
+        ) as engine:
+            uncollapsed = engine.run(faults)
+        uncollapsed_s += time.perf_counter() - start
+        start = time.perf_counter()
+        with FaultSimEngine(
+            netlist, rules, stimuli, duration_ps=duration
+        ) as engine:
+            collapsed = engine.run(faults)
+            stats = engine.last_collapse
+        collapsed_s += time.perf_counter() - start
+        # Bit-identical expansion is the admission ticket: verdicts and
+        # reason strings must match the uncollapsed sweep exactly.
+        assert collapsed == uncollapsed, label
+        assert stats is not None and stats["faults"] == len(faults), label
+        for key in totals:
+            totals[key] += stats[key]
+        cases[label] = {
+            "faults": stats["faults"],
+            "simulated": stats["simulated"],
+            "static": stats["static"],
+            "fallback": stats["fallback"],
+            "ratio": round(1.0 - stats["simulated"] / stats["faults"], 3),
+        }
+        last_case = (netlist, rules, stimuli, duration, faults)
+
+    collapse_ratio = 1.0 - totals["simulated"] / totals["faults"]
+    fault_speedup = totals["faults"] / max(totals["simulated"], 1)
+    wall_speedup = uncollapsed_s / max(collapsed_s, 1e-9)
+
+    # Compile-cache hit rate: repeat the last campaign on the unmutated
+    # netlist and count manager traffic -- everything must hit (the
+    # repeat constructs no CompiledNetlist and replays no golden run).
+    manager = analysis.default_manager()
+    before = manager.stats()
+    netlist, rules, stimuli, duration, faults = last_case
+    with FaultSimEngine(
+        netlist, rules, stimuli, duration_ps=duration
+    ) as engine:
+        engine.run(faults)
+    after = manager.stats()
+    repeat_hits = after["hits"] - before["hits"]
+    repeat_misses = after["misses"] - before["misses"]
+    assert repeat_misses == 0, (
+        f"repeat campaign recomputed {repeat_misses} analyses; the "
+        "compile cache should have answered every one"
+    )
+    assert repeat_hits > 0
+
+    print(
+        f"\n[bench-engine] collapsed faultsim ({totals['faults']} faults -> "
+        f"{totals['simulated']} simulated, {collapse_ratio * 100:.1f}% removed, "
+        f"{fault_speedup:.2f}x workload): uncollapsed {uncollapsed_s * 1e3:.0f} ms, "
+        f"collapsed {collapsed_s * 1e3:.0f} ms -> {wall_speedup:.2f}x wall"
+    )
+    print(
+        f"[bench-engine] compile cache on repeat campaign: {repeat_hits} hits, "
+        f"{repeat_misses} misses"
+    )
+
+    out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_faultsim.json")
+    summary = {}
+    if os.path.exists(out_path):
+        with open(out_path) as handle:
+            summary = json.load(handle)
+    summary["collapsed"] = {
+        "wire_buffers": wire_buffers,
+        "faults": totals["faults"],
+        "simulated": totals["simulated"],
+        "static": totals["static"],
+        "fallback": totals["fallback"],
+        "collapse_ratio": round(collapse_ratio, 3),
+        "fault_speedup": round(fault_speedup, 2),
+        "uncollapsed_s": round(uncollapsed_s, 3),
+        "collapsed_s": round(collapsed_s, 3),
+        "wall_speedup": round(wall_speedup, 2),
+        "cases": cases,
+    }
+    summary["compile_cache"] = {
+        "repeat_hits": repeat_hits,
+        "repeat_misses": repeat_misses,
+        "hit_rate": round(
+            repeat_hits / max(repeat_hits + repeat_misses, 1), 3
+        ),
+    }
+    with open(out_path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    if not QUICK:
+        assert collapse_ratio >= COLLAPSE_REQUIRED_RATIO, (
+            f"static collapsing removed only {collapse_ratio * 100:.1f}% of "
+            f"the corpus faults (target {COLLAPSE_REQUIRED_RATIO * 100:.0f}%)"
+        )
+        assert fault_speedup >= COLLAPSE_REQUIRED_FAULT_SPEEDUP, (
+            f"simulated-fault workload speedup {fault_speedup:.2f}x below "
+            f"{COLLAPSE_REQUIRED_FAULT_SPEEDUP}x"
+        )
+
+
 def test_bench_engine_rappid_throughput_summary():
     """Sanity: the batched runner reproduces the paper-scale throughput."""
     generator = WorkloadGenerator(seed=11)

@@ -7,7 +7,6 @@ It also stresses that the architecture scales in both dimensions (columns =
 length-decode cycle, rows = steering cycle).
 """
 
-import pytest
 
 from repro.rappid import RappidConfig, RappidDecoder, WorkloadGenerator
 

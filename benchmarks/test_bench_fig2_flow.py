@@ -5,10 +5,9 @@ state encoding, automatic RT-assumption generation, lazy state graph, logic
 synthesis and back-annotation -- and reports what each stage produced.
 """
 
-import pytest
 
 from repro.stg import specs, validate_stg
-from repro.stategraph import build_state_graph, find_csc_conflicts, resolve_csc
+from repro.stategraph import build_state_graph, find_csc_conflicts
 from repro.synthesis import synthesize_rt
 
 

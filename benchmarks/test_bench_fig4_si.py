@@ -6,7 +6,6 @@ under unbounded delays) and pays for that with the largest gate count of the
 four implementations.
 """
 
-import pytest
 
 from repro.circuit.analysis import fifo_environment_rules, measure_cycle_metrics
 from repro.stg import specs

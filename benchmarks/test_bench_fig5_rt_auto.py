@@ -7,7 +7,6 @@ correctness are back-annotated (including a dependent pair and the
 response time drops to a single domino gate.
 """
 
-import pytest
 
 from repro.stg import specs
 from repro.synthesis import synthesize_rt

@@ -6,7 +6,6 @@ The paper derives a more aggressive circuit from that single user assumption
 plus two automatically derived constraints.
 """
 
-import pytest
 
 from repro.core.assumptions import AssumptionKind, assume
 from repro.stg import specs

@@ -9,7 +9,6 @@ modest -- "the additional savings awarded by going to pulse mode are much
 less pronounced".
 """
 
-import pytest
 
 from repro.circuit.simulator import EventDrivenSimulator
 from repro.synthesis import to_pulse_mode

@@ -8,7 +8,6 @@ earliest common enabling signal, and separation analysis checks the paths
 against the library delay bounds.
 """
 
-import pytest
 
 from repro.circuit.library import STANDARD_LIBRARY
 from repro.circuit.netlist import Netlist

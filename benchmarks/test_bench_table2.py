@@ -13,7 +13,6 @@ checks the orderings (SI slowest/most energy, RT substantially better, pulse
 smallest) rather than the absolute silicon numbers.
 """
 
-import pytest
 
 from repro.circuit.analysis import fifo_environment_rules, measure_cycle_metrics
 from repro.circuit.simulator import HandshakeRule

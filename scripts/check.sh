@@ -11,6 +11,25 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== contract lint (oracles + pinned RNG) =="
+python scripts/lint_contracts.py
+
+# Static checkers (configured in pyproject.toml).  CI installs both;
+# locally they are optional -- a missing tool is reported, not fatal,
+# so the stdlib-only container can still run the full check.
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check .
+else
+    echo "== ruff check == (skipped: ruff not installed)"
+fi
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy (analysis + engine) =="
+    mypy src/repro/analysis src/repro/engine
+else
+    echo "== mypy == (skipped: mypy not installed)"
+fi
+
 echo "== tier-1 tests =="
 python -m pytest -x -q tests
 
@@ -54,4 +73,26 @@ for bench_file in BENCH_sharded.json BENCH_sim.json BENCH_faultsim.json; do
     echo "== benchmark summary ($bench_file) =="
     cat "$bench_file"
 done
+
+# The fault-sim summary carries two analysis-layer rows appended by
+# test_bench_engine_faultsim_collapsed: "collapsed" (static fault
+# collapsing, gated at >=25% corpus reduction in full mode) and
+# "compile_cache" (repeat campaigns must recompute nothing).  A missing
+# row means that benchmark silently stopped running.
+if [[ "${1:-}" == "--full" && -f BENCH_faultsim.json ]]; then
+    python - <<'EOF'
+import json, sys
+summary = json.load(open("BENCH_faultsim.json"))
+missing = [key for key in ("collapsed", "compile_cache") if key not in summary]
+if missing:
+    print(f"check.sh: FAIL - BENCH_faultsim.json lacks {missing}", file=sys.stderr)
+    sys.exit(1)
+row = summary["collapsed"]
+print(
+    f"collapse: {row['faults']} faults -> {row['simulated']} simulated "
+    f"({row['collapse_ratio'] * 100:.1f}% removed, {row['fault_speedup']}x workload); "
+    f"compile cache: {summary['compile_cache']['repeat_misses']} repeat misses"
+)
+EOF
+fi
 echo "check.sh: OK"

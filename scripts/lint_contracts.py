@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Repository contract lint: differential oracles and pinned RNG streams.
+
+Two conventions keep the fast engine honest, and both are easy to break
+silently -- a new fast path lands without a differential pin, or a
+convenience ``random.random()`` sneaks into an engine module and quietly
+unpins the reference bit-identity contract.  This lint makes them
+mechanical:
+
+``oracle-untested``
+    Every ``_reference_*`` function under ``src/repro`` is a retained
+    slow-path oracle for some engine fast path; each one must be
+    referenced from ``tests/test_engine_differential.py`` so the
+    differential suite actually pins the fast path against it.
+
+``unpinned-rng``
+    Engine modules (``src/repro/engine``) may only touch the ``random``
+    module to construct ``random.Random`` stream objects -- the pinned
+    per-copy streams whose draw order the reference contract fixes.
+    Any other draw (``random.random()``, ``random.randint``, a
+    ``from random import ...`` of anything but ``Random``) is
+    module-global RNG state the sharded sweep cannot reproduce.
+
+Diagnostics are ``file:line: rule: message`` lines on stdout; the exit
+status is the number of findings (0 = clean).  Run by ``scripts/check.sh``
+and CI; ``tests/test_lint_contracts.py`` pins both rules on injected
+tmp-file violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import List, NamedTuple
+
+
+class Finding(NamedTuple):
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def _parse(path: Path) -> ast.Module:
+    return ast.parse(path.read_text(), filename=str(path))
+
+
+def collect_oracles(src_root: Path) -> List[Finding]:
+    """Every ``_reference_*`` def under ``src_root`` as a Finding stub.
+
+    The rule text is filled in by :func:`check_oracle_references`; here
+    the tuple just records where each oracle lives.
+    """
+    oracles: List[Finding] = []
+    for path in sorted(src_root.rglob("*.py")):
+        tree = _parse(path)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_reference_"):
+                    oracles.append(
+                        Finding(path, node.lineno, "oracle", node.name)
+                    )
+    return oracles
+
+
+def check_oracle_references(
+    src_root: Path, differential_test: Path
+) -> List[Finding]:
+    """``oracle-untested`` findings: oracles absent from the differential suite."""
+    if differential_test.exists():
+        test_text = differential_test.read_text()
+    else:
+        test_text = ""
+    findings: List[Finding] = []
+    for oracle in collect_oracles(src_root):
+        if oracle.message not in test_text:
+            findings.append(
+                Finding(
+                    oracle.path,
+                    oracle.line,
+                    "oracle-untested",
+                    f"{oracle.message} is a retained oracle but is never "
+                    f"referenced from {differential_test.name}; add a "
+                    "differential test pinning its fast path",
+                )
+            )
+    return findings
+
+
+def check_engine_rng(engine_root: Path) -> List[Finding]:
+    """``unpinned-rng`` findings: module-global RNG use in engine modules."""
+    findings: List[Finding] = []
+    for path in sorted(engine_root.rglob("*.py")):
+        tree = _parse(path)
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "random"
+                and node.attr != "Random"
+            ):
+                findings.append(
+                    Finding(
+                        path,
+                        node.lineno,
+                        "unpinned-rng",
+                        f"random.{node.attr} draws from module-global RNG "
+                        "state; engine modules must only construct "
+                        "random.Random per-copy streams",
+                    )
+                )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = [a.name for a in node.names if a.name != "Random"]
+                if bad:
+                    findings.append(
+                        Finding(
+                            path,
+                            node.lineno,
+                            "unpinned-rng",
+                            f"from random import {', '.join(bad)} exposes "
+                            "module-global draws; import the module and "
+                            "construct random.Random streams instead",
+                        )
+                    )
+    return findings
+
+
+def run(src_root: Path, engine_root: Path, differential_test: Path) -> List[Finding]:
+    findings = check_oracle_references(src_root, differential_test)
+    findings.extend(check_engine_rng(engine_root))
+    return findings
+
+
+def main(argv: List[str] | None = None) -> int:
+    repo = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--src", type=Path, default=repo / "src" / "repro",
+        help="root scanned for _reference_* oracles",
+    )
+    parser.add_argument(
+        "--engine", type=Path, default=None,
+        help="engine package checked for unpinned RNG (default: <src>/engine)",
+    )
+    parser.add_argument(
+        "--differential-test", type=Path,
+        default=repo / "tests" / "test_engine_differential.py",
+        help="test module every oracle must be referenced from",
+    )
+    args = parser.parse_args(argv)
+    engine = args.engine if args.engine is not None else args.src / "engine"
+    findings = run(args.src, engine, args.differential_test)
+    for finding in findings:
+        print(finding.describe())
+    if findings:
+        print(f"lint_contracts: {len(findings)} finding(s)", file=sys.stderr)
+    return len(findings)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Static netlist-analysis layer: cached, dependency-aware passes.
+
+Importing this package registers the standard analyses on the default
+:class:`~repro.analysis.manager.PassManager`:
+
+========================  ============================  =====================
+name                      subject                       result
+========================  ============================  =====================
+``"structure"``           ``Netlist``                   :class:`~repro.analysis.structure.NetlistStructure`
+``"compile"``             ``Netlist``                   :class:`~repro.engine.events.CompiledNetlist`
+``"golden-signature"``    ``Netlist`` + campaign        fault-free signature dict
+``"collapse"``            ``Netlist`` + campaign        :class:`~repro.analysis.collapse.CollapsePlan`
+``"hazard-lint"``         ``Netlist``                   :class:`~repro.analysis.hazards.HazardLintReport`
+``"packed-fanout"``       ``CompiledNetlist``           packed fanout tables
+========================  ============================  =====================
+
+See :doc:`docs/analysis` for the dependency and invalidation model.
+"""
+
+from repro.analysis.manager import (
+    AnalysisError,
+    AnalysisPass,
+    PassManager,
+    default_manager,
+    get,
+    invalidate,
+    register,
+    stats,
+)
+from repro.analysis.structure import (
+    NetlistStructure,
+    PackedFanoutAnalysis,
+    StructureAnalysis,
+)
+from repro.analysis.compilecache import (
+    CompileAnalysis,
+    GoldenSignatureAnalysis,
+    campaign_params,
+)
+from repro.analysis.collapse import CollapseAnalysis, CollapsePlan
+from repro.analysis.hazards import (
+    HazardDiagnostic,
+    HazardLintAnalysis,
+    HazardLintReport,
+)
+
+register(StructureAnalysis)
+register(PackedFanoutAnalysis)
+register(CompileAnalysis)
+register(GoldenSignatureAnalysis)
+register(CollapseAnalysis)
+register(HazardLintAnalysis)
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisPass",
+    "PassManager",
+    "default_manager",
+    "get",
+    "invalidate",
+    "register",
+    "stats",
+    "NetlistStructure",
+    "StructureAnalysis",
+    "PackedFanoutAnalysis",
+    "CompileAnalysis",
+    "GoldenSignatureAnalysis",
+    "campaign_params",
+    "CollapseAnalysis",
+    "CollapsePlan",
+    "HazardDiagnostic",
+    "HazardLintAnalysis",
+    "HazardLintReport",
+]

@@ -1,0 +1,433 @@
+"""Static stuck-at fault collapsing.
+
+The classic testability result behind the paper's Table 2 campaigns:
+most of a stuck-at fault list need not be simulated, because many
+faults are *provably equivalent* (any test detecting one detects the
+other, with the same observable behaviour) and some are *provably
+undetectable*.  This analysis derives both statically -- from the
+compiled truth tables and the influence graph -- and the campaign entry
+points then simulate one representative per class, expanding verdicts
+back over the full list **bit-identically** to the uncollapsed run.
+
+The engine's verdict model is stricter than textbook stuck-at testing:
+a verdict is ``(detected, reason)`` where detection compares observable
+finals *and transition counts* against the golden run, and abnormal
+behaviour (event-cap oscillation errors, gate evaluations raising) is
+part of the contract.  Every rule below is therefore justified at the
+*trajectory* level against the reference per-fault loop, not just at
+the Boolean-function level:
+
+* **No-op overlays** (:attr:`CollapsePlan.static_same`): a fault on an
+  undriven net whose pinned value equals the net's initial value leaves
+  the injected netlist literally identical to the fault-free one -- the
+  trajectory is the golden trajectory, so the verdict is statically
+  ``(False, "no observable difference")``.  Exact even under jitter.
+
+* **Forced-chain equivalence** (:attr:`CollapsePlan.rep_of`): fault
+  ``(a, va)`` merges with ``(b, vb)`` when gate ``g`` is the *only*
+  reader of ``a``, drives ``b``, and its compiled table forces ``b`` to
+  ``vb`` for every state/other-input combination once ``a = va``;
+  additionally ``initial(b) == vb`` (no settle transient separates the
+  two injections), ``a`` is unobservable and untouched by the
+  environment (no rule triggers on it, no rule or stimulus writes it),
+  and ``b`` is not written by the environment or stimuli.  Under those
+  conditions the two faulty trajectories agree on every net except
+  ``a`` itself, and ``(b, vb)``'s event sequence is ``(a, va)``'s plus
+  the events on ``a`` -- so verdicts agree whenever the representative
+  completes, and the member can only be *cheaper* to run.  Classic
+  input-SA-dominated-by-output-SA collapsing for AND/OR/INV shapes
+  falls out of this rule (a controlling input value forces the output),
+  including sibling-input merging: two controlling inputs of one gate
+  both merge into the output fault and land in one class transitively.
+  Representatives sit at the output end of each chain, so the
+  member-event-subset argument holds class-wide; a representative that
+  dies abnormally (event cap) forfeits the argument, and the campaign
+  expansion re-simulates its members individually
+  (:attr:`CollapsePlan.members` keeps the classes for exactly that).
+
+* **Out-of-cone undetectability** (also ``static_same``): a fault whose
+  influence closure (gate fanout edges) reaches no observable cannot
+  change observable finals or counts -- but it *can* change the event
+  count, and through the shared event cap the *reason* ("abnormal
+  behaviour" vs "no observable difference").  The rule therefore only
+  fires when the perturbed region is provably tame: closed under
+  fanout, free of ``OP_CALL`` gates (no new evaluation errors), not
+  triggering any environment rule, acyclic (no new oscillation), and
+  with a worst-case extra-event bound that provably fits under
+  ``max_events`` given the golden event count.  Handshake circuits have
+  almost everything in-cone; the rule exists for the general netlists
+  the analysis layer serves, and costs nothing when it cannot fire.
+
+All structural rules are **disabled under jitter**: an extra or missing
+event shifts every subsequent draw of the shared per-copy RNG streams,
+so no two distinct injections are ever draw-for-draw equivalent.  The
+campaign entry points only consult the plan for jitter-free campaigns
+(duplicate faults still deduplicate exactly, jittered or not -- the
+reference loop gives identical copies identical fresh streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.manager import AnalysisPass
+from repro.engine.events import (
+    OP_CALL,
+    OP_TABLE,
+    OP_WIDE_AND,
+    OP_WIDE_NAND,
+    OP_WIDE_NOR,
+    OP_WIDE_OR,
+)
+
+Fault = Tuple[int, int]  # (net slot, stuck value)
+
+
+@dataclass(frozen=True)
+class CollapsePlan:
+    """Static collapsing decisions for one (netlist, campaign) pair.
+
+    All faults are ``(net slot, value)`` pairs in compiled slot space.
+
+    Attributes
+    ----------
+    rep_of:
+        fault -> its class representative.  Identity for faults that
+        are their own representative; faults absent from the map are
+        uncollapsed (simulate as-is).
+    members:
+        representative -> every member of its class (representative
+        included), for the abnormal-representative fallback.
+    static_same:
+        faults statically known undetected with reason
+        ``"no observable difference"`` -- never simulated at all.
+    stats:
+        per-rule yield counters (``chain_edges``, ``chain_merged``,
+        ``static_noop``, ``static_out_of_cone``) for reporting.
+    """
+
+    rep_of: Dict[Fault, Fault]
+    members: Dict[Fault, Tuple[Fault, ...]]
+    static_same: FrozenSet[Fault]
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def representative(self, fault: Fault) -> Fault:
+        return self.rep_of.get(fault, fault)
+
+
+def _forced_output(
+    op: int, row: int, inputs: Tuple[int, ...], slot: int, value: int
+) -> Optional[int]:
+    """Output value the gate is forced to when input ``slot`` is ``value``.
+
+    ``None`` when the remaining inputs (or the sequential state bit) can
+    still steer the output.  Tables are scanned exhaustively over the
+    folded ``state << n | input bits`` index (inputs MSB-first, matching
+    the kernel's convention); wide threshold gates force only on their
+    controlling value.
+    """
+    positions = [i for i, s in enumerate(inputs) if s == slot]
+    if not positions:
+        return None
+    n = len(inputs)
+    if op == OP_TABLE:
+        forced: Optional[int] = None
+        for idx in range(1 << (n + 1)):
+            ok = True
+            for pos in positions:
+                if (idx >> (n - 1 - pos)) & 1 != value:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            bit = (row >> idx) & 1
+            if forced is None:
+                forced = bit
+            elif forced != bit:
+                return None
+        return forced
+    if op == OP_WIDE_AND:
+        return 0 if value == 0 else None
+    if op == OP_WIDE_NAND:
+        return 1 if value == 0 else None
+    if op == OP_WIDE_OR:
+        return 1 if value == 1 else None
+    if op == OP_WIDE_NOR:
+        return 0 if value == 1 else None
+    return None  # OP_WIDE_XOR / OP_CALL / OP_CONST never force statically
+
+
+def _chain_edges(
+    compiled,
+    obs_slots: Set[int],
+    env_triggers: Set[int],
+    written: Set[int],
+) -> Dict[Fault, Fault]:
+    """One forced-chain edge per eligible ``(a, va)``, pointing outputward."""
+    edges: Dict[Fault, Fault] = {}
+    fanout = compiled.fanout
+    initial = compiled.initial_values
+    for a in range(len(compiled.net_names)):
+        if len(fanout[a]) != 1:
+            continue
+        if a in obs_slots or a in env_triggers or a in written:
+            continue
+        g = fanout[a][0]
+        b = compiled.gate_output[g]
+        if b == a or b in written:
+            continue
+        op = compiled.gate_op[g]
+        row = compiled.gate_row[g]
+        inputs = compiled.gate_inputs[g]
+        for va in (0, 1):
+            vb = _forced_output(op, row, inputs, a, va)
+            if vb is None or initial[b] != vb:
+                continue
+            edges[(a, va)] = (b, vb)
+    return edges
+
+
+def _resolve_representatives(
+    edges: Dict[Fault, Fault]
+) -> Tuple[Dict[Fault, Fault], Dict[Fault, Tuple[Fault, ...]]]:
+    """Follow the functional edge graph to its sinks (cycle-safe).
+
+    Each fault has at most one outgoing edge, so chains resolve by path
+    following; a cycle (a stuck ring collapses onto itself) elects its
+    smallest member.  Every fault on a path maps to the terminal
+    representative, keeping the event-subset ordering member <= rep.
+    """
+    rep_of: Dict[Fault, Fault] = {}
+
+    def resolve(fault: Fault) -> Fault:
+        path: List[Fault] = []
+        on_path: Set[Fault] = set()
+        cursor = fault
+        while True:
+            known = rep_of.get(cursor)
+            if known is not None:
+                rep = known
+                break
+            if cursor in on_path:
+                # Cycle: everything from the first repeat is equivalent.
+                cycle_start = path.index(cursor)
+                rep = min(path[cycle_start:])
+                break
+            path.append(cursor)
+            on_path.add(cursor)
+            nxt = edges.get(cursor)
+            if nxt is None:
+                rep = cursor
+                break
+            cursor = nxt
+        for step in path:
+            rep_of[step] = rep
+        rep_of[rep] = rep
+        return rep
+
+    for fault in edges:
+        resolve(fault)
+    members: Dict[Fault, List[Fault]] = {}
+    for fault, rep in rep_of.items():
+        members.setdefault(rep, []).append(fault)
+    return rep_of, {
+        rep: tuple(sorted(faults)) for rep, faults in members.items()
+    }
+
+
+def _out_of_cone_statics(
+    compiled,
+    obs_slots: Set[int],
+    env_triggers: Set[int],
+    max_events: int,
+    golden_events: int,
+    num_stimuli: int,
+) -> Set[int]:
+    """Net slots whose faults are provably ``(False, no observable difference)``.
+
+    See the module docstring for the soundness conditions: the fanout
+    closure of the net must avoid every observable, contain no
+    ``OP_CALL`` gate, trigger no environment rule, be acyclic, and its
+    worst-case extra event count (bounded by path counts times the
+    number of events that can seed it) must fit under ``max_events``.
+    """
+    num_nets = len(compiled.net_names)
+    fanout = compiled.fanout
+    gate_output = compiled.gate_output
+    gate_op = compiled.gate_op
+
+    # succ[n]: output slots of gates reading n.
+    succ: List[Tuple[int, ...]] = [
+        tuple(dict.fromkeys(gate_output[g] for g in fanout[n]))
+        for n in range(num_nets)
+    ]
+    statics: Set[int] = set()
+    closure_cache: Dict[int, Optional[FrozenSet[int]]] = {}
+
+    def closure(start: int) -> Optional[FrozenSet[int]]:
+        """Fanout closure of ``start``, or None when a disqualifier appears."""
+        if start in closure_cache:
+            return closure_cache[start]
+        region: Set[int] = set()
+        stack = [start]
+        result: Optional[FrozenSet[int]]
+        while stack:
+            net = stack.pop()
+            if net in region:
+                continue
+            region.add(net)
+            if net in obs_slots or net in env_triggers:
+                closure_cache[start] = None
+                return None
+            for g in fanout[net]:
+                if gate_op[g] == OP_CALL:
+                    closure_cache[start] = None
+                    return None
+            stack.extend(succ[net])
+        result = frozenset(region)
+        closure_cache[start] = result
+        return result
+
+    spawn_cache: Dict[int, int] = {}
+
+    def spawn(net: int, region: FrozenSet[int], trail: Set[int]) -> Optional[int]:
+        """Max events one commit on ``net`` can spawn inside ``region``.
+
+        ``None`` signals a cycle (oscillation possible -- disqualify).
+        """
+        cached = spawn_cache.get(net)
+        if cached is not None:
+            return cached
+        if net in trail:
+            return None
+        trail.add(net)
+        total = 0
+        for g in fanout[net]:
+            out = gate_output[g]
+            sub = spawn(out, region, trail)
+            if sub is None:
+                return None
+            total += 1 + sub
+        trail.discard(net)
+        spawn_cache[net] = total
+        return total
+
+    seeds = golden_events + len(compiled.gate_op) + num_stimuli + 4
+    for n in range(num_nets):
+        region = closure(n)
+        if region is None:
+            continue
+        per_seed = spawn(n, region, set())
+        if per_seed is None:
+            continue
+        # Any committed event (inside or outside the region) seeds at
+        # most the worst single-net spawn; sum over the region is a
+        # crude but provable ceiling for the initial perturbation too.
+        worst = 0
+        ok = True
+        for m in region:
+            s = spawn(m, region, set())
+            if s is None:
+                ok = False
+                break
+            worst = max(worst, s + 1)
+        if not ok:
+            continue
+        region_total = sum(spawn_cache[m] + 1 for m in region)
+        if golden_events + seeds * worst + region_total <= max_events:
+            statics.add(n)
+    return statics
+
+
+class CollapseAnalysis(AnalysisPass):
+    """Build a :class:`CollapsePlan` for one campaign configuration.
+
+    Params (all hashable; see
+    :func:`repro.analysis.compilecache.campaign_params` for the
+    flattened rule/stimulus forms):
+
+    * ``rules`` / ``stimuli`` -- the campaign environment.
+    * ``observables`` -- observable net names, or ``None`` for the
+      netlist's primary outputs (the engine default).
+    * ``max_events`` / ``golden_events`` -- cap bookkeeping for the
+      out-of-cone rule's provable event bound.
+    """
+
+    name = "collapse"
+    depends = ("compile", "structure")
+    aspects = ("topology", "values")
+
+    def run(self, subject: Any, deps: Dict[str, Any], **params: Any) -> CollapsePlan:
+        compiled = deps["compile"]
+        net_index = compiled.net_index
+        rules: Tuple = params["rules"]
+        stimuli: Tuple = params["stimuli"]
+        observables = params["observables"]
+        max_events: int = params["max_events"]
+        golden_events: int = params["golden_events"]
+        if observables is None:
+            observables = tuple(subject.primary_outputs or subject.nets)
+        obs_slots = {
+            net_index[net] for net in observables if net in net_index
+        }
+        env_triggers = {
+            net_index[trigger]
+            for trigger, _tv, _target, _gv, _d in rules
+            if trigger in net_index
+        }
+        written = {
+            net_index[target]
+            for _t, _tv, target, _gv, _d in rules
+            if target in net_index
+        }
+        written |= {
+            net_index[net] for net, _v, _t in stimuli if net in net_index
+        }
+
+        initial = compiled.initial_values
+        driver_of = compiled.driver_of
+        static_same: Set[Fault] = set()
+        noop = 0
+        for slot in range(len(compiled.net_names)):
+            if driver_of[slot] < 0:
+                value = initial[slot]
+                static_same.add((slot, value))
+                noop += 1
+
+        cone_statics = _out_of_cone_statics(
+            compiled,
+            obs_slots,
+            env_triggers,
+            max_events,
+            golden_events,
+            len(stimuli),
+        )
+        out_of_cone = 0
+        for slot in cone_statics:
+            for value in (0, 1):
+                if (slot, value) not in static_same:
+                    static_same.add((slot, value))
+                    out_of_cone += 1
+
+        edges = _chain_edges(compiled, obs_slots, env_triggers, written)
+        # A statically-resolved fault never enters a class (and never
+        # anchors one): drop edges touching the static set.
+        edges = {
+            src: dst
+            for src, dst in edges.items()
+            if src not in static_same and dst not in static_same
+        }
+        rep_of, members = _resolve_representatives(edges)
+        stats = {
+            "chain_edges": len(edges),
+            "chain_merged": sum(1 for f, r in rep_of.items() if f != r),
+            "static_noop": noop,
+            "static_out_of_cone": out_of_cone,
+        }
+        return CollapsePlan(
+            rep_of=rep_of,
+            members=members,
+            static_same=frozenset(static_same),
+            stats=stats,
+        )

@@ -1,0 +1,215 @@
+"""Static hazard lint: isochronic forks and non-monotone excitations.
+
+The conformance checker (:mod:`repro.verification.conformance`) finds
+hazards *dynamically*: it explores the circuit x specification state
+space and reports every gate that is excited and then disabled without
+firing.  That is exact but exponential.  This pass is the static
+companion -- a lint over the compiled truth tables and the fork
+structure that flags the two local shapes those dynamic hazards come
+from, without exploring anything:
+
+* **Non-monotone excitation** (``non-monotone-excitation``): a gate
+  whose compiled function is non-unate in some input -- for a fixed
+  value of the other inputs and of the state bit, moving that input one
+  way can both excite and disable the output, depending on context.
+  Such a gate can be excited and then cut off by a single further input
+  change, which is exactly the semi-modularity violation the dynamic
+  checker reports.  Speed-independent library cells (C-elements,
+  AND/OR/majority gates) are unate in every input; a non-unate gate
+  (an XOR slipped into a handshake path) is where glitches breed.
+  The diagnostic is keyed by the gate's *output* net, matching
+  ``Failure.event.signal`` in the conformance report so the two layers
+  can be cross-checked mechanically
+  (:func:`repro.verification.conformance.lint_cross_check`).
+
+* **Isochronic fork** (``isochronic-fork``): a net fanning out to
+  branches with different gate delays.  Speed-independent operation on
+  a fork assumes every branch sees a transition "at the same time"; a
+  delay spread across the reading gates is where that assumption is
+  load-bearing.  This is advisory (severity ``"info"``): the paper's
+  relative-timing flow exists precisely because such assumptions are
+  often fine -- the lint marks where they live.
+
+``OP_CALL`` gates (opaque ``eval_fn`` callables that defeated table
+compilation) cannot be analysed statically and produce an
+``opaque-gate`` note instead, so a clean report never silently skips a
+gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.analysis.manager import AnalysisPass
+from repro.engine.events import (
+    OP_CALL,
+    OP_CONST,
+    OP_TABLE,
+    OP_WIDE_XOR,
+)
+
+
+@dataclass(frozen=True)
+class HazardDiagnostic:
+    """One structured lint finding.
+
+    ``net`` is the diagnostic's anchor: the gate output for excitation
+    findings (matching the conformance checker's hazard events), the
+    forking net for fork findings.
+    """
+
+    rule: str  # "non-monotone-excitation" | "isochronic-fork" | "opaque-gate"
+    severity: str  # "warning" | "info"
+    net: str
+    gate: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"[{self.severity}] {self.rule} @ {self.net} ({self.gate}): {self.detail}"
+
+
+@dataclass(frozen=True)
+class HazardLintReport:
+    """All diagnostics for one netlist, in deterministic order."""
+
+    diagnostics: Tuple[HazardDiagnostic, ...]
+
+    def by_rule(self, rule: str) -> Tuple[HazardDiagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.rule == rule)
+
+    def nets(self, rule: str = "") -> Tuple[str, ...]:
+        """Anchor nets carrying diagnostics (optionally for one rule)."""
+        return tuple(
+            dict.fromkeys(
+                d.net
+                for d in self.diagnostics
+                if not rule or d.rule == rule
+            )
+        )
+
+    @property
+    def warnings(self) -> Tuple[HazardDiagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "warning")
+
+
+def _non_unate_inputs(row: int, n: int) -> List[int]:
+    """Input positions (gate order) in which the table is non-unate.
+
+    The table folds ``(state << n) | bits`` with inputs MSB-first.  For
+    input position ``k`` we compare every pair of indices differing only
+    in that input's bit: position ``n - 1 - k`` of ``bits``.  If raising
+    the input both raises the output somewhere and lowers it elsewhere,
+    the gate is non-unate (binate) in that input.
+    """
+    culprits: List[int] = []
+    for k in range(n):
+        bit = 1 << (n - 1 - k)
+        rises = False
+        falls = False
+        for idx in range(1 << (n + 1)):
+            if idx & bit:
+                continue
+            lo = (row >> idx) & 1
+            hi = (row >> (idx | bit)) & 1
+            if lo < hi:
+                rises = True
+            elif lo > hi:
+                falls = True
+            if rises and falls:
+                culprits.append(k)
+                break
+    return culprits
+
+
+class HazardLintAnalysis(AnalysisPass):
+    """Produce a :class:`HazardLintReport` for a ``Netlist``.
+
+    Reads only the ``"topology"`` aspect (truth tables are a function of
+    the gate types, not of initial values), so reports stay cached
+    across ``set_initial_value`` mutations.
+    """
+
+    name = "hazard-lint"
+    depends = ("compile", "structure")
+    aspects = ("topology",)
+
+    def run(self, subject: Any, deps: Dict[str, Any], **params: Any) -> HazardLintReport:
+        compiled = deps["compile"]
+        structure = deps["structure"]
+        diagnostics: List[HazardDiagnostic] = []
+
+        delay_of = {
+            gate.name: gate.gate_type.delay_ps for gate in subject.gates
+        }
+        gate_of = {gate.name: gate for gate in subject.gates}
+
+        for slot, gate in enumerate(compiled.gates):
+            op = compiled.gate_op[slot]
+            n = len(compiled.gate_inputs[slot])
+            output = subject.gates[slot].output
+            name = subject.gates[slot].name
+            if op == OP_CALL:
+                diagnostics.append(
+                    HazardDiagnostic(
+                        rule="opaque-gate",
+                        severity="info",
+                        net=output,
+                        gate=name,
+                        detail=(
+                            "eval_fn resisted table compilation; "
+                            "excitation monotonicity not statically checkable"
+                        ),
+                    )
+                )
+                continue
+            if op == OP_CONST or n == 0:
+                continue
+            if op == OP_WIDE_XOR:
+                culprits = list(range(n))
+            elif op == OP_TABLE:
+                culprits = _non_unate_inputs(compiled.gate_row[slot], n)
+            else:  # wide AND/OR/NAND/NOR: unate in every input
+                culprits = []
+            if culprits:
+                input_nets = subject.gates[slot].inputs
+                named = ", ".join(input_nets[k] for k in culprits)
+                diagnostics.append(
+                    HazardDiagnostic(
+                        rule="non-monotone-excitation",
+                        severity="warning",
+                        net=output,
+                        gate=name,
+                        detail=(
+                            f"output is non-unate in input(s) {named}; a "
+                            "single input change can disable a pending "
+                            "excitation (glitch)"
+                        ),
+                    )
+                )
+
+        for net in structure.nets:
+            readers = structure.fanout_gates.get(net, ())
+            if len(readers) < 2:
+                continue
+            delays = sorted({delay_of[r] for r in readers if r in delay_of})
+            if len(delays) > 1:
+                spread = delays[-1] - delays[0]
+                branches = ", ".join(
+                    f"{r} ({delay_of[r]:g} ps)" for r in readers
+                )
+                diagnostics.append(
+                    HazardDiagnostic(
+                        rule="isochronic-fork",
+                        severity="info",
+                        net=net,
+                        gate=gate_of[readers[0]].name if readers else "",
+                        detail=(
+                            f"fork feeds branches with a {spread:g} ps delay "
+                            f"spread: {branches}; speed-independence here "
+                            "rests on the isochronicity assumption"
+                        ),
+                    )
+                )
+
+        return HazardLintReport(diagnostics=tuple(diagnostics))

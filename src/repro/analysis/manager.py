@@ -1,0 +1,265 @@
+"""Pass manager with invalidation-aware analysis caching.
+
+Everything the engine layer knows about a netlist used to be recomputed
+per call site: every :class:`~repro.engine.faultsim.FaultSimEngine`
+compiled its netlist again, every campaign re-ran the golden trace, and
+every sweep rebuilt its packed fanout tables.  This module is the
+registry that makes those artifacts *analyses*: computed once, cached
+against a content fingerprint, and recomputed only when a mutation
+actually touched what they read.
+
+Model
+-----
+An analysis is a subclass of :class:`AnalysisPass` registered under a
+unique ``name``.  It declares
+
+* ``depends`` -- names of other analyses whose results it consumes
+  (resolved through the same manager, so shared dependencies are
+  computed once), and
+* ``aspects`` -- which *aspects* of the subject it reads.  A
+  :class:`~repro.circuit.netlist.Netlist` exposes two:
+  ``"topology"`` (nets, interface, gate instances/types) and
+  ``"values"`` (initial net values).  Mutation hooks on the netlist bump
+  a per-aspect version counter; fingerprints are recomputed only for
+  moved counters.  An analysis reading only ``"topology"`` therefore
+  stays cached across ``set_initial_value`` calls, while one reading
+  both recomputes -- mutations invalidate exactly their dependents.
+
+Cache entries are keyed by ``(analysis name, aspect fingerprints,
+params)`` where ``params`` is the analysis-specific parameter key (a
+campaign's environment rules, observables, ...), so differently
+parameterised runs of one analysis coexist.  Entries are LRU-bounded per
+manager.  Because keys are content fingerprints rather than object
+identities, two equal netlists built from the same library share cached
+results for free.
+
+Immutable subjects (:class:`~repro.engine.events.CompiledNetlist`) have
+no mutation counters; for them the manager caches by object identity in
+the subject's own ``_analysis_cache`` slot, which lives and dies with
+the object.
+
+The module-level :func:`get` / :func:`invalidate` / :func:`stats` work
+on a process-global default manager, which is what the engine entry
+points use; tests build private :class:`PassManager` instances.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple, Type
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisPass",
+    "PassManager",
+    "register",
+    "get",
+    "invalidate",
+    "stats",
+    "default_manager",
+]
+
+
+class AnalysisError(Exception):
+    """Raised for unknown analyses, bad subjects, or dependency cycles."""
+
+
+class AnalysisPass:
+    """Base class for analyses.
+
+    Subclasses set ``name`` (registry key), ``depends`` (names of
+    analyses resolved before :meth:`run` and passed in ``deps``), and
+    ``aspects`` (subject aspects read -- the cache key ingredients).
+    ``run`` receives the subject, a dict of dependency results, and the
+    keyword params the caller handed to :meth:`PassManager.get`.
+    """
+
+    name: str = ""
+    depends: Tuple[str, ...] = ()
+    aspects: Tuple[str, ...] = ("topology", "values")
+
+    def run(self, subject: Any, deps: Dict[str, Any], **params: Any) -> Any:
+        raise NotImplementedError
+
+    def param_key(self, **params: Any) -> Tuple:
+        """Hashable cache key for the analysis parameters.
+
+        The default requires every param value to be hashable; analyses
+        taking richer params (rule lists, fault lists) override this.
+        """
+        return tuple(sorted(params.items()))
+
+
+class PassManager:
+    """Registry plus invalidation-aware result cache.
+
+    ``max_entries`` bounds the fingerprint-keyed cache per manager (LRU
+    eviction); identity-keyed results on immutable subjects are bounded
+    by the subjects' own lifetimes instead.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self._passes: Dict[str, AnalysisPass] = {}
+        self._cache: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    # -- registry ---------------------------------------------------------------------
+    def register(self, pass_cls: Type[AnalysisPass]) -> Type[AnalysisPass]:
+        """Register an analysis class (usable as a decorator)."""
+        instance = pass_cls()
+        if not instance.name:
+            raise AnalysisError(f"{pass_cls.__name__} has no name")
+        self._passes[instance.name] = instance
+        return pass_cls
+
+    def known(self, name: str) -> bool:
+        return name in self._passes
+
+    # -- fingerprints -----------------------------------------------------------------
+    def _subject_key(self, subject: Any, aspects: Tuple[str, ...]) -> Optional[Tuple]:
+        """Fingerprint tuple for a mutable subject, or None for identity caching.
+
+        Subjects exposing ``analysis_fingerprint(aspect)`` (netlists,
+        STGs via the adapter below) are content-keyed; subjects exposing
+        an ``_analysis_cache`` slot (compiled netlists) are
+        identity-keyed on the object itself.
+        """
+        fingerprint = getattr(subject, "analysis_fingerprint", None)
+        if fingerprint is not None:
+            return tuple(fingerprint(aspect) for aspect in aspects)
+        # The slot descriptor lives on the class; the instance attribute
+        # only exists once the first result is cached.
+        if hasattr(type(subject), "_analysis_cache") or hasattr(subject, "__dict__"):
+            return None
+        raise AnalysisError(
+            f"subject {type(subject).__name__} supports neither fingerprint "
+            "nor identity caching"
+        )
+
+    # -- resolution -------------------------------------------------------------------
+    def get(self, subject: Any, name: str, **params: Any) -> Any:
+        """Resolve one analysis on ``subject``, computing or hitting cache."""
+        return self._resolve(subject, name, params, ())
+
+    def _resolve(
+        self, subject: Any, name: str, params: Dict[str, Any], chain: Tuple[str, ...]
+    ) -> Any:
+        analysis = self._passes.get(name)
+        if analysis is None:
+            raise AnalysisError(f"unknown analysis {name!r}")
+        if name in chain:
+            raise AnalysisError(
+                "analysis dependency cycle: " + " -> ".join(chain + (name,))
+            )
+        subject_key = self._subject_key(subject, analysis.aspects)
+        param_key = analysis.param_key(**params)
+        if subject_key is None:
+            cache = self._identity_cache(subject)
+            key = (name, param_key)
+            if key in cache:
+                self.hits += 1
+                return cache[key]
+            self.misses += 1
+            result = self._run(subject, analysis, params, chain)
+            cache[key] = result
+            return result
+        key = (name, subject_key, param_key)
+        cached = self._cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            self._cache.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = self._run(subject, analysis, params, chain)
+        self._cache[key] = result
+        while len(self._cache) > self._max_entries:
+            self._cache.popitem(last=False)
+        return result
+
+    def _run(
+        self,
+        subject: Any,
+        analysis: AnalysisPass,
+        params: Dict[str, Any],
+        chain: Tuple[str, ...],
+    ) -> Any:
+        deps = {
+            dep: self._resolve(subject, dep, {}, chain + (analysis.name,))
+            for dep in analysis.depends
+        }
+        return analysis.run(subject, deps, **params)
+
+    def _identity_cache(self, subject: Any) -> Dict:
+        cache = getattr(subject, "_analysis_cache", None)
+        if cache is None:
+            try:
+                subject._analysis_cache = cache = {}
+            except AttributeError as exc:  # no slot and no __dict__
+                raise AnalysisError(
+                    f"subject {type(subject).__name__} cannot hold an "
+                    "identity cache"
+                ) from exc
+        return cache
+
+    # -- maintenance ------------------------------------------------------------------
+    def invalidate(self, name: Optional[str] = None) -> int:
+        """Drop cached results (all, or one analysis); returns the count dropped.
+
+        Content-fingerprint keying already invalidates mutated subjects
+        automatically; this is the explicit hammer for tests and for
+        callers that mutate gate types in place (which no fingerprint
+        can see).
+        """
+        if name is None:
+            dropped = len(self._cache)
+            self._cache.clear()
+            return dropped
+        stale = [key for key in self._cache if key[0] == name]
+        for key in stale:
+            del self._cache[key]
+        return len(stale)
+
+    def stats(self) -> Dict[str, int]:
+        """Cache counters: ``hits``, ``misses``, ``entries``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._cache),
+        }
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+# Process-global default manager: the engine entry points resolve
+# through it so independent campaigns on one netlist share artifacts.
+_DEFAULT = PassManager()
+
+
+def default_manager() -> PassManager:
+    return _DEFAULT
+
+
+def register(pass_cls: Type[AnalysisPass]) -> Type[AnalysisPass]:
+    """Register an analysis on the default manager (decorator)."""
+    return _DEFAULT.register(pass_cls)
+
+
+def get(subject: Any, name: str, **params: Any) -> Any:
+    """Resolve an analysis through the default manager."""
+    return _DEFAULT.get(subject, name, **params)
+
+
+def invalidate(name: Optional[str] = None) -> int:
+    """Drop cached results on the default manager."""
+    return _DEFAULT.invalidate(name)
+
+
+def stats() -> Dict[str, int]:
+    """Default-manager cache counters."""
+    return _DEFAULT.stats()

@@ -8,7 +8,7 @@ is ``0`` (complemented literal), ``1`` (positive literal) or ``None``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 Bit = Optional[int]
 

@@ -8,7 +8,7 @@ technology mapper then turns into library gates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple, Union
+from typing import List, Mapping, Sequence, Tuple
 
 from repro.boolean.cubes import Cover, Cube
 

@@ -10,7 +10,7 @@ explicit algorithm is more than fast enough and is easy to audit.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.boolean.cubes import Cover, Cube, cube_from_code
 

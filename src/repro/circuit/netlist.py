@@ -8,10 +8,10 @@ job of the event-driven simulator rather than a topological sweep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.circuit.library import GateLibrary, GateType, STANDARD_LIBRARY
+from repro.circuit.library import GateType, STANDARD_LIBRARY
 
 
 class NetlistError(Exception):
@@ -46,13 +46,25 @@ class Netlist:
         self._gates: Dict[str, GateInstance] = {}
         self._driver: Dict[str, str] = {}  # net -> gate name
         self._initial_values: Dict[str, int] = {}
+        # Mutation counters consumed by the analysis layer
+        # (repro.analysis.manager): every constructor method bumps the
+        # aspect it changes, so cached analyses keyed on an aspect
+        # fingerprint invalidate exactly when that aspect mutated --
+        # adding a gate invalidates structural analyses, re-seeding an
+        # initial value leaves them cached.
+        self._topology_version = 0
+        self._values_version = 0
 
     # -- construction -------------------------------------------------------------
     def add_net(self, name: str, initial: int = 0) -> str:
-        self._nets.add(name)
+        if name not in self._nets:
+            self._nets.add(name)
+            self._topology_version += 1
         # Coerced like set_initial_value: nets carry binary values only
         # (the simulators' packed state assumes it).
-        self._initial_values.setdefault(name, int(bool(initial)))
+        if name not in self._initial_values:
+            self._initial_values[name] = int(bool(initial))
+            self._values_version += 1
         return name
 
     def add_primary_input(self, name: str, initial: int = 0) -> str:
@@ -60,6 +72,7 @@ class Netlist:
             raise NetlistError(f"duplicate primary input {name!r}")
         self.add_net(name, initial)
         self._primary_inputs.append(name)
+        self._topology_version += 1
         return name
 
     def add_primary_output(self, name: str) -> str:
@@ -67,6 +80,7 @@ class Netlist:
             raise NetlistError(f"duplicate primary output {name!r}")
         self.add_net(name)
         self._primary_outputs.append(name)
+        self._topology_version += 1
         return name
 
     def add_gate(
@@ -89,16 +103,23 @@ class Netlist:
             self.add_net(net)
         self.add_net(output)
         if output_initial is not None:
-            self._initial_values[output] = int(bool(output_initial))
+            coerced = int(bool(output_initial))
+            if self._initial_values.get(output) != coerced:
+                self._initial_values[output] = coerced
+                self._values_version += 1
         instance = GateInstance(name, gate_type, tuple(inputs), output)
         self._gates[name] = instance
         self._driver[output] = name
+        self._topology_version += 1
         return instance
 
     def set_initial_value(self, net: str, value: int) -> None:
         if net not in self._nets:
             raise NetlistError(f"unknown net {net!r}")
-        self._initial_values[net] = int(bool(value))
+        coerced = int(bool(value))
+        if self._initial_values.get(net) != coerced:
+            self._initial_values[net] = coerced
+            self._values_version += 1
 
     # -- accessors -----------------------------------------------------------------
     @property
@@ -135,6 +156,65 @@ class Netlist:
 
     def initial_value(self, net: str) -> int:
         return self._initial_values.get(net, 0)
+
+    # -- analysis fingerprints ---------------------------------------------------------
+    def analysis_fingerprint(self, aspect: str = "topology") -> Tuple[str, str]:
+        """Content fingerprint of one aspect, for the analysis cache.
+
+        Aspects: ``"topology"`` (nets, interface, gate instances and
+        their types) and ``"values"`` (initial net values).  The digest
+        is recomputed only when the matching mutation counter moved
+        since the last call; analyses cached under a fingerprint
+        therefore survive mutations that do not touch their aspect.
+        Gate behaviour is keyed by the identity of the ``eval_fn``
+        callable (plus the declared characterisation), so two netlists
+        sharing library gate types fingerprint equal, while a same-named
+        gate type with different behaviour does not.
+        """
+        import hashlib
+
+        cache = getattr(self, "_fingerprint_cache", None)
+        if cache is None:
+            cache = self._fingerprint_cache = {}
+        if aspect == "topology":
+            version = self._topology_version
+        elif aspect == "values":
+            version = self._values_version
+        else:
+            raise ValueError(f"unknown fingerprint aspect {aspect!r}")
+        cached = cache.get(aspect)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        if aspect == "values":
+            payload = repr(sorted(self._initial_values.items()))
+        else:
+            parts: List[str] = [
+                repr(sorted(self._nets)),
+                repr(self._primary_inputs),
+                repr(self._primary_outputs),
+            ]
+            for gate in self._gates.values():
+                gate_type = gate.gate_type
+                parts.append(
+                    repr(
+                        (
+                            gate.name,
+                            gate_type.name,
+                            id(gate_type.eval_fn),
+                            gate_type.num_inputs,
+                            gate_type.delay_ps,
+                            gate_type.energy_pj,
+                            gate_type.is_sequential,
+                            gate.inputs,
+                            gate.output,
+                        )
+                    )
+                )
+            payload = "\n".join(parts)
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        fingerprint = (aspect, digest)
+        cache[aspect] = (version, fingerprint)
+        return fingerprint
 
     # -- sanity checks ---------------------------------------------------------------
     def undriven_nets(self) -> List[str]:
@@ -190,6 +270,7 @@ def chain_handshake_cells(
     left: Tuple[str, str] = ("li", "lo"),
     right: Tuple[str, str] = ("ri", "ro"),
     name: Optional[str] = None,
+    wire_buffers: int = 0,
 ) -> Netlist:
     """Chain ``stages`` copies of a handshake cell into a linear FIFO.
 
@@ -203,18 +284,32 @@ def chain_handshake_cells(
     Initial values carry over per cell.  Used by the fault-simulation
     benchmarks and differential tests to scale the FIFO corpus without
     re-running synthesis.
+
+    With ``wire_buffers > 0`` every inter-stage handshake wire is routed
+    through that many ``BUF`` drivers, the way the fabricated Figure 6
+    chains drive their inter-stage interconnect.  The wire between
+    ``s{i}_ro`` and stage ``i+1`` then contributes ``wire_buffers``
+    intermediate nets (``s{i+1}_li_w1`` ...) plus a distinct sink net
+    (``s{i+1}_li``), all of them bona fide stuck-at sites -- the part of
+    a mapped fault list that classic fault collapsing folds away.  With
+    the default ``0`` the wires stay ideal aliases and the netlist is
+    unchanged.
     """
     if stages < 1:
         raise NetlistError("a handshake chain needs at least one stage")
+    if wire_buffers < 0:
+        raise NetlistError("wire_buffers must be non-negative")
     left_in, left_out = left
     right_in, right_out = right
     chained = Netlist(name or f"{cell.name}_chain{stages}")
+    buffered = wire_buffers > 0
 
     def net_of(stage: int, net: str) -> str:
-        if net == left_in and stage > 0:
-            return f"s{stage - 1}_{right_out}"
-        if net == right_in and stage < stages - 1:
-            return f"s{stage + 1}_{left_out}"
+        if not buffered:
+            if net == left_in and stage > 0:
+                return f"s{stage - 1}_{right_out}"
+            if net == right_in and stage < stages - 1:
+                return f"s{stage + 1}_{left_out}"
         return f"s{stage}_{net}"
 
     chained.add_primary_input(f"s0_{left_in}", initial=cell.initial_value(left_in))
@@ -233,6 +328,31 @@ def chain_handshake_cells(
                 [net_of(stage, net) for net in gate.inputs],
                 net_of(stage, gate.output),
                 output_initial=cell.initial_value(gate.output),
+            )
+    if buffered:
+        buf = STANDARD_LIBRARY.get("BUF")
+
+        def route(src: str, dst: str, initial: int) -> None:
+            """Drive ``dst`` from ``src`` through ``wire_buffers`` BUFs."""
+            hops = [f"{dst}_w{k}" for k in range(1, wire_buffers)] + [dst]
+            prev = src
+            for k, hop in enumerate(hops, start=1):
+                chained.add_net(hop, initial=initial)
+                chained.add_gate(
+                    f"{dst}_buf{k}", buf, [prev], hop, output_initial=initial
+                )
+                prev = hop
+
+        for stage in range(stages - 1):
+            route(
+                f"s{stage}_{right_out}",
+                f"s{stage + 1}_{left_in}",
+                cell.initial_value(right_out),
+            )
+            route(
+                f"s{stage + 1}_{left_out}",
+                f"s{stage}_{right_in}",
+                cell.initial_value(left_out),
             )
     return chained
 

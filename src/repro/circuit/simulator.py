@@ -19,7 +19,7 @@ import itertools
 import random
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import GateInstance, Netlist, NetlistError
 from repro.engine.events import CompiledNetlist

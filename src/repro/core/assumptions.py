@@ -12,10 +12,10 @@ the circuit to be correct.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Set, Tuple, Union
 
-from repro.stg.model import Direction, SignalTransition
+from repro.stg.model import SignalTransition
 
 
 class AssumptionKind(enum.Enum):

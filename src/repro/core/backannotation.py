@@ -18,13 +18,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.boolean.cubes import Cover
 from repro.core.assumptions import (
-    AssumptionKind,
     AssumptionSet,
     RelativeTimingAssumption,
     RelativeTimingConstraint,
 )
-from repro.core.lazy import LazyStateGraph, apply_assumptions
-from repro.stategraph.graph import State, StateGraph
+from repro.core.lazy import apply_assumptions
+from repro.stategraph.graph import StateGraph
 
 
 @dataclass

@@ -21,7 +21,7 @@ two."  This module implements that rule set:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Optional, Set
 
 from repro.core.assumptions import (
     AssumptionKind,
@@ -29,8 +29,8 @@ from repro.core.assumptions import (
     RelativeTimingAssumption,
 )
 from repro.core.lazy import early_enable_candidates
-from repro.stg.model import SignalKind, SignalTransition
-from repro.stategraph.graph import State, StateGraph
+from repro.stg.model import SignalTransition
+from repro.stategraph.graph import StateGraph
 
 
 def _estimated_depth(graph: StateGraph, signal: str) -> int:

@@ -22,13 +22,13 @@ assumption produced each change (used later by back-annotation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.assumptions import (
     AssumptionSet,
     RelativeTimingAssumption,
 )
-from repro.stg.model import Direction, SignalKind, SignalTransition
+from repro.stg.model import Direction, SignalTransition
 from repro.stategraph.graph import State, StateGraph
 
 

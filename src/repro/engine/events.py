@@ -146,6 +146,10 @@ class CompiledNetlist:
         "gate_call",
         "gate_delay",
         "driver_of",
+        # Per-object analysis storage (repro.analysis.manager): compiled
+        # views are immutable, so identity-keyed results (packed fanout
+        # tuples, structure graphs) cache directly on the object.
+        "_analysis_cache",
     )
 
     def __init__(self, netlist: Optional["Netlist"]) -> None:

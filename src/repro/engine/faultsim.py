@@ -108,9 +108,11 @@ from __future__ import annotations
 import pickle
 import random
 import weakref
+from collections import namedtuple
 from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import analysis as _analysis
 from repro.engine import pool
 from repro.engine.events import (
     OP_CALL,
@@ -120,7 +122,6 @@ from repro.engine.events import (
     OP_WIDE_NAND,
     OP_WIDE_NOR,
     OP_WIDE_OR,
-    OP_WIDE_XOR,
     BatchEventQueue,
     CompiledNetlist,
 )
@@ -922,48 +923,22 @@ class _FaultSweep:
             None if golden is None else golden[1],
         )
 
-    def _pack_net(self, net: int, gate_op, gate_row) -> Tuple:
-        """Pack one net's fanout gates for the drain loop.
-
-        Each entry is ``(gate, op, row, inputs, output, delay)`` with
-        1/2/3-input table gates demoted to the arity-specialized private
-        opcodes so the hot loop indexes their row without a per-input
-        loop.
-        """
-        compiled = self.compiled
-        gate_inputs = compiled.gate_inputs
-        gate_output = compiled.gate_output
-        gate_delay = compiled.gate_delay
-        entries = []
-        for g in compiled.fanout[net]:
-            op = gate_op[g]
-            inputs = gate_inputs[g]
-            if op == OP_TABLE:
-                arity = len(inputs)
-                if 1 <= arity <= 6:
-                    op = -arity
-            entries.append(
-                (g, op, gate_row[g], inputs, gate_output[g], gate_delay[g])
-            )
-        return tuple(entries)
-
     def _packed_tables(self, gate_op, gate_row) -> List[Tuple]:
         """Per-net packed fanout view of (possibly overlay-patched) tables.
 
-        The fault-free packing is built once and cached; an overlay
-        differs from it in exactly the faulted net's driver gate, so an
-        overlay packing reuses every untouched net's tuple and rebuilds
-        only the nets feeding a patched gate.
+        The fault-free packing is the ``"packed-fanout"`` analysis,
+        identity-cached on the compiled netlist so every sweep (and
+        every engine) over one compiled object shares a single packing;
+        an overlay differs from it in exactly the faulted net's driver
+        gate, so an overlay packing reuses every untouched net's tuple
+        and rebuilds only the nets feeding a patched gate.
         """
         compiled = self.compiled
         base_op = compiled.gate_op
         base_row = compiled.gate_row
         base = self._packed_base
         if base is None:
-            base = self._packed_base = [
-                self._pack_net(net, base_op, base_row)
-                for net in range(len(compiled.fanout))
-            ]
+            base = self._packed_base = _analysis.get(compiled, "packed-fanout")
         if gate_op is base_op and gate_row is base_row:
             return base
         patched_nets = set()
@@ -974,7 +949,7 @@ class _FaultSweep:
             return base
         packed = list(base)
         for net in patched_nets:
-            packed[net] = self._pack_net(net, gate_op, gate_row)
+            packed[net] = _pack_net(compiled, net, gate_op, gate_row)
         return packed
 
     # -- the resumable scalar drain ----------------------------------------------------
@@ -1006,11 +981,8 @@ class _FaultSweep:
         ``last_copy_rng`` and ``last_processed`` on normal completion.
         """
         compiled = self.compiled
-        gate_inputs = compiled.gate_inputs
-        gate_output = compiled.gate_output
         gate_call = compiled.gate_call
         gate_delay = compiled.gate_delay
-        fanout = compiled.fanout
         rules_by = self.rules_by
         obs_of = self.obs_of
         jitter = self.delay_jitter
@@ -1598,6 +1570,103 @@ class _FaultSweep:
         return full_cycles * period_events, will_diverge
 
 
+def _pack_net(compiled: CompiledNetlist, net: int, gate_op, gate_row) -> Tuple:
+    """Pack one net's fanout gates for the drain loop.
+
+    Each entry is ``(gate, op, row, inputs, output, delay)`` with
+    1-6-input table gates demoted to the arity-specialized private
+    opcodes so the hot loop indexes their row without a per-input
+    loop.
+    """
+    gate_inputs = compiled.gate_inputs
+    gate_output = compiled.gate_output
+    gate_delay = compiled.gate_delay
+    entries = []
+    for g in compiled.fanout[net]:
+        op = gate_op[g]
+        inputs = gate_inputs[g]
+        if op == OP_TABLE:
+            arity = len(inputs)
+            if 1 <= arity <= 6:
+                op = -arity
+        entries.append(
+            (g, op, gate_row[g], inputs, gate_output[g], gate_delay[g])
+        )
+    return tuple(entries)
+
+
+def pack_fanout_tables(compiled: CompiledNetlist) -> List[Tuple]:
+    """Fault-free per-net packed fanout tables (the ``"packed-fanout"`` analysis).
+
+    The result is what every :class:`_FaultSweep` over ``compiled``
+    starts from; overlay packings patch individual nets on top of it.
+    """
+    gate_op = compiled.gate_op
+    gate_row = compiled.gate_row
+    return [
+        _pack_net(compiled, net, gate_op, gate_row)
+        for net in range(len(compiled.fanout))
+    ]
+
+
+# Flattened handshake rule (repro.analysis.compilecache.campaign_params
+# order), quacking like HandshakeRule for _compile_rules.
+_FlatRule = namedtuple(
+    "_FlatRule", "trigger trigger_value target target_value delay_ps"
+)
+
+
+def build_sweep(netlist, compiled: CompiledNetlist, params, golden=None, golden_events=0):
+    """Construct a :class:`_FaultSweep` from a flattened campaign configuration.
+
+    ``params`` is the dict built by
+    :func:`repro.analysis.compilecache.campaign_params`: rules and
+    stimuli as plain tuples, observables as a name tuple or ``None``
+    (meaning the netlist's primary outputs, falling back to all nets).
+    Shared by :class:`FaultSimEngine` and the ``"golden-signature"``
+    analysis so both resolve names to slots identically; with ``golden``
+    supplied the golden replay is skipped, exactly as in the worker
+    reconstruction path.
+    """
+    observables = params["observables"]
+    if observables is None:
+        observables = netlist.primary_outputs or netlist.nets
+    # Observables the netlist does not have contribute the constant
+    # (0, 0) signature entry on both sides of every comparison in
+    # the reference path, so they can never flip a verdict.
+    obs_slots = [
+        compiled.net_index[net]
+        for net in observables
+        if net in compiled.net_index
+    ]
+    stimuli = []
+    for net, value, time in params["stimuli"]:
+        slot = compiled.net_index.get(net)
+        if slot is None:
+            from repro.circuit.netlist import NetlistError
+
+            raise NetlistError(f"unknown net {net!r}")
+        stimuli.append((slot, int(bool(value)), float(time)))
+    rules_by = _compile_rules(
+        [_FlatRule(*entry) for entry in params["rules"]],
+        compiled.net_index,
+        len(compiled.net_names),
+    )
+    return _FaultSweep(
+        compiled,
+        rules_by,
+        stimuli,
+        obs_slots,
+        params["duration_ps"],
+        params["max_events"],
+        delay_jitter=params["delay_jitter"],
+        env_jitter=params["environment_jitter"],
+        seed=params["seed"],
+        golden=golden,
+        golden_events=golden_events,
+    )
+
+
 def _run_fault_shard(ref, items):
     """Worker entry point: sweep one shard of a published campaign.
 
@@ -1673,44 +1742,53 @@ class FaultSimEngine:
         delay_jitter: float = 0.0,
         environment_jitter: float = 0.0,
         compiled: Optional[CompiledNetlist] = None,
+        collapse: bool = True,
     ) -> None:
-        if compiled is None:
+        params = _analysis.campaign_params(
+            environment_rules,
+            initial_stimuli,
+            observables,
+            duration_ps,
+            max_events,
+            seed,
+            delay_jitter,
+            environment_jitter,
+        )
+        # The manager-cached path needs content fingerprints; a caller
+        # handing in an explicit CompiledNetlist owns its lifecycle (and
+        # may have built it from tables with no backing netlist), so
+        # that path keeps the self-contained construction.
+        managed = compiled is None and hasattr(netlist, "analysis_fingerprint")
+        golden = None
+        golden_events = 0
+        signature = None
+        if managed:
+            compiled = _analysis.get(netlist, "compile")
+            signature = _analysis.get(netlist, "golden-signature", **params)
+            golden = (signature["finals"], signature["counts"])
+            golden_events = signature["events"]
+        elif compiled is None:
             netlist.validate()
             compiled = CompiledNetlist(netlist)
         self.netlist = netlist
         self.seed = seed
-        if observables is None:
-            observables = netlist.primary_outputs or netlist.nets
-        # Observables the netlist does not have contribute the constant
-        # (0, 0) signature entry on both sides of every comparison in
-        # the reference path, so they can never flip a verdict.
-        obs_slots = [
-            compiled.net_index[net]
-            for net in observables
-            if net in compiled.net_index
-        ]
-        stimuli = []
-        for net, value, time in initial_stimuli:
-            slot = compiled.net_index.get(net)
-            if slot is None:
-                from repro.circuit.netlist import NetlistError
-
-                raise NetlistError(f"unknown net {net!r}")
-            stimuli.append((slot, int(bool(value)), float(time)))
-        rules_by = _compile_rules(
-            environment_rules, compiled.net_index, len(compiled.net_names)
+        self._sweep = build_sweep(
+            netlist, compiled, params, golden=golden, golden_events=golden_events
         )
-        self._sweep = _FaultSweep(
-            compiled,
-            rules_by,
-            stimuli,
-            obs_slots,
-            duration_ps,
-            max_events,
-            delay_jitter=delay_jitter,
-            env_jitter=environment_jitter,
-            seed=seed,
-        )
+        if signature is not None:
+            self._sweep.golden_rng_state = signature["rng_state"]
+        # Structural collapsing is exact only for deterministic delays:
+        # under jitter an extra or missing event shifts every subsequent
+        # draw of the shared per-copy RNG streams, so no two distinct
+        # injections are draw-for-draw equivalent (and the per-copy
+        # rng_states bookkeeping must stay aligned with the fault list).
+        # The explicit-compiled path opts out too: the plan is derived
+        # from the netlist through the manager, which only provably
+        # matches a manager-compiled slot space.
+        self._collapse = bool(collapse) and managed and not self._sweep.jittered
+        self._campaign_params = params
+        self._collapse_plan = None
+        self.last_collapse: Optional[Dict[str, int]] = None
         self._payload_ref: Optional[pool.PayloadRef] = None
         self._finalizer: Optional[weakref.finalize] = None
 
@@ -1781,6 +1859,17 @@ class FaultSimEngine:
         ``RappidDecoder.run_sharded``: auto mode consults the pool
         policy (single-CPU hosts and small campaigns stay in-process)
         and every decision lands in ``pool.LAST_DECISION``.
+
+        Deterministic (non-jittered) campaigns consult the static
+        ``"collapse"`` analysis unless the engine was built with
+        ``collapse=False``: statically-resolved faults are answered
+        without simulation, equivalence classes simulate one
+        representative, and verdicts expand back over the full list --
+        bit-identical to the uncollapsed sweep (a representative that
+        dies abnormally forfeits its equivalence argument, so its class
+        members are re-simulated individually).  ``last_collapse``
+        records what happened: input faults, faults actually simulated,
+        statically answered, and fallback re-simulations.
         """
         compiled = self._sweep.compiled
         slot_faults: List[Tuple[int, int]] = []
@@ -1792,9 +1881,88 @@ class FaultSimEngine:
                 value = fault.value
             slot = compiled.net_index.get(net)
             slot_faults.append((-1 if slot is None else slot, int(bool(value))))
+        self.last_collapse = None
         if not slot_faults:
             return []
+        plan = self._plan()
+        if plan is None:
+            return self._sweep_verdicts(slot_faults, shards, use_processes)
 
+        verdicts: List[Optional[Tuple[bool, str]]] = [None] * len(slot_faults)
+        static = 0
+        reps: List[Tuple[int, int]] = []
+        rep_index: Dict[Tuple[int, int], int] = {}
+        for index, fault in enumerate(slot_faults):
+            if fault[0] < 0 or fault in plan.static_same:
+                # Unknown nets are no-op overlays (the golden copy);
+                # static_same members are provably golden-equivalent.
+                verdicts[index] = (False, REASON_SAME)
+                static += 1
+                continue
+            rep = plan.rep_of.get(fault, fault)
+            if rep not in rep_index:
+                rep_index[rep] = len(reps)
+                reps.append(rep)
+        rep_verdicts = (
+            self._sweep_verdicts(reps, shards, use_processes) if reps else []
+        )
+        # A representative that hit the event cap (or a raising OP_CALL
+        # gate) proves nothing about its members: the equivalence
+        # argument compares *completed* trajectories.  Re-simulate those
+        # members as themselves.
+        fallback: List[Tuple[int, int]] = []
+        fallback_index: Dict[Tuple[int, int], int] = {}
+        for index, fault in enumerate(slot_faults):
+            if verdicts[index] is not None:
+                continue
+            rep = plan.rep_of.get(fault, fault)
+            verdict = rep_verdicts[rep_index[rep]]
+            if fault != rep and verdict[1].startswith(REASON_ABNORMAL):
+                if fault not in fallback_index:
+                    fallback_index[fault] = len(fallback)
+                    fallback.append(fault)
+            else:
+                verdicts[index] = verdict
+        if fallback:
+            fallback_verdicts = self._sweep_verdicts(
+                fallback, shards, use_processes
+            )
+            for index, fault in enumerate(slot_faults):
+                if verdicts[index] is None:
+                    verdicts[index] = fallback_verdicts[fallback_index[fault]]
+        self.last_collapse = {
+            "faults": len(slot_faults),
+            "simulated": len(reps) + len(fallback),
+            "static": static,
+            "fallback": len(fallback),
+        }
+        return verdicts  # type: ignore[return-value]
+
+    def _plan(self):
+        """Resolve (and memoize) this campaign's collapse plan, if enabled."""
+        if not self._collapse:
+            return None
+        if self._collapse_plan is None:
+            params = self._campaign_params
+            self._collapse_plan = _analysis.get(
+                self.netlist,
+                "collapse",
+                rules=params["rules"],
+                stimuli=params["stimuli"],
+                observables=params["observables"],
+                max_events=params["max_events"],
+                golden_events=self._sweep.golden_events,
+            )
+        return self._collapse_plan
+
+    def _sweep_verdicts(
+        self,
+        slot_faults: List[Tuple[int, int]],
+        shards: Optional[int],
+        use_processes: Optional[bool],
+    ) -> List[Tuple[bool, str]]:
+        """Sweep ``slot_faults`` in-process or over the pool (verbatim order)."""
+        compiled = self._sweep.compiled
         shard_count = max(1, shards or pool.worker_count())
         use_pool, _reason = pool.decide(
             len(slot_faults),

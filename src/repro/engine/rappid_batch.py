@@ -70,7 +70,6 @@ not parallel.
 
 from __future__ import annotations
 
-import os
 import pickle
 from array import array
 from dataclasses import dataclass, field

@@ -59,7 +59,6 @@ from repro.engine.events import (
     OP_WIDE_NAND,
     OP_WIDE_NOR,
     OP_WIDE_OR,
-    OP_WIDE_XOR,
     BatchEventQueue,
     CompiledNetlist,
 )

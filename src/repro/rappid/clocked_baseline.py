@@ -19,7 +19,6 @@ design wins on throughput/latency/power, are structural:
 
 from __future__ import annotations
 
-import math
 import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence

@@ -10,12 +10,12 @@ only re-measure the model, not the circuits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.rappid.clocked_baseline import ClockedDecoder, ClockedResult
 from repro.rappid.microarch import RappidDecoder, RappidResult
-from repro.rappid.workload import CacheLine, Instruction, WorkloadGenerator
+from repro.rappid.workload import WorkloadGenerator
 
 
 @dataclass

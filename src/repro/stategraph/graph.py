@@ -9,17 +9,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.petrinet.net import Marking, PetriNetError
-from repro.petrinet.reachability import UnboundedNetError
-from repro.stg.model import (
-    Direction,
-    SignalKind,
-    SignalTransition,
-    SignalTransitionGraph,
-    StgError,
-)
+from repro.stg.model import Direction, SignalTransition, SignalTransitionGraph
 
 
 class StateGraphError(Exception):

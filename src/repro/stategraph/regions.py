@@ -15,7 +15,7 @@ excitation region backwards into the quiescent region).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Iterable, Set
+from typing import Iterable, Set
 
 from repro.stg.model import Direction
 from repro.stategraph.graph import State, StateGraph

@@ -8,15 +8,9 @@ inserting the implicit places automatically.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
-from repro.stg.model import (
-    Direction,
-    SignalKind,
-    SignalTransition,
-    SignalTransitionGraph,
-    StgError,
-)
+from repro.stg.model import SignalTransition, SignalTransitionGraph, StgError
 
 EventLike = Union[str, SignalTransition]
 

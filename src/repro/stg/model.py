@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional
 
-from repro.petrinet.net import Marking, PetriNet, PetriNetError
+from repro.petrinet.net import Marking, PetriNet
 
 
 class StgError(Exception):

@@ -20,14 +20,9 @@ are written ``<source,target>``.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.stg.model import (
-    SignalKind,
-    SignalTransition,
-    SignalTransitionGraph,
-    StgError,
-)
+from repro.stg.model import SignalTransition, SignalTransitionGraph, StgError
 
 _TRANSITION_RE = re.compile(r"^[A-Za-z_][\w.\[\]]*[+\-~](/\d+)?$")
 _DUMMY_RE = re.compile(r"^[A-Za-z_][\w.\[\]]*$")

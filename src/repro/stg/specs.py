@@ -210,7 +210,7 @@ def call_element(name: str = "call") -> SignalTransitionGraph:
 
     # Mutual exclusion of the two clients (environment guarantee): only one
     # client cycle may be in progress at a time.
-    mutex = builder.build().add_place("mutex")
+    builder.build().add_place("mutex")
     stg = builder.build()
     stg.add_arc("mutex", "r1+")
     stg.add_arc("a1-", "mutex")

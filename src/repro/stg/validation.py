@@ -15,14 +15,13 @@ Before synthesis, the flow checks that a specification is *implementable*:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Set, Tuple
 
-from repro.petrinet.net import Marking
 from repro.petrinet.reachability import (
     UnboundedNetError,
     build_reachability_graph,
 )
-from repro.stg.model import SignalKind, SignalTransitionGraph, StgError
+from repro.stg.model import SignalKind, SignalTransitionGraph
 
 
 @dataclass

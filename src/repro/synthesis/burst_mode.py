@@ -18,7 +18,7 @@ reproducing 3D's exact state minimization machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.boolean.cubes import Cover
 from repro.circuit.library import GateLibrary, STANDARD_LIBRARY

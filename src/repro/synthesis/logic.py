@@ -15,12 +15,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.boolean.cubes import Cover
 from repro.boolean.expr import cover_to_expression
 from repro.boolean.minimize import minimize
-from repro.circuit.library import GateType, complex_gate_type
+from repro.circuit.library import complex_gate_type
 from repro.circuit.netlist import Netlist
 from repro.stg.model import SignalKind, SignalTransitionGraph
 from repro.stategraph.graph import StateGraph

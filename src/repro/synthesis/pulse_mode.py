@@ -17,12 +17,11 @@ width and separation between the circuit and its environment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.circuit.library import GateLibrary, STANDARD_LIBRARY
 from repro.circuit.netlist import Netlist
-from repro.core.assumptions import RelativeTimingConstraint
-from repro.stg.model import Direction, SignalKind, SignalTransition, SignalTransitionGraph
+from repro.stg.model import SignalKind, SignalTransitionGraph
 from repro.synthesis.logic import SynthesisError
 from repro.synthesis.rt_synthesis import RTSynthesisResult
 

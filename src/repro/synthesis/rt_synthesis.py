@@ -20,7 +20,7 @@ timing assumptions used for optimization".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 from repro.boolean.cubes import Cover
 from repro.circuit.netlist import Netlist

@@ -15,9 +15,9 @@ not as drop-in SI replacements.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.boolean.cubes import Cover, Cube
+from repro.boolean.cubes import Cover
 from repro.circuit.library import GateLibrary, STANDARD_LIBRARY
 from repro.circuit.netlist import Netlist
 from repro.stg.model import SignalKind, SignalTransitionGraph

@@ -17,8 +17,8 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Netlist
 from repro.circuit.simulator import HandshakeRule
-from repro.testability.faults import StuckAtFault, enumerate_faults
-from repro.testability.simulation import FaultSimulationResult, simulate_faults
+from repro.testability.faults import StuckAtFault
+from repro.testability.simulation import simulate_faults
 
 
 @dataclass
@@ -65,6 +65,7 @@ def stuck_at_coverage(
     environment_jitter: float = 0.0,
     shards: Optional[int] = None,
     use_processes: Optional[bool] = None,
+    collapse: bool = True,
 ) -> CoverageReport:
     """Run fault simulation and return the coverage report.
 
@@ -83,6 +84,10 @@ def stuck_at_coverage(
     * ``shards`` / ``use_processes`` -- worker-pool knobs for large
       campaigns, mirroring ``RappidDecoder.run_sharded`` (auto mode
       keeps small campaigns and single-CPU hosts in-process).
+    * ``collapse`` -- consult the static fault-collapsing analysis
+      before sweeping (the default); verdicts and coverage are
+      bit-identical either way, the knob only trades static analysis
+      for simulated copies.
     """
     results = simulate_faults(
         netlist,
@@ -96,6 +101,7 @@ def stuck_at_coverage(
         environment_jitter=environment_jitter,
         shards=shards,
         use_processes=use_processes,
+        collapse=collapse,
     )
     detected = [r for r in results if r.detected]
     undetected = [r.fault for r in results if not r.detected]

@@ -9,7 +9,7 @@ single-stuck-at model used by the COSMOS runs referenced in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.circuit.netlist import Netlist
 
@@ -38,6 +38,16 @@ def enumerate_faults(
 
     By default every net except primary inputs is a fault site; pass ``nets``
     to restrict the list (e.g. only the nets of one module).
+
+    Ordering contract (relied on by the fault-collapsing layer and the
+    campaign benchmarks, which key verdict tables by list position):
+    nets appear in netlist declaration order -- or in caller order when
+    ``nets`` is given -- with the stuck-at-0 fault immediately before
+    the stuck-at-1 fault of each net.  Each fault site appears exactly
+    once: a ``nets`` list naming a net twice (hierarchical callers
+    listing a fanout net once per branch, or both names of a wire that
+    construction aliased onto one net) contributes one SA0/SA1 pair at
+    the position of its first mention.
     """
     if nets is None:
         nets = [
@@ -46,7 +56,7 @@ def enumerate_faults(
             if include_primary_inputs or net not in netlist.primary_inputs
         ]
     faults: List[StuckAtFault] = []
-    for net in nets:
+    for net in dict.fromkeys(nets):
         faults.append(StuckAtFault(net, 0))
         faults.append(StuckAtFault(net, 1))
     return faults

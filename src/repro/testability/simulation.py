@@ -110,6 +110,7 @@ def simulate_faults(
     environment_jitter: float = 0.0,
     shards: Optional[int] = None,
     use_processes: Optional[bool] = None,
+    collapse: bool = True,
 ) -> List[FaultSimulationResult]:
     """Simulate each fault and classify it as detected or undetected.
 
@@ -139,6 +140,15 @@ def simulate_faults(
     shards, use_processes:
         Worker-pool knobs, mirroring ``RappidDecoder.run_sharded``: auto
         mode keeps small campaigns and single-CPU hosts in-process.
+    collapse:
+        Consult the static fault-collapsing analysis
+        (:mod:`repro.analysis.collapse`) before sweeping: statically
+        resolved faults are answered without simulation and equivalence
+        classes simulate one representative, with verdicts expanded
+        back over the full list bit-identically to an uncollapsed run
+        (the differential suite pins this).  ``False`` forces every
+        fault through the sweep -- the knob exists for benchmarking the
+        collapse itself, not because results differ.
 
     Jittered campaigns run on the batch engine too (per-copy RNG
     streams reproduce the reference draw order exactly); verdicts,
@@ -159,6 +169,7 @@ def simulate_faults(
         seed=seed,
         delay_jitter=delay_jitter,
         environment_jitter=environment_jitter,
+        collapse=collapse,
     )
     try:
         verdicts = engine.run(faults, shards=shards, use_processes=use_processes)

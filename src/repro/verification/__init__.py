@@ -22,7 +22,9 @@ paper:
 from repro.verification.conformance import (
     ConformanceResult,
     Failure,
+    LintCrossCheck,
     extract_rt_requirements,
+    lint_cross_check,
     verify_conformance,
 )
 from repro.verification.rt_verify import verify_with_constraints
@@ -32,8 +34,10 @@ from repro.verification.separation import SeparationReport, check_path_constrain
 __all__ = [
     "ConformanceResult",
     "Failure",
+    "LintCrossCheck",
     "verify_conformance",
     "extract_rt_requirements",
+    "lint_cross_check",
     "verify_with_constraints",
     "PathConstraint",
     "derive_path_constraint",

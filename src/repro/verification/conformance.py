@@ -18,10 +18,9 @@ the circuit under those requirements.
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.circuit.netlist import GateInstance, Netlist
 from repro.core.assumptions import RelativeTimingConstraint
@@ -321,3 +320,62 @@ def extract_rt_requirements(
                 )
             )
     return requirements
+
+
+@dataclass(frozen=True)
+class LintCrossCheck:
+    """How the static hazard lint relates to one dynamic conformance run.
+
+    ``covered`` are hazard-failure signals the lint anchored a
+    diagnostic on; ``uncovered`` are dynamic hazards the lint has no
+    local explanation for (a fork- or ordering-induced hazard rather
+    than a non-monotone gate); ``unconfirmed`` are lint warnings whose
+    net produced no dynamic hazard under *this* specification --
+    statically suspect shapes the explored environment never tickled,
+    not false positives.
+    """
+
+    covered: Tuple[str, ...]
+    uncovered: Tuple[str, ...]
+    unconfirmed: Tuple[str, ...]
+
+    @property
+    def consistent(self) -> bool:
+        """True when every dynamic hazard sits on a linted net."""
+        return not self.uncovered
+
+
+def lint_cross_check(result: ConformanceResult, report) -> LintCrossCheck:
+    """Cross-check dynamic hazards against the static hazard lint.
+
+    ``report`` is a :class:`repro.analysis.hazards.HazardLintReport`
+    (accepted duck-typed to keep this module free of an analysis-layer
+    import).  Both layers anchor on the same net: the lint keys
+    excitation diagnostics by the gate's output net, and the dynamic
+    checker's hazard :class:`Failure` records the disabled gate's
+    output transition -- so ``failure.event.signal`` and
+    ``diagnostic.net`` are directly comparable.  Fork diagnostics are
+    advisory (isochronicity is an assumption, not a malfunction) and
+    only count toward coverage, never toward ``unconfirmed``.
+    """
+    lint_nets = {diagnostic.net for diagnostic in report.diagnostics}
+    warning_nets = {
+        diagnostic.net
+        for diagnostic in report.diagnostics
+        if diagnostic.severity == "warning"
+    }
+    hazard_signals = tuple(
+        dict.fromkeys(
+            failure.event.signal
+            for failure in result.failures
+            if failure.kind == "hazard"
+        )
+    )
+    covered = tuple(s for s in hazard_signals if s in lint_nets)
+    uncovered = tuple(s for s in hazard_signals if s not in lint_nets)
+    unconfirmed = tuple(
+        sorted(warning_nets.difference(hazard_signals))
+    )
+    return LintCrossCheck(
+        covered=covered, uncovered=uncovered, unconfirmed=unconfirmed
+    )

@@ -12,11 +12,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
 from repro.circuit.netlist import Netlist
 from repro.core.assumptions import RelativeTimingConstraint
-from repro.stg.model import SignalTransition
 
 
 @dataclass

@@ -11,7 +11,7 @@ those constraints -- which is then checked by path/separation analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.circuit.netlist import Netlist
 from repro.core.assumptions import RelativeTimingConstraint

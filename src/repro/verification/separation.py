@@ -10,8 +10,8 @@ plus/minus tolerance play that role.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.circuit.netlist import Netlist
 from repro.verification.paths import PathConstraint

@@ -1,0 +1,237 @@
+"""Tests for static fault collapsing and its campaign integration.
+
+Pins the three rule families of :mod:`repro.analysis.collapse` on
+hand-analysable netlists, and the engine-side contract: collapsed
+campaigns return verdicts bit-identical to uncollapsed ones, abnormal
+representatives fall back to member re-simulation, and jitter disables
+structural collapsing entirely.
+"""
+
+import repro.analysis as analysis
+from repro.analysis.collapse import _forced_output, _resolve_representatives
+from repro.circuit.library import STANDARD_LIBRARY
+from repro.circuit.netlist import Netlist
+from repro.circuit.simulator import HandshakeRule
+from repro.engine.events import CompiledNetlist, OP_WIDE_XOR
+from repro.engine.faultsim import FaultSimEngine, REASON_ABNORMAL, REASON_SAME
+from repro.testability import enumerate_faults
+
+
+def buffer_pipe(prefix: str = "bp") -> Netlist:
+    """PI -> BUF -> m1 -> BUF -> m2 -> BUF -> PO, all initial 0."""
+    netlist = Netlist(f"{prefix}_pipe")
+    netlist.add_primary_input(f"{prefix}_a")
+    netlist.add_primary_output(f"{prefix}_y")
+    buf = STANDARD_LIBRARY.get("BUF")
+    netlist.add_gate(f"{prefix}_g1", buf, [f"{prefix}_a"], f"{prefix}_m1")
+    netlist.add_gate(f"{prefix}_g2", buf, [f"{prefix}_m1"], f"{prefix}_m2")
+    netlist.add_gate(f"{prefix}_g3", buf, [f"{prefix}_m2"], f"{prefix}_y")
+    return netlist
+
+
+def plan_for(netlist, rules=(), stimuli=(), max_events=500_000, golden_events=0):
+    params = analysis.campaign_params(
+        rules, stimuli, None, 30_000.0, max_events, 7, 0.0, 0.0
+    )
+    return analysis.get(
+        netlist,
+        "collapse",
+        rules=params["rules"],
+        stimuli=params["stimuli"],
+        observables=params["observables"],
+        max_events=max_events,
+        golden_events=golden_events,
+    )
+
+
+class TestForcedOutput:
+    def test_wide_gates_force_on_controlling_value(self):
+        from repro.engine.events import (
+            OP_WIDE_AND,
+            OP_WIDE_NAND,
+            OP_WIDE_NOR,
+            OP_WIDE_OR,
+        )
+
+        inputs = (3, 4)
+        assert _forced_output(OP_WIDE_AND, 0, inputs, 3, 0) == 0
+        assert _forced_output(OP_WIDE_AND, 0, inputs, 3, 1) is None
+        assert _forced_output(OP_WIDE_NAND, 0, inputs, 3, 0) == 1
+        assert _forced_output(OP_WIDE_OR, 0, inputs, 4, 1) == 1
+        assert _forced_output(OP_WIDE_NOR, 0, inputs, 4, 1) == 0
+        assert _forced_output(OP_WIDE_XOR, 0, inputs, 3, 0) is None
+
+    def test_absent_slot_never_forces(self):
+        from repro.engine.events import OP_WIDE_AND
+
+        assert _forced_output(OP_WIDE_AND, 0, (3, 4), 9, 0) is None
+
+
+class TestRepresentativeResolution:
+    def test_chain_resolves_to_sink(self):
+        edges = {(1, 0): (2, 0), (2, 0): (3, 0)}
+        rep_of, members = _resolve_representatives(edges)
+        assert rep_of[(1, 0)] == (3, 0)
+        assert rep_of[(2, 0)] == (3, 0)
+        assert members[(3, 0)] == ((1, 0), (2, 0), (3, 0))
+
+    def test_cycle_elects_smallest_member(self):
+        edges = {(5, 1): (2, 1), (2, 1): (5, 1)}
+        rep_of, _members = _resolve_representatives(edges)
+        assert rep_of[(5, 1)] == (2, 1)
+        assert rep_of[(2, 1)] == (2, 1)
+
+
+class TestCollapsePlan:
+    def test_buffer_chain_merges_initial_polarity(self):
+        netlist = buffer_pipe("merge")
+        compiled = CompiledNetlist(netlist)
+        index = compiled.net_index
+        plan = plan_for(netlist, stimuli=[("merge_a", 1, 50.0)])
+        m1, m2, y = index["merge_m1"], index["merge_m2"], index["merge_y"]
+        # All nets start at 0, so the stuck-at-0 chain collapses onto
+        # the observable sink...
+        assert plan.representative((m1, 0)) == (y, 0)
+        assert plan.representative((m2, 0)) == (y, 0)
+        # ...while stuck-at-1 injects a settle transient (initial(b) !=
+        # forced value) and must stay uncollapsed.
+        assert plan.representative((m1, 1)) == (m1, 1)
+        assert plan.stats["chain_merged"] >= 2
+
+    def test_undriven_matching_polarity_is_static_noop(self):
+        netlist = buffer_pipe("noop")
+        compiled = CompiledNetlist(netlist)
+        a = compiled.net_index["noop_a"]
+        plan = plan_for(netlist)
+        # Pinning the undriven input at its initial value leaves the
+        # netlist literally unchanged; the opposite polarity does not.
+        assert (a, 0) in plan.static_same
+        assert (a, 1) not in plan.static_same
+        assert plan.stats["static_noop"] >= 1
+
+    def test_environment_written_nets_not_merged(self):
+        netlist = buffer_pipe("env")
+        compiled = CompiledNetlist(netlist)
+        index = compiled.net_index
+        rules = [HandshakeRule("env_y", 1, "env_m1", 0, 150.0)]
+        plan = plan_for(netlist, rules=rules, stimuli=[("env_a", 1, 50.0)])
+        m1, m2 = index["env_m1"], index["env_m2"]
+        # m1 is written by a rule: faults on it cannot merge outward,
+        # and the m2 edge (whose source reads only gate fanout) still can.
+        assert plan.representative((m1, 0)) == (m1, 0)
+        assert plan.representative((m2, 0)) != (m2, 0)
+
+
+TOGGLE_RULES = [
+    HandshakeRule("eq_y", 1, "eq_a", 0, 150.0),
+    HandshakeRule("eq_y", 0, "eq_a", 1, 150.0),
+]
+
+
+class TestEngineIntegration:
+    def test_collapsed_campaign_is_bit_identical(self):
+        netlist = buffer_pipe("eq")
+        faults = enumerate_faults(netlist)
+        stimuli = [("eq_a", 1, 50.0)]
+        with FaultSimEngine(
+            netlist, TOGGLE_RULES, stimuli, duration_ps=5_000.0
+        ) as collapsed:
+            on = collapsed.run(faults)
+            stats = collapsed.last_collapse
+        with FaultSimEngine(
+            netlist, TOGGLE_RULES, stimuli, duration_ps=5_000.0, collapse=False
+        ) as uncollapsed:
+            off = uncollapsed.run(faults)
+            assert uncollapsed.last_collapse is None
+        assert on == off
+        assert stats is not None
+        assert stats["faults"] == len(faults)
+        assert stats["simulated"] < len(faults)
+
+    def test_jitter_disables_structural_collapsing(self):
+        netlist = buffer_pipe("jit")
+        rules = [
+            HandshakeRule("jit_y", 1, "jit_a", 0, 150.0),
+            HandshakeRule("jit_y", 0, "jit_a", 1, 150.0),
+        ]
+        with FaultSimEngine(
+            netlist,
+            rules,
+            [("jit_a", 1, 50.0)],
+            duration_ps=5_000.0,
+            delay_jitter=0.05,
+        ) as engine:
+            engine.run(enumerate_faults(netlist))
+            assert engine.last_collapse is None
+
+    def test_abnormal_representative_falls_back_to_members(self):
+        """A representative that dies at the event cap proves nothing.
+
+        PI s -> BUF -> a -> BUF -> b, with b feeding NOR(b, y) -> y:
+        while b is low the NOR is an inverter on its own output and y
+        oscillates.  Fault-free, the stimulus raises b after ~210 ps and
+        y settles (few events); fault (b, 0) oscillates to the event
+        cap.  (a, 0) collapses onto (b, 0), so the abnormal
+        representative must trigger the per-member fallback -- and the
+        expanded verdicts must still match the uncollapsed sweep.
+        """
+        netlist = Netlist("osc_fallback")
+        netlist.add_primary_input("osc_s")
+        netlist.add_primary_output("osc_y")
+        buf = STANDARD_LIBRARY.get("BUF")
+        netlist.add_gate("osc_g1", buf, ["osc_s"], "osc_a")
+        netlist.add_gate("osc_g2", buf, ["osc_a"], "osc_b")
+        netlist.add_gate(
+            "osc_g3", STANDARD_LIBRARY.get("NOR2"), ["osc_b", "osc_y"], "osc_y"
+        )
+        compiled = CompiledNetlist(netlist)
+        index = compiled.net_index
+        a, b = index["osc_a"], index["osc_b"]
+        stimuli = [("osc_s", 1, 50.0)]
+        faults = [("osc_a", 0), ("osc_b", 0)]
+
+        plan = plan_for(netlist, stimuli=stimuli, max_events=200)
+        assert plan.representative((a, 0)) == (b, 0)
+
+        with FaultSimEngine(
+            netlist, [], stimuli, duration_ps=30_000.0, max_events=200
+        ) as engine:
+            on = engine.run(faults)
+            stats = engine.last_collapse
+        with FaultSimEngine(
+            netlist,
+            [],
+            stimuli,
+            duration_ps=30_000.0,
+            max_events=200,
+            collapse=False,
+        ) as engine:
+            off = engine.run(faults)
+        assert on == off
+        assert all(reason.startswith(REASON_ABNORMAL) for _d, reason in on)
+        assert stats is not None and stats["fallback"] == 1
+
+    def test_duplicate_faults_simulate_once(self):
+        netlist = buffer_pipe("dup")
+        rules = [
+            HandshakeRule("dup_y", 1, "dup_a", 0, 150.0),
+            HandshakeRule("dup_y", 0, "dup_a", 1, 150.0),
+        ]
+        with FaultSimEngine(
+            netlist, rules, [("dup_a", 1, 50.0)], duration_ps=5_000.0
+        ) as engine:
+            verdicts = engine.run([("dup_m1", 1)] * 3)
+            assert verdicts[0] == verdicts[1] == verdicts[2]
+            assert engine.last_collapse["simulated"] == 1
+
+    def test_unknown_net_is_golden_noop(self):
+        netlist = buffer_pipe("ghost")
+        rules = [
+            HandshakeRule("ghost_y", 1, "ghost_a", 0, 150.0),
+            HandshakeRule("ghost_y", 0, "ghost_a", 1, 150.0),
+        ]
+        with FaultSimEngine(
+            netlist, rules, [("ghost_a", 1, 50.0)], duration_ps=5_000.0
+        ) as engine:
+            verdicts = engine.run([("no_such_net", 1)])
+        assert verdicts == [(False, REASON_SAME)]

@@ -1,0 +1,147 @@
+"""Tests for the static hazard lint and its conformance cross-check.
+
+The lint flags the two *local* shapes dynamic hazards come from
+(non-unate excitation, fork delay spread); the cross-check relates its
+findings to what :func:`verify_conformance` actually observed.  Both
+directions of the relation are pinned: a non-unate gate is covered, and
+the AND-OR C-element's ordering-induced hazard -- which has no local
+static explanation -- is faithfully reported as uncovered.
+"""
+
+import repro.analysis as analysis
+from repro.circuit.library import STANDARD_LIBRARY
+from repro.circuit.netlist import Netlist
+from repro.stg.model import Direction, SignalTransition
+from repro.verification import verify_conformance
+from repro.verification.conformance import (
+    ConformanceResult,
+    Failure,
+    LintCrossCheck,
+    lint_cross_check,
+)
+
+
+def unate_pipe() -> Netlist:
+    """AND/OR/BUF only: unate in every input, single-reader nets."""
+    netlist = Netlist("hz_unate")
+    netlist.add_primary_input("hz_a")
+    netlist.add_primary_input("hz_b")
+    netlist.add_primary_output("hz_y")
+    netlist.add_gate(
+        "hz_and", STANDARD_LIBRARY.get("AND2"), ["hz_a", "hz_b"], "hz_m"
+    )
+    netlist.add_gate("hz_buf", STANDARD_LIBRARY.get("BUF"), ["hz_m"], "hz_y")
+    return netlist
+
+
+def xor_pipe() -> Netlist:
+    """An XOR slipped into a handshake path: non-unate in both inputs."""
+    netlist = Netlist("hz_xor")
+    netlist.add_primary_input("hx_a")
+    netlist.add_primary_input("hx_b")
+    netlist.add_primary_output("hx_y")
+    netlist.add_gate(
+        "hx_xor", STANDARD_LIBRARY.get("XOR2"), ["hx_a", "hx_b"], "hx_y"
+    )
+    return netlist
+
+
+class TestHazardLint:
+    def test_unate_netlist_is_clean(self):
+        report = analysis.get(unate_pipe(), "hazard-lint")
+        assert report.warnings == ()
+        assert report.by_rule("non-monotone-excitation") == ()
+
+    def test_xor_flags_non_monotone_excitation(self):
+        report = analysis.get(xor_pipe(), "hazard-lint")
+        warnings = report.by_rule("non-monotone-excitation")
+        assert len(warnings) == 1
+        diagnostic = warnings[0]
+        # Anchored on the gate *output* net, matching the dynamic
+        # checker's Failure.event.signal convention.
+        assert diagnostic.net == "hx_y"
+        assert diagnostic.severity == "warning"
+        assert "hx_a" in diagnostic.detail and "hx_b" in diagnostic.detail
+        assert "hx_y" in diagnostic.describe()
+
+    def test_fork_delay_spread_is_advisory(self):
+        netlist = Netlist("hz_fork")
+        netlist.add_primary_input("hf_a")
+        netlist.add_primary_output("hf_y")
+        netlist.add_primary_output("hf_z")
+        # BUF (80 ps) and AND2 branches read the same fork with
+        # different nominal delays.
+        netlist.add_gate("hf_buf", STANDARD_LIBRARY.get("BUF"), ["hf_a"], "hf_y")
+        netlist.add_gate(
+            "hf_and", STANDARD_LIBRARY.get("AND2"), ["hf_a", "hf_y"], "hf_z"
+        )
+        report = analysis.get(netlist, "hazard-lint")
+        forks = report.by_rule("isochronic-fork")
+        assert any(d.net == "hf_a" for d in forks)
+        assert all(d.severity == "info" for d in forks)
+        # Advisory findings are not warnings.
+        assert report.warnings == ()
+
+    def test_equal_delay_fork_not_flagged(self):
+        netlist = Netlist("hz_even")
+        netlist.add_primary_input("he_a")
+        netlist.add_primary_output("he_y")
+        netlist.add_primary_output("he_z")
+        buf = STANDARD_LIBRARY.get("BUF")
+        netlist.add_gate("he_b1", buf, ["he_a"], "he_y")
+        netlist.add_gate("he_b2", buf, ["he_a"], "he_z")
+        report = analysis.get(netlist, "hazard-lint")
+        assert report.by_rule("isochronic-fork") == ()
+
+    def test_report_is_cached_across_value_mutations(self):
+        netlist = xor_pipe()
+        first = analysis.get(netlist, "hazard-lint")
+        netlist.set_initial_value("hx_a", 1)
+        second = analysis.get(netlist, "hazard-lint")
+        assert first is second
+
+
+class TestLintCrossCheck:
+    def test_non_unate_hazard_is_covered(self):
+        """A dynamic hazard on a linted net counts as covered."""
+        report = analysis.get(xor_pipe(), "hazard-lint")
+        hazard = Failure(
+            kind="hazard",
+            event=SignalTransition("hx_y", Direction.FALL),
+            net_values=(("hx_a", 1), ("hx_b", 1), ("hx_y", 1)),
+            spec_enabled=("hx_a-",),
+            concurrent_events=("hx_a-", "hx_y-"),
+        )
+        result = ConformanceResult(conforms=False, failures=[hazard])
+        check = lint_cross_check(result, report)
+        assert check.covered == ("hx_y",)
+        assert check.uncovered == ()
+        assert check.consistent
+
+    def test_unconfirmed_warning_reported(self):
+        """Lint warnings the explored spec never tickled are listed."""
+        report = analysis.get(xor_pipe(), "hazard-lint")
+        clean = ConformanceResult(conforms=True, failures=[])
+        check = lint_cross_check(clean, report)
+        assert check.unconfirmed == ("hx_y",)
+        assert check.consistent  # no dynamic hazard went unexplained
+
+    def test_celement_ordering_hazard_is_uncovered(
+        self, celement_netlist, celement_stg
+    ):
+        """The Section 5 AND-OR C-element hazard has no local static cause.
+
+        Every gate in the AND-OR implementation is unate and the forks
+        are delay-balanced, so the static lint is (correctly) silent;
+        the dynamic checker still finds the ordering-induced hazard on
+        ``c``.  The cross-check must report that gap rather than paper
+        over it.
+        """
+        result = verify_conformance(celement_netlist, celement_stg)
+        assert not result.conforms
+        assert any(f.kind == "hazard" for f in result.failures)
+        report = analysis.get(celement_netlist, "hazard-lint")
+        check = lint_cross_check(result, report)
+        assert isinstance(check, LintCrossCheck)
+        assert "c" in check.uncovered
+        assert not check.consistent

@@ -9,14 +9,12 @@ from hypothesis import strategies as st
 from repro.boolean import (
     AndExpr,
     ConstExpr,
-    Cover,
     Cube,
     NotExpr,
     OrExpr,
     VarExpr,
     complement_cover,
     cover_to_expression,
-    cube_from_code,
     minimize,
 )
 from repro.boolean.cubes import cube_from_string

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.boolean.expr import AndExpr, NotExpr, OrExpr, VarExpr
+from repro.boolean.expr import AndExpr, OrExpr, VarExpr
 from repro.circuit import (
     EventDrivenSimulator,
-    GateType,
     Netlist,
     NetlistError,
     STANDARD_LIBRARY,

@@ -1,0 +1,136 @@
+"""Direct tests for repro.circuit.analysis (Table 2 metric helpers).
+
+The integration suites exercise :func:`measure_cycle_metrics` end to end
+on synthesized FIFOs; these tests pin the helper-level contracts -- the
+warm-up arithmetic of ``_cycle_intervals`` (single-cycle traces, skip
+beyond the edge count), the exact energy accounting, and both error
+paths of :func:`measure_cycle_metrics`.
+"""
+
+import pytest
+
+from repro.circuit.analysis import (
+    _cycle_intervals,
+    chain_environment_rules,
+    estimate_energy,
+    fifo_environment_rules,
+    measure_cycle_metrics,
+)
+from repro.circuit.library import STANDARD_LIBRARY
+from repro.circuit.netlist import Netlist
+from repro.circuit.simulator import EventDrivenSimulator, HandshakeEnvironment
+
+
+def buffer_netlist() -> Netlist:
+    netlist = Netlist("ca_buffer")
+    netlist.add_primary_input("ca_a")
+    netlist.add_primary_output("ca_y")
+    netlist.add_gate("ca_buf", STANDARD_LIBRARY.get("BUF"), ["ca_a"], "ca_y")
+    return netlist
+
+
+class TestCycleIntervals:
+    def test_consecutive_differences_after_warmup(self):
+        assert _cycle_intervals([0.0, 100.0, 250.0, 450.0]) == [150.0, 200.0]
+
+    def test_zero_skip_keeps_all_edges(self):
+        assert _cycle_intervals([0.0, 100.0, 250.0], skip=0) == [100.0, 150.0]
+
+    def test_empty_trace(self):
+        assert _cycle_intervals([]) == []
+
+    def test_single_cycle_trace_has_no_intervals(self):
+        # One rising edge is a started-but-unmeasurable handshake: after
+        # the warm-up skip nothing remains to difference.
+        assert _cycle_intervals([120.0]) == []
+        assert _cycle_intervals([120.0, 480.0]) == []
+
+    def test_skip_at_or_beyond_edge_count(self):
+        edges = [0.0, 100.0, 250.0]
+        assert _cycle_intervals(edges, skip=len(edges)) == []
+        assert _cycle_intervals(edges, skip=len(edges) + 5) == []
+
+
+class TestEstimateEnergy:
+    def test_energy_is_exact_transition_sum(self):
+        netlist = buffer_netlist()
+        environment = HandshakeEnvironment([], initial_stimuli=[("ca_a", 1, 50.0)])
+        simulator = EventDrivenSimulator(netlist, [environment])
+        trace = simulator.run(duration_ps=2_000.0)
+        buf_energy = STANDARD_LIBRARY.get("BUF").energy_pj
+        # The single stimulus produces exactly one output transition.
+        assert trace.transition_count("ca_y") == 1
+        assert estimate_energy(netlist, trace) == pytest.approx(buf_energy)
+
+    def test_quiet_circuit_consumes_nothing(self):
+        netlist = buffer_netlist()
+        environment = HandshakeEnvironment([], initial_stimuli=[])
+        simulator = EventDrivenSimulator(netlist, [environment])
+        trace = simulator.run(duration_ps=2_000.0)
+        assert estimate_energy(netlist, trace) == 0.0
+
+
+class TestMeasureCycleMetrics:
+    def test_unknown_reference_net_raises(self, fifo_rt):
+        with pytest.raises(ValueError, match="not found in trace"):
+            measure_cycle_metrics(
+                fifo_rt.netlist,
+                fifo_environment_rules(),
+                reference_net="no_such_net",
+                initial_stimuli=[("li", 1, 50.0)],
+                max_duration_ps=20_000.0,
+            )
+
+    def test_stalled_handshake_raises(self):
+        # A bare buffer with no environment rules rises once and stops:
+        # fewer than two cycle intervals is a diagnosis, not a metric.
+        with pytest.raises(RuntimeError, match="handshake did not run"):
+            measure_cycle_metrics(
+                buffer_netlist(),
+                [],
+                reference_net="ca_y",
+                initial_stimuli=[("ca_a", 1, 50.0)],
+                max_duration_ps=20_000.0,
+            )
+
+    def test_metrics_row_shape(self, fifo_rt):
+        metrics = measure_cycle_metrics(
+            fifo_rt.netlist,
+            fifo_environment_rules(),
+            reference_net="ro",
+            name="fifo_rt_row",
+            cycles=5,
+            initial_stimuli=[("li", 1, 50.0)],
+            max_duration_ps=100_000.0,
+        )
+        assert metrics.cycles_measured <= 5
+        assert metrics.cycle_time_ps == pytest.approx(metrics.average_delay_ps)
+        row = metrics.as_row()
+        assert row["circuit"] == "fifo_rt_row"
+        assert set(row) == {
+            "circuit",
+            "worst_delay_ps",
+            "average_delay_ps",
+            "energy_pj",
+            "transistors",
+        }
+
+    def test_deterministic_run_has_equal_worst_and_average(self, fifo_rt):
+        metrics = measure_cycle_metrics(
+            fifo_rt.netlist,
+            fifo_environment_rules(),
+            reference_net="ro",
+            cycles=5,
+            environment_jitter=0.0,
+            delay_jitter=0.0,
+            initial_stimuli=[("li", 1, 50.0)],
+            max_duration_ps=100_000.0,
+        )
+        assert metrics.worst_delay_ps == pytest.approx(metrics.average_delay_ps)
+
+
+class TestEnvironmentRules:
+    def test_chain_rules_name_only_the_ends(self):
+        rules = chain_environment_rules(4)
+        nets = {rule.trigger for rule in rules} | {rule.target for rule in rules}
+        assert nets == {"s0_lo", "s0_li", "s3_ro", "s3_ri"}

@@ -722,6 +722,24 @@ class TestFaultSimDifferential:
         )
         assert _campaign_signature(batch) == _campaign_signature(reference)
 
+    def test_buffered_chain_campaign_matches(self, fifo_rt):
+        """Driven inter-stage wiring (wire_buffers) is verdict-identical.
+
+        The buffered chain is the corpus where static fault collapsing
+        actually bites (the BUF hops merge onto their forced outputs),
+        so this pins the collapsed batch campaign against the per-fault
+        reference loop on exactly that structure.
+        """
+        netlist = chain_handshake_cells(fifo_rt.netlist, 2, wire_buffers=2)
+        stimuli = [("s0_li", 1, 50.0)]
+        reference = _reference_simulate_faults(
+            netlist, _chain_rules(2), stimuli, duration_ps=20_000.0
+        )
+        batch = simulate_faults(
+            netlist, _chain_rules(2), stimuli, duration_ps=20_000.0
+        )
+        assert _campaign_signature(batch) == _campaign_signature(reference)
+
     def test_pooled_campaign_matches_in_process(self, fifo_rt):
         """The worker-pool path (shared campaign payload) is identical."""
         netlist = chain_handshake_cells(fifo_rt.netlist, 4)

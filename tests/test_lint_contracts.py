@@ -1,0 +1,137 @@
+"""Tests for scripts/lint_contracts.py on injected tmp-file violations.
+
+The lint guards two repo conventions -- every ``_reference_*`` oracle is
+pinned by the differential suite, and engine modules never draw from
+module-global RNG state.  Both rules are proven to fire on synthetic
+violations and to stay quiet on the real tree (the same invocation
+``scripts/check.sh`` runs).
+"""
+
+import sys
+import textwrap
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+import lint_contracts  # noqa: E402
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def write(path: Path, body: str) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(body))
+    return path
+
+
+class TestOracleRule:
+    def test_untested_oracle_reported_with_location(self, tmp_path):
+        src = tmp_path / "src"
+        module = write(
+            src / "fast.py",
+            """\
+            def _reference_widget(x):
+                return x
+
+            def fast_widget(x):
+                return x
+            """,
+        )
+        findings = lint_contracts.run(src, tmp_path / "engine", tmp_path / "t.py")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "oracle-untested"
+        assert "_reference_widget" in finding.message
+        assert finding.describe().startswith(f"{module}:1:")
+
+    def test_referenced_oracle_passes(self, tmp_path):
+        src = tmp_path / "src"
+        write(src / "fast.py", "def _reference_widget(x):\n    return x\n")
+        test = write(
+            tmp_path / "t.py",
+            "from fast import _reference_widget\n",
+        )
+        assert lint_contracts.run(src, tmp_path / "engine", test) == []
+
+    def test_collect_oracles_sees_nested_defs(self, tmp_path):
+        src = tmp_path / "src"
+        write(
+            src / "deep" / "mod.py",
+            """\
+            class Holder:
+                def _reference_method(self):
+                    return 1
+            """,
+        )
+        oracles = lint_contracts.collect_oracles(src)
+        assert [o.message for o in oracles] == ["_reference_method"]
+
+
+class TestRngRule:
+    def test_module_global_draw_reported(self, tmp_path):
+        engine = tmp_path / "engine"
+        write(
+            engine / "hot.py",
+            """\
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        findings = lint_contracts.check_engine_rng(engine)
+        assert len(findings) == 1
+        assert findings[0].rule == "unpinned-rng"
+        assert findings[0].line == 4
+        assert "random.random" in findings[0].message
+
+    def test_from_import_of_draw_reported(self, tmp_path):
+        engine = tmp_path / "engine"
+        write(engine / "hot.py", "from random import choice, Random\n")
+        findings = lint_contracts.check_engine_rng(engine)
+        assert len(findings) == 1
+        assert "choice" in findings[0].message
+        assert "Random" not in findings[0].message.split("import ")[1].split(" ")[0]
+
+    def test_pinned_stream_construction_allowed(self, tmp_path):
+        engine = tmp_path / "engine"
+        write(
+            engine / "hot.py",
+            """\
+            import random
+
+            def streams(seed):
+                return random.Random(seed), random.Random(seed + 1)
+            """,
+        )
+        assert lint_contracts.check_engine_rng(engine) == []
+
+
+class TestMain:
+    def test_exit_status_counts_findings(self, tmp_path, capsys):
+        src = tmp_path / "src"
+        write(src / "fast.py", "def _reference_a():\n    pass\n")
+        write(src / "engine" / "hot.py", "import random\nx = random.randint(0, 1)\n")
+        status = lint_contracts.main(
+            [
+                "--src",
+                str(src),
+                "--differential-test",
+                str(tmp_path / "absent.py"),
+            ]
+        )
+        assert status == 2
+        out = capsys.readouterr().out
+        assert "oracle-untested" in out and "unpinned-rng" in out
+
+    def test_real_repo_is_clean(self, capsys):
+        status = lint_contracts.main(
+            [
+                "--src",
+                str(REPO / "src" / "repro"),
+                "--differential-test",
+                str(REPO / "tests" / "test_engine_differential.py"),
+            ]
+        )
+        assert status == 0
+        assert capsys.readouterr().out == ""

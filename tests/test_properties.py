@@ -5,7 +5,6 @@ bottom use stdlib ``random`` with fixed seeds so they add no dependency
 surface.
 """
 
-import itertools
 import random
 
 import pytest

@@ -4,7 +4,6 @@ import pytest
 
 from repro.stg import (
     Direction,
-    SignalKind,
     SignalTransition,
     StgBuilder,
     StgError,

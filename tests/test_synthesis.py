@@ -2,16 +2,9 @@
 
 import pytest
 
-from repro.boolean.cubes import Cover
 from repro.stg import specs
 from repro.stategraph import build_state_graph
-from repro.synthesis import (
-    decompose_to_library,
-    synthesize_burst_mode,
-    synthesize_rt,
-    synthesize_si,
-    to_pulse_mode,
-)
+from repro.synthesis import decompose_to_library, synthesize_rt, synthesize_si
 from repro.synthesis.logic import (
     SynthesisError,
     covers_to_netlist,

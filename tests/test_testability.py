@@ -45,6 +45,54 @@ class TestFaultModel:
         with pytest.raises(ValueError):
             StuckAtFault("y", 2)
 
+    def test_enumeration_order_is_pinned(self):
+        # Ordering contract: declaration (or caller) order, SA0
+        # immediately before SA1 per net.  Campaign verdict tables are
+        # keyed by list position, so this order is load-bearing.
+        faults = enumerate_faults(buffer_netlist(), include_primary_inputs=True)
+        assert [(f.net, f.value) for f in faults] == [
+            ("a", 0),
+            ("a", 1),
+            ("y", 0),
+            ("y", 1),
+        ]
+
+    def test_caller_nets_deduplicate_at_first_mention(self):
+        # Hierarchical callers list a fanout (or construction-aliased)
+        # net once per branch; each site must still appear exactly once,
+        # at the position of its first mention.
+        faults = enumerate_faults(
+            buffer_netlist(), nets=["y", "a", "y", "a", "y"]
+        )
+        assert [(f.net, f.value) for f in faults] == [
+            ("y", 0),
+            ("y", 1),
+            ("a", 0),
+            ("a", 1),
+        ]
+
+    def test_aliased_chain_nets_enumerate_once(self):
+        from repro.circuit.netlist import chain_handshake_cells
+
+        cell = Netlist("cell")
+        cell.add_primary_input("li")
+        cell.add_primary_input("ri")
+        cell.add_primary_output("lo")
+        cell.add_primary_output("ro")
+        buf = STANDARD_LIBRARY.get("BUF")
+        cell.add_gate("g_lo", buf, ["li"], "lo")
+        cell.add_gate("g_ro", buf, ["li"], "ro")
+        chained = chain_handshake_cells(cell, 2)
+        # Unbuffered chaining aliases s0_ro and s1_li onto one net: a
+        # caller naming the wire by both of its stage-local names still
+        # gets one SA0/SA1 pair.
+        faults = enumerate_faults(chained, nets=["s0_ro", "s0_ro"])
+        assert [(f.net, f.value) for f in faults] == [("s0_ro", 0), ("s0_ro", 1)]
+        full = enumerate_faults(chained)
+        sites = [f.net for f in full]
+        assert len(sites) == 2 * len(set(sites))  # one SA0/SA1 pair per net
+        assert len({(f.net, f.value) for f in full}) == len(full)
+
 
 class TestFaultSimulation:
     def test_buffer_faults_all_detected(self):

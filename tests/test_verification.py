@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.assumptions import RelativeTimingConstraint
-from repro.stg import specs
 from repro.stg.model import SignalTransition
 from repro.verification import (
     derive_path_constraint,
