@@ -912,3 +912,136 @@ def test_bench_engine_rappid_throughput_summary():
     print(f"\n[bench-engine] rappid summary: {summary}")
     assert summary["throughput_per_ns"] > 0
     assert result.tag_rate_ghz > result.steering_rate_ghz
+
+
+# Supervised dispatch may not tax the healthy path: the per-future
+# deadline/bookkeeping wrapper must stay within this percentage of raw
+# submit/result dispatch over the same fault chunks.
+RESILIENCE_MAX_OVERHEAD_PERCENT = 2.0
+
+
+def test_bench_engine_faultsim_resilience(fifo_rt):
+    """Resilient dispatch: healthy-path overhead + salvage under chaos.
+
+    Two rows of evidence for the supervision layer, appended to
+    ``BENCH_faultsim.json`` under ``"resilience"``:
+
+    * **Healthy overhead** -- the same fault chunks dispatched through
+      ``resilience.supervised_map`` versus a raw submit/result loop on
+      the same warm pool; full mode gates the difference at
+      ``RESILIENCE_MAX_OVERHEAD_PERCENT``.
+    * **Salvage under injection** -- a campaign with one seeded worker
+      kill must finish bit-identical to the in-process sweep, and the
+      PoolHealth record (respawns, retries, salvaged chunks) is
+      persisted next to the timings.
+    """
+    from repro.circuit.analysis import fifo_environment_rules
+    from repro.engine import chaos, resilience
+    from repro.engine import pool as engine_pool
+    from repro.engine.faultsim import FaultSimEngine, _run_fault_shard
+    from repro.testability.simulation import campaign_signature, simulate_faults
+
+    rules = fifo_environment_rules()
+    stimuli = [("li", 1, 50.0)]
+    duration = 10_000.0 if QUICK else 30_000.0
+    shard_count = 4
+
+    engine_pool.shutdown()
+    engine = FaultSimEngine(fifo_rt.netlist, rules, stimuli, duration_ps=duration)
+    try:
+        compiled = engine.compiled
+        slot_faults = [
+            (slot, value)
+            for _net, slot in sorted(compiled.net_index.items())
+            for value in (0, 1)
+        ]
+        indexed = [
+            (index, slot, value)
+            for index, (slot, value) in enumerate(slot_faults)
+        ]
+        chunks = [indexed[start::shard_count] for start in range(shard_count)]
+        chunks = [chunk for chunk in chunks if chunk]
+        ref = engine._payload()
+        items = [(ref, chunk) for chunk in chunks]
+        executor = engine_pool.get_pool()
+
+        def run_raw():
+            futures = [
+                executor.submit(_run_fault_shard, ref, chunk)
+                for chunk in chunks
+            ]
+            return [future.result(timeout=600) for future in futures]
+
+        def run_supervised():
+            return resilience.supervised_map(
+                executor, _run_fault_shard, items, label="bench-resilience"
+            )
+
+        # Identical chunk verdicts before timing anything.
+        assert run_supervised() == run_raw()
+
+        overhead_percent = float("inf")
+        attempts = 1 if QUICK else ATTEMPTS
+        for _attempt in range(attempts):
+            raw_time, supervised_time = _interleaved_best(
+                run_raw, run_supervised, rounds=1 if QUICK else 3
+            )
+            overhead_percent = (supervised_time - raw_time) / raw_time * 100.0
+            if overhead_percent < RESILIENCE_MAX_OVERHEAD_PERCENT:
+                break
+        print(
+            f"\n[bench-engine] supervised dispatch ({len(chunks)} chunks, "
+            f"{len(slot_faults)} faults): raw {raw_time * 1e3:.1f} ms, "
+            f"supervised {supervised_time * 1e3:.1f} ms -> "
+            f"{overhead_percent:+.2f}% overhead"
+        )
+    finally:
+        engine.close()
+
+    # Salvage under one injected worker kill: bit-identity plus the
+    # recovery story in the PoolHealth record.
+    baseline = simulate_faults(
+        fifo_rt.netlist, rules, stimuli, duration_ps=duration,
+        use_processes=False,
+    )
+    with chaos.active(chaos.ChaosPlan(seed=7, worker_kill=1)):
+        disturbed = simulate_faults(
+            fifo_rt.netlist, rules, stimuli, duration_ps=duration,
+            shards=shard_count, use_processes=True,
+        )
+    identical = campaign_signature(disturbed) == campaign_signature(baseline)
+    health = dict(resilience.LAST_HEALTH)
+    health.pop("errors", None)
+    print(
+        f"[bench-engine] chaos salvage (worker-kill): identical={identical}, "
+        f"respawns={health.get('respawns')}, retries={health.get('retries')}, "
+        f"salvaged={health.get('salvaged')}"
+    )
+    assert identical, "recovered campaign diverged from the baseline sweep"
+    assert health.get("outcome") == "ok"
+    engine_pool.shutdown()
+
+    out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_faultsim.json")
+    summary = {}
+    if os.path.exists(out_path):
+        with open(out_path) as handle:
+            summary = json.load(handle)
+    summary["resilience"] = {
+        "quick": QUICK,
+        "chunks": len(chunks),
+        "faults": len(slot_faults),
+        "raw_s": round(raw_time, 4),
+        "supervised_s": round(supervised_time, 4),
+        "overhead_percent": round(overhead_percent, 2),
+        "chaos_identical": identical,
+        "chaos_health": health,
+    }
+    with open(out_path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    if not QUICK:
+        assert overhead_percent < RESILIENCE_MAX_OVERHEAD_PERCENT, (
+            f"supervised dispatch overhead {overhead_percent:.2f}% exceeds "
+            f"{RESILIENCE_MAX_OVERHEAD_PERCENT}%"
+        )

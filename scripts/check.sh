@@ -74,16 +74,19 @@ for bench_file in BENCH_sharded.json BENCH_sim.json BENCH_faultsim.json; do
     cat "$bench_file"
 done
 
-# The fault-sim summary carries two analysis-layer rows appended by
-# test_bench_engine_faultsim_collapsed: "collapsed" (static fault
-# collapsing, gated at >=25% corpus reduction in full mode) and
-# "compile_cache" (repeat campaigns must recompute nothing).  A missing
-# row means that benchmark silently stopped running.
+# The fault-sim summary carries three layer rows appended by the engine
+# benchmarks: "collapsed" (static fault collapsing, gated at >=25%
+# corpus reduction in full mode), "compile_cache" (repeat campaigns
+# must recompute nothing), and "resilience" (healthy-path overhead of
+# supervised dispatch, gated <2% in full mode, plus the PoolHealth of a
+# chaos-salvaged campaign).  A missing row means that benchmark
+# silently stopped running.
 if [[ "${1:-}" == "--full" && -f BENCH_faultsim.json ]]; then
     python - <<'EOF'
 import json, sys
 summary = json.load(open("BENCH_faultsim.json"))
-missing = [key for key in ("collapsed", "compile_cache") if key not in summary]
+required = ("collapsed", "compile_cache", "resilience")
+missing = [key for key in required if key not in summary]
 if missing:
     print(f"check.sh: FAIL - BENCH_faultsim.json lacks {missing}", file=sys.stderr)
     sys.exit(1)
@@ -92,6 +95,13 @@ print(
     f"collapse: {row['faults']} faults -> {row['simulated']} simulated "
     f"({row['collapse_ratio'] * 100:.1f}% removed, {row['fault_speedup']}x workload); "
     f"compile cache: {summary['compile_cache']['repeat_misses']} repeat misses"
+)
+row = summary["resilience"]
+health = row.get("chaos_health", {})
+print(
+    f"resilience: supervised dispatch {row['overhead_percent']:+.2f}% overhead "
+    f"over {row['chunks']} chunks; chaos salvage identical={row['chaos_identical']} "
+    f"(respawns={health.get('respawns')}, retries={health.get('retries')})"
 )
 EOF
 fi

@@ -21,6 +21,17 @@ mechanical:
     ``from random import ...`` of anything but ``Random``) is
     module-global RNG state the sharded sweep cannot reproduce.
 
+``broad-dispatch-catch``
+    A ``try`` block that dispatches to the worker pool (an
+    ``executor.submit``/``future.result`` call) must not be guarded by a
+    bare ``except``, ``except Exception``, ``except BaseException``, or
+    ``except RuntimeError``: those swallow *application* errors raised
+    inside workers (genuine engine bugs) together with the
+    infrastructure failures they meant to absorb -- the exact
+    silent-in-process-rerun bug the resilience layer removed.  Dispatch
+    sites catch :data:`repro.engine.resilience.INFRA_EXCEPTIONS` or
+    route through ``supervised_map``.
+
 Diagnostics are ``file:line: rule: message`` lines on stdout; the exit
 status is the number of findings (0 = clean).  Run by ``scripts/check.sh``
 and CI; ``tests/test_lint_contracts.py`` pins both rules on injected
@@ -130,9 +141,71 @@ def check_engine_rng(engine_root: Path) -> List[Finding]:
     return findings
 
 
+# Catching any of these (or a bare except) around a dispatch call hides
+# worker application errors behind infrastructure recovery.
+_BROAD_EXCEPTIONS = {"Exception", "BaseException", "RuntimeError", "<bare>"}
+_DISPATCH_METHODS = {"submit", "result"}
+
+
+def _handler_names(handler: ast.ExceptHandler) -> List[str]:
+    """Exception names a handler catches (``<bare>`` for ``except:``)."""
+    if handler.type is None:
+        return ["<bare>"]
+    elements = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names: List[str] = []
+    for element in elements:
+        if isinstance(element, ast.Name):
+            names.append(element.id)
+        elif isinstance(element, ast.Attribute):
+            names.append(element.attr)
+    return names
+
+
+def check_dispatch_catches(src_root: Path) -> List[Finding]:
+    """``broad-dispatch-catch`` findings: over-wide guards on pool dispatch."""
+    findings: List[Finding] = []
+    for path in sorted(src_root.rglob("*.py")):
+        tree = _parse(path)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Try):
+                continue
+            dispatches = any(
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in _DISPATCH_METHODS
+                for statement in node.body
+                for call in ast.walk(statement)
+            )
+            if not dispatches:
+                continue
+            for handler in node.handlers:
+                broad = sorted(
+                    set(_handler_names(handler)) & _BROAD_EXCEPTIONS
+                )
+                if broad:
+                    caught = ", ".join(broad)
+                    findings.append(
+                        Finding(
+                            path,
+                            handler.lineno,
+                            "broad-dispatch-catch",
+                            f"except {caught} around a pool dispatch call "
+                            "(.submit/.result) swallows worker application "
+                            "errors; catch resilience.INFRA_EXCEPTIONS or "
+                            "route through supervised_map",
+                        )
+                    )
+    return findings
+
+
 def run(src_root: Path, engine_root: Path, differential_test: Path) -> List[Finding]:
     findings = check_oracle_references(src_root, differential_test)
     findings.extend(check_engine_rng(engine_root))
+    findings.extend(check_dispatch_catches(src_root))
     return findings
 
 

@@ -80,6 +80,23 @@ When delegation kicks in
   flat-array IPC, parallel cold-seam solves, exact warm seam fix-up) with
   results **bit-identical** to ``run``.
 
+Resilient dispatch (``engine.resilience`` + ``engine.chaos``)
+-------------------------------------------------------------
+Both pool consumers (``run_sharded``'s cold-shard fan-out and
+``FaultSimEngine``'s fault-chunk round-robin) dispatch through
+:func:`~repro.engine.resilience.supervised_map`: per-task deadlines,
+bounded retries with exponential backoff for *infrastructure* failures
+only (broken pool, spawn/IPC errors, timeouts), automatic pool respawn
+mid-campaign, and partial-result salvage -- completed chunks are kept
+and only lost/late chunks re-dispatch (work units are deterministic, so
+retried results are bit-identical).  Worker-raised application errors
+propagate.  Recovery decisions land in the PoolHealth record
+(:data:`~repro.engine.resilience.LAST_HEALTH`), and the deterministic
+chaos harness (:class:`~repro.engine.chaos.ChaosPlan`) injects seeded
+worker kills/hangs/payload failures through exactly these paths so the
+chaos suite can pin recovered campaigns against undisturbed ones.  See
+``docs/resilience.md``.
+
 Invariants relied on by the differential suite
 ----------------------------------------------
 Exploration visits markings in the same BFS order, fires transitions in
@@ -88,22 +105,27 @@ place (sorted-name order) as the reference implementations, so results --
 including raised errors -- are indistinguishable from the naive code.
 """
 
+from repro.engine.chaos import ChaosPlan
 from repro.engine.events import BatchEventQueue, CompiledNetlist
 from repro.engine.faultsim import FaultSimEngine
 from repro.engine.marking import EncodingError, NetEncoding, explore_net
 from repro.engine.rappid_batch import ShardState, run_batched, run_sharded
+from repro.engine.resilience import PoolDispatchError, supervised_map
 from repro.engine.simkernel import LazyWaveforms, SimKernel
 
 __all__ = [
     "BatchEventQueue",
+    "ChaosPlan",
     "CompiledNetlist",
     "EncodingError",
     "FaultSimEngine",
     "LazyWaveforms",
     "NetEncoding",
+    "PoolDispatchError",
     "ShardState",
     "SimKernel",
     "explore_net",
     "run_batched",
     "run_sharded",
+    "supervised_map",
 ]

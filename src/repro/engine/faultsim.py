@@ -114,6 +114,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import analysis as _analysis
 from repro.engine import pool
+from repro.engine import resilience as _resilience
 from repro.engine.events import (
     OP_CALL,
     OP_CONST,
@@ -1987,24 +1988,51 @@ class FaultSimEngine:
                 indexed[start::shard_count] for start in range(shard_count)
             ]
             chunks = [chunk for chunk in chunks if chunk]
+            # Supervised dispatch (repro.engine.resilience): per-chunk
+            # deadlines, infrastructure-only retries with pool respawn,
+            # partial-result salvage.  A genuine engine error raised by
+            # worker kernel code propagates -- the old broad
+            # ``except RuntimeError`` that masked it behind a silent
+            # in-process rerun is gone.
             try:
                 executor = pool.get_pool()
-                ref = self._payload()
-                futures = [
-                    executor.submit(_run_fault_shard, ref, chunk)
-                    for chunk in chunks
-                ]
-                merged: List[Optional[Tuple[bool, str]]] = [None] * len(
-                    slot_faults
-                )
-                for future in futures:
-                    for index, detected, reason in future.result():
-                        merged[index] = (detected, reason)
-                pool.LAST_DECISION.update(payload=ref.kind)
-                return merged  # type: ignore[return-value]
-            except (OSError, ImportError, RuntimeError, PermissionError):
-                pool.discard()  # broken/unspawnable pool: start clean next call
+            except (OSError, PermissionError):
+                # Workers cannot be spawned at all on this host.
+                pool.discard()
                 pool.LAST_DECISION.update(
                     use_pool=False, reason="pool-spawn-failed"
                 )
+            else:
+                ref = self._payload()
+                items = [(ref, chunk) for chunk in chunks]
+                try:
+                    chunk_results = _resilience.supervised_map(
+                        executor, _run_fault_shard, items, label="fault-campaign"
+                    )
+                except _resilience.PoolDispatchError as error:
+                    # Terminal infrastructure failure: keep every chunk
+                    # that completed, sweep only the lost ones here
+                    # (bit-identical -- chunks are deterministic).
+                    chunk_results = error.results
+                    for chunk_index in error.pending:
+                        chunk = chunks[chunk_index]
+                        verdicts = self._sweep.sweep(
+                            [(slot, value) for _index, slot, value in chunk]
+                        )
+                        chunk_results[chunk_index] = [
+                            (index, detected, reason)
+                            for (index, _slot, _value), (detected, reason) in zip(
+                                chunk, verdicts
+                            )
+                        ]
+                    _resilience.mark_degraded("in-process-salvage")
+                    pool.LAST_DECISION.update(reason="pool-dispatch-degraded")
+                merged: List[Optional[Tuple[bool, str]]] = [None] * len(
+                    slot_faults
+                )
+                for chunk_result in chunk_results:
+                    for index, detected, reason in chunk_result:
+                        merged[index] = (detected, reason)
+                pool.LAST_DECISION.update(payload=ref.kind)
+                return merged  # type: ignore[return-value]
         return self._sweep.sweep(slot_faults)

@@ -49,6 +49,8 @@ from typing import Dict, Optional, Tuple
 
 from concurrent.futures import ProcessPoolExecutor
 
+from repro.engine import chaos
+
 # Below this many instructions per shard the protocol overhead (payload
 # packing, IPC, seam replay) outweighs parallel evaluation even on warm
 # workers; calibrated on the BENCH_sharded.json workloads.
@@ -96,12 +98,31 @@ def get_pool(max_workers: Optional[int] = None) -> ProcessPoolExecutor:
     return _POOL
 
 
-def discard() -> None:
-    """Forget a broken pool without waiting on its workers."""
+def discard(kill: bool = False) -> None:
+    """Forget a broken pool without waiting on its workers.
+
+    Safe on an already-broken pool (killed worker): the executor's own
+    shutdown tolerates broken state, and the globals are cleared first
+    so a re-entrant :func:`get_pool` starts clean regardless.  With
+    ``kill=True`` the pool's worker processes are also terminated --
+    the supervised dispatcher uses this when a deadline timeout marks a
+    worker as hung, so the straggler cannot pin a pool slot (or the
+    interpreter's exit join) for the rest of its sleep.
+    """
     global _POOL, _POOL_PID
     pool, _POOL, _POOL_PID = _POOL, None, None
-    if pool is not None:
-        pool.shutdown(wait=False, cancel_futures=True)
+    if pool is None:
+        return
+    workers = []
+    if kill:
+        processes = getattr(pool, "_processes", None) or {}
+        workers = list(processes.values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in workers:
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already dead
+            pass
 
 
 def shutdown(wait: bool = True) -> None:
@@ -240,17 +261,29 @@ def publish_payload(data: bytes, min_shm_bytes: Optional[int] = None) -> Payload
     threshold = SHM_MIN_PAYLOAD_BYTES if min_shm_bytes is None else min_shm_bytes
     token = uuid.uuid4().hex
     if len(data) >= threshold:
+        segment = None
         try:
             from multiprocessing import shared_memory
 
             segment = shared_memory.SharedMemory(create=True, size=max(len(data), 1))
+            chaos.check("shm-publish-fail")
             segment.buf[: len(data)] = data
             _PUBLISHED[token] = (segment, os.getpid())
             return PayloadRef(
                 token=token, kind="shm", size=len(data), name=segment.name
             )
-        except (ImportError, OSError, PermissionError):
-            pass  # fall through to the inline handle
+        except (ImportError, OSError, PermissionError, ValueError):
+            # Fall through to the inline handle -- but if the segment
+            # was already created (the buffer copy or registry insert
+            # failed, not the creation), it must be closed and unlinked
+            # here or it leaks in /dev/shm with no handle left to
+            # release it.
+            if segment is not None:
+                try:
+                    segment.close()
+                    segment.unlink()
+                except (OSError, FileNotFoundError):  # pragma: no cover
+                    pass
     return PayloadRef(token=token, kind="inline", size=len(data), data=data)
 
 
@@ -319,6 +352,7 @@ def fetch_payload(ref: PayloadRef) -> bytes:
     them under the handle's token, so a persistent worker touches the
     segment once per campaign no matter how many shard calls it serves.
     """
+    chaos.check("payload-fetch-fail")
     if ref.kind == "inline":
         return ref.data or b""
     if ref.token in _RELEASED:

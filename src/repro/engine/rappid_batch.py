@@ -1085,34 +1085,54 @@ def run_sharded(
         # sharded call, reused (warm workers) by every later one.  The
         # shard arrays publish once through the shared-memory payload
         # path; each worker call carries only (handle, shard index).
+        # Dispatch runs supervised (repro.engine.resilience): per-task
+        # deadlines, infrastructure-only retries with pool respawn, and
+        # partial-result salvage.  Application errors raised by worker
+        # code propagate to the caller -- they are engine bugs, not a
+        # reason to silently recompute in-process.
+        from repro.engine import resilience
+
         try:
             executor = pool.get_pool()
-            ref = _publish_shard_set(config, payloads)
-            if ref is not None:
-                try:
-                    futures = [
-                        executor.submit(_cold_shard_payload, ref, index)
-                        for index in range(len(payloads))
-                    ]
-                    results = [future.result() for future in futures]
-                finally:
-                    # Every worker that needed the bytes has copied them
-                    # out (futures are resolved above); on failure the
-                    # segment must not leak either.
-                    pool.release_payload(ref)
-                pool.LAST_DECISION.update(payload="shm")
-            else:
-                # Small stream or no shared memory: each worker call
-                # carries its own shard's arrays (and nothing else).
-                futures = [
-                    executor.submit(_cold_shard, payload) for payload in payloads
-                ]
-                results = [future.result() for future in futures]
-                pool.LAST_DECISION.update(payload="inline")
-        except (OSError, ImportError, RuntimeError, PermissionError):
-            pool.discard()  # broken/unspawnable pool: next call starts clean
+        except (OSError, PermissionError):
+            # Workers cannot be spawned at all on this host.
+            pool.discard()
             pool.LAST_DECISION.update(use_pool=False, reason="pool-spawn-failed")
-            results = None
+            executor = None
+        if executor is not None:
+            ref = _publish_shard_set(config, payloads)
+            try:
+                if ref is not None:
+                    items = [(ref, index) for index in range(len(payloads))]
+                    worker_fn = _cold_shard_payload
+                    transport = "shm"
+                else:
+                    # Small stream or no shared memory: each worker call
+                    # carries its own shard's arrays (and nothing else).
+                    items = [(payload,) for payload in payloads]
+                    worker_fn = _cold_shard
+                    transport = "inline"
+                try:
+                    results = resilience.supervised_map(
+                        executor, worker_fn, items, label="run_sharded"
+                    )
+                except resilience.PoolDispatchError as error:
+                    # Terminal infrastructure failure: keep every shard
+                    # that completed, solve only the lost ones here
+                    # (bit-identical either way -- shards are
+                    # deterministic).
+                    results = error.results
+                    for index in error.pending:
+                        results[index] = _cold_shard(payloads[index])
+                    resilience.mark_degraded("in-process-salvage")
+                    pool.LAST_DECISION.update(reason="pool-dispatch-degraded")
+                pool.LAST_DECISION.update(payload=transport)
+            finally:
+                # Every worker that needed the bytes has copied them out
+                # (dispatch resolved above); on failure the segment must
+                # not leak either.
+                if ref is not None:
+                    pool.release_payload(ref)
     if results is None:
         results = [_cold_shard(payload) for payload in payloads]
 

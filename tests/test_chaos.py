@@ -1,0 +1,217 @@
+"""Deterministic chaos harness: injected failures, bit-identical results.
+
+The paper's robustness claim is that RAPPID decodes correctly under
+arbitrary delay variation; the engine's analogue is that a campaign
+sharded over the worker pool survives injected worker kills, hangs,
+stragglers, and payload failures with results **bit-identical** to the
+undisturbed run -- verdicts, reasons, energy, and (for jittered
+campaigns) RNG draw order included.  Every test here runs a real
+workload under a seeded :class:`~repro.engine.chaos.ChaosPlan` and pins
+the output against the in-process baseline, then asserts the recovery
+story told by the PoolHealth record.
+"""
+
+import os
+
+import pytest
+
+from repro.circuit.analysis import fifo_environment_rules
+from repro.engine import chaos, pool, resilience
+from repro.engine.chaos import ChaosPlan
+from repro.rappid.microarch import RappidDecoder
+from repro.rappid.workload import WorkloadGenerator
+from repro.testability.simulation import campaign_signature, simulate_faults
+
+STIMULI = [("li", 1, 50.0)]
+CAMPAIGN_KWARGS = dict(duration_ps=10_000.0)
+JITTER_KWARGS = dict(duration_ps=10_000.0, delay_jitter=0.1, environment_jitter=0.25)
+
+
+@pytest.fixture
+def fresh_pool():
+    pool.shutdown()
+    yield
+    pool.shutdown()
+
+
+@pytest.fixture(scope="module")
+def baseline(fifo_rt):
+    """Undisturbed in-process campaign signature (the identity anchor)."""
+    results = simulate_faults(
+        fifo_rt.netlist, fifo_environment_rules(), STIMULI,
+        use_processes=False, **CAMPAIGN_KWARGS,
+    )
+    return campaign_signature(results)
+
+
+def _pooled_campaign(fifo_rt, **kwargs):
+    merged = dict(CAMPAIGN_KWARGS)
+    merged.update(kwargs)
+    return simulate_faults(
+        fifo_rt.netlist, fifo_environment_rules(), STIMULI,
+        shards=2, use_processes=True, **merged,
+    )
+
+
+class TestChaosPlanDeterminism:
+    def test_decide_is_pure_and_seed_stable(self):
+        plan_a = ChaosPlan(seed=42, worker_kill=0.5, payload_fetch_fail=2)
+        plan_b = ChaosPlan(seed=42, worker_kill=0.5, payload_fetch_fail=2)
+        for point in chaos.POINTS:
+            for key in range(16):
+                first = plan_a.decide(point, key, 0)
+                assert plan_a.decide(point, key, 0) == first  # pure
+                assert plan_b.decide(point, key, 0) == first  # seed-stable
+
+    def test_integer_spec_selects_the_first_n_keys(self):
+        plan = ChaosPlan(seed=0, worker_kill=2)
+        assert [plan.decide("worker-kill", k, 0) for k in range(4)] == [
+            True, True, False, False,
+        ]
+
+    def test_float_spec_extremes(self):
+        never = ChaosPlan(seed=3, worker_hang=0.0)
+        always = ChaosPlan(seed=3, worker_hang=1.0)
+        assert not any(never.decide("worker-hang", k, 0) for k in range(8))
+        assert all(always.decide("worker-hang", k, 0) for k in range(8))
+
+    def test_retried_attempts_are_undisturbed_by_default(self):
+        plan = ChaosPlan(seed=1, worker_kill=4)
+        assert plan.decide("worker-kill", 0, 0)
+        assert not plan.decide("worker-kill", 0, 1)
+        armed = ChaosPlan(seed=1, worker_kill=4, attempts=(0, 1))
+        assert armed.decide("worker-kill", 0, 1)
+
+    def test_check_uses_occurrence_counter_outside_tasks(self):
+        plan = ChaosPlan(seed=0, shm_publish_fail=1)
+        with chaos.active(plan):
+            with pytest.raises(OSError, match=r"chaos\[shm-publish-fail\]"):
+                chaos.check("shm-publish-fail")
+            chaos.check("shm-publish-fail")  # occurrence 1: clean
+        assert plan.injected("shm-publish-fail") == 1
+
+    def test_no_active_plan_means_no_op(self):
+        assert chaos.current() is None
+        chaos.check("worker-kill")  # must not raise
+
+    def test_active_restores_previous_plan(self):
+        outer = ChaosPlan(seed=0)
+        with chaos.active(outer):
+            with chaos.active(ChaosPlan(seed=1)) as inner:
+                assert chaos.current() is inner
+            assert chaos.current() is outer
+        assert chaos.current() is None
+
+
+class TestCampaignIdentityUnderInjection:
+    """Fault campaigns under each injection point match the baseline."""
+
+    def test_worker_kill_recovers_bit_identical(self, fresh_pool, fifo_rt, baseline):
+        with chaos.active(ChaosPlan(seed=1, worker_kill=1)):
+            results = _pooled_campaign(fifo_rt)
+        assert campaign_signature(results) == baseline
+        health = resilience.LAST_HEALTH
+        assert health["outcome"] == "ok"
+        assert health["broken_pools"] >= 1
+        assert health["respawns"] >= 1
+        assert health["injected"].get("worker-kill", 0) >= 1
+        assert health["degraded"] is False
+
+    def test_worker_hang_trips_deadline_and_recovers(
+        self, fresh_pool, fifo_rt, baseline, monkeypatch
+    ):
+        monkeypatch.setattr(resilience, "DEFAULT_DEADLINE_S", 1.0)
+        with chaos.active(ChaosPlan(seed=2, worker_hang=1, hang_s=30.0)):
+            results = _pooled_campaign(fifo_rt)
+        assert campaign_signature(results) == baseline
+        health = resilience.LAST_HEALTH
+        assert health["outcome"] == "ok"
+        assert health["timeouts"] >= 1
+        assert health["respawns"] >= 1
+        assert health["injected"].get("worker-hang", 0) >= 1
+
+    def test_slow_worker_is_absorbed_without_retry(
+        self, fresh_pool, fifo_rt, baseline
+    ):
+        """A straggler under the deadline is not a failure."""
+        with chaos.active(ChaosPlan(seed=3, slow_worker=1, slow_s=0.2)):
+            results = _pooled_campaign(fifo_rt)
+        assert campaign_signature(results) == baseline
+        health = resilience.LAST_HEALTH
+        assert health["outcome"] == "ok"
+        assert health["rounds"] == 1
+        assert health["retries"] == 0
+        assert health["respawns"] == 0
+
+    def test_shm_publish_failure_degrades_inline_without_leak(
+        self, fresh_pool, fifo_rt, baseline, monkeypatch
+    ):
+        monkeypatch.setattr(pool, "SHM_MIN_PAYLOAD_BYTES", 0)
+        shm_dir = "/dev/shm"
+        before = set(os.listdir(shm_dir)) if os.path.isdir(shm_dir) else None
+        with chaos.active(ChaosPlan(seed=4, shm_publish_fail=1)) as plan:
+            results = _pooled_campaign(fifo_rt)
+        assert campaign_signature(results) == baseline
+        assert plan.injected("shm-publish-fail") >= 1
+        assert pool.LAST_DECISION["payload"] == "inline"
+        assert resilience.LAST_HEALTH["outcome"] == "ok"
+        if before is not None:
+            assert set(os.listdir(shm_dir)) == before, "leaked shm segment"
+
+    def test_payload_fetch_failure_is_retried(
+        self, fresh_pool, fifo_rt, baseline, monkeypatch
+    ):
+        monkeypatch.setattr(pool, "SHM_MIN_PAYLOAD_BYTES", 0)
+        with chaos.active(ChaosPlan(seed=5, payload_fetch_fail=1)):
+            results = _pooled_campaign(fifo_rt)
+        assert campaign_signature(results) == baseline
+        health = resilience.LAST_HEALTH
+        assert health["outcome"] == "ok"
+        assert health["infra_errors"] >= 1
+        assert health["retries"] >= 1
+
+    def test_pickle_failure_at_submission_is_retried(
+        self, fresh_pool, fifo_rt, baseline
+    ):
+        with chaos.active(ChaosPlan(seed=6, pickle_fail=1)):
+            results = _pooled_campaign(fifo_rt)
+        assert campaign_signature(results) == baseline
+        health = resilience.LAST_HEALTH
+        assert health["outcome"] == "ok"
+        assert health["infra_errors"] >= 1
+        assert health["injected"].get("pickle-fail", 0) >= 1
+
+    def test_jittered_campaign_preserves_rng_draw_order(
+        self, fresh_pool, fifo_rt
+    ):
+        """Jittered campaigns draw per-fault RNG streams; a retried chunk
+        must replay the identical draws, or reasons/verdicts shift."""
+        local = simulate_faults(
+            fifo_rt.netlist, fifo_environment_rules(), STIMULI,
+            use_processes=False, **JITTER_KWARGS,
+        )
+        with chaos.active(ChaosPlan(seed=7, worker_kill=1)):
+            disturbed = _pooled_campaign(fifo_rt, **JITTER_KWARGS)
+        assert campaign_signature(disturbed) == campaign_signature(local)
+        assert resilience.LAST_HEALTH["outcome"] == "ok"
+
+
+class TestRunShardedUnderInjection:
+    def test_worker_kill_keeps_decode_bit_identical(self, fresh_pool):
+        generator = WorkloadGenerator(seed=4)
+        instructions, lines = generator.workload(4_000)
+        decoder = RappidDecoder()
+        exact = decoder.run(instructions, lines)
+        with chaos.active(ChaosPlan(seed=8, worker_kill=1)):
+            sharded = decoder.run_sharded(
+                instructions, lines, shards=2, min_shard_instructions=64,
+                use_processes=True,
+            )
+        assert sharded.issue_times_ps == exact.issue_times_ps
+        assert sharded.total_time_ps == exact.total_time_ps
+        assert sharded.energy_pj == exact.energy_pj
+        health = resilience.LAST_HEALTH
+        assert health["label"] == "run_sharded"
+        assert health["outcome"] == "ok"
+        assert health["respawns"] >= 1
+        assert pool.LAST_DECISION["use_pool"] is True

@@ -1,10 +1,11 @@
 """Tests for scripts/lint_contracts.py on injected tmp-file violations.
 
-The lint guards two repo conventions -- every ``_reference_*`` oracle is
-pinned by the differential suite, and engine modules never draw from
-module-global RNG state.  Both rules are proven to fire on synthetic
-violations and to stay quiet on the real tree (the same invocation
-``scripts/check.sh`` runs).
+The lint guards three repo conventions -- every ``_reference_*`` oracle
+is pinned by the differential suite, engine modules never draw from
+module-global RNG state, and pool dispatch call sites never hide worker
+application errors behind broad exception catches.  Each rule is proven
+to fire on synthetic violations and to stay quiet on the real tree (the
+same invocation ``scripts/check.sh`` runs).
 """
 
 import sys
@@ -105,6 +106,105 @@ class TestRngRule:
             """,
         )
         assert lint_contracts.check_engine_rng(engine) == []
+
+
+class TestDispatchCatchRule:
+    def test_broad_catch_around_submit_reported(self, tmp_path):
+        src = tmp_path / "src"
+        write(
+            src / "dispatch.py",
+            """\
+            def fan_out(executor, fn, items):
+                try:
+                    futures = [executor.submit(fn, item) for item in items]
+                except Exception:
+                    return None
+                return futures
+            """,
+        )
+        findings = lint_contracts.check_dispatch_catches(src)
+        assert len(findings) == 1
+        assert findings[0].rule == "broad-dispatch-catch"
+        assert findings[0].line == 4
+        assert "Exception" in findings[0].message
+
+    def test_bare_except_and_runtime_error_reported(self, tmp_path):
+        src = tmp_path / "src"
+        write(
+            src / "dispatch.py",
+            """\
+            def collect(futures):
+                try:
+                    return [future.result(timeout=60) for future in futures]
+                except RuntimeError:
+                    return None
+
+            def collect_anything(future):
+                try:
+                    return future.result()
+                except:  # noqa: E722
+                    return None
+            """,
+        )
+        findings = lint_contracts.check_dispatch_catches(src)
+        assert [f.rule for f in findings] == ["broad-dispatch-catch"] * 2
+        assert "RuntimeError" in findings[0].message
+        assert "<bare>" in findings[1].message
+
+    def test_broad_tuple_member_reported(self, tmp_path):
+        src = tmp_path / "src"
+        write(
+            src / "dispatch.py",
+            """\
+            def collect(future):
+                try:
+                    return future.result(timeout=60)
+                except (OSError, RuntimeError):
+                    return None
+            """,
+        )
+        findings = lint_contracts.check_dispatch_catches(src)
+        assert len(findings) == 1
+        assert "RuntimeError" in findings[0].message
+
+    def test_infrastructure_set_is_allowed(self, tmp_path):
+        src = tmp_path / "src"
+        write(
+            src / "dispatch.py",
+            """\
+            import pickle
+            from concurrent.futures import BrokenExecutor
+
+            INFRA_EXCEPTIONS = (BrokenExecutor, TimeoutError, OSError)
+
+            def collect(future):
+                try:
+                    return future.result(timeout=60)
+                except INFRA_EXCEPTIONS:
+                    return None
+
+            def narrow(future):
+                try:
+                    return future.result(timeout=60)
+                except (BrokenExecutor, TimeoutError, OSError, pickle.PicklingError):
+                    return None
+            """,
+        )
+        assert lint_contracts.check_dispatch_catches(src) == []
+
+    def test_broad_catch_without_dispatch_is_ignored(self, tmp_path):
+        src = tmp_path / "src"
+        write(
+            src / "other.py",
+            """\
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    return None
+            """,
+        )
+        assert lint_contracts.check_dispatch_catches(src) == []
 
 
 class TestMain:

@@ -5,6 +5,7 @@ tests always restore a clean slate via the ``fresh_pool`` fixture.
 """
 
 import os
+import time
 
 import pytest
 
@@ -345,6 +346,117 @@ class TestEngineShmLifecycle:
         # close() detached the finalizer: garbage collection must not
         # re-release (no duplicate outcome recorded).
         assert "payload_release" not in pool.LAST_DECISION
+
+
+class _ExplodingRegistry(dict):
+    """Registry stand-in whose insert fails after the segment exists."""
+
+    def __setitem__(self, key, value):
+        raise OSError("forced: registry insert failed")
+
+
+class TestPublishLeakGuard:
+    """publish_payload must not leak its /dev/shm segment when any step
+    *after* segment creation fails -- the error path closes and unlinks
+    before degrading to the inline transport."""
+
+    def _shm_listing(self):
+        if not os.path.isdir("/dev/shm"):  # pragma: no cover - no /dev/shm
+            pytest.skip("shared memory unavailable on this host")
+        return set(os.listdir("/dev/shm"))
+
+    def test_failure_after_segment_creation_leaves_no_segment(self, monkeypatch):
+        before = self._shm_listing()
+        monkeypatch.setattr(pool, "_PUBLISHED", _ExplodingRegistry())
+        ref = pool.publish_payload(b"x" * 1024, min_shm_bytes=0)
+        assert ref.kind == "inline"
+        assert pool.fetch_payload(ref) == b"x" * 1024
+        assert self._shm_listing() == before, "leaked shm segment"
+
+    def test_injected_publish_fault_leaves_no_segment(self):
+        from repro.engine import chaos
+
+        before = self._shm_listing()
+        with chaos.active(chaos.ChaosPlan(seed=0, shm_publish_fail=1)) as plan:
+            ref = pool.publish_payload(b"y" * 1024, min_shm_bytes=0)
+        assert ref.kind == "inline"
+        assert plan.injected("shm-publish-fail") == 1
+        assert self._shm_listing() == before, "leaked shm segment"
+
+
+class TestPoolLifecycleEdges:
+    def test_discard_tolerates_an_already_broken_pool(self, fresh_pool):
+        from concurrent.futures.process import BrokenProcessPool
+
+        executor = pool.get_pool(max_workers=1)
+        with pytest.raises(BrokenProcessPool):
+            executor.submit(os._exit, 86).result(timeout=60)
+        pool.discard()  # must not raise on broken state
+        replacement = pool.get_pool()
+        assert replacement is not executor
+        assert list(replacement.map(int, "123")) == [1, 2, 3]
+
+    def test_discard_kill_terminates_workers(self, fresh_pool):
+        executor = pool.get_pool(max_workers=1)
+        executor.submit(os.getpid).result(timeout=60)  # force spawn
+        pids = pool.worker_pids()
+        assert pids
+        pool.discard(kill=True)
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            if not any(_pid_alive(pid) for pid in pids):
+                break
+            time.sleep(0.05)
+        assert not any(_pid_alive(pid) for pid in pids)
+
+    def test_shutdown_after_fork_drops_without_joining(self, fresh_pool, monkeypatch):
+        """A forked child that inherited the globals must not join (or
+        double-shutdown) the parent's workers -- it only drops its ref."""
+        first = pool.get_pool(max_workers=1)
+        first.submit(os.getpid).result(timeout=60)
+        monkeypatch.setattr(pool, "_POOL_PID", os.getpid() + 1)
+        pool.shutdown()  # simulated child: no join, no exception
+        pool.shutdown()  # idempotent on the cleared state
+        assert pool.worker_pids() == ()
+        # The parent's executor is untouched and still serves work.
+        assert first.submit(int, "7").result(timeout=60) == 7
+        first.shutdown()
+
+    def test_worker_pids_is_empty_mid_respawn(self, fresh_pool):
+        executor = pool.get_pool(max_workers=1)
+        executor.submit(os.getpid).result(timeout=60)
+        assert pool.worker_pids()
+        pool.discard(kill=True)
+        assert pool.worker_pids() == ()  # the respawn window
+        replacement = pool.get_pool(max_workers=1)
+        replacement.submit(os.getpid).result(timeout=60)
+        assert pool.worker_pids()
+
+    def test_retried_chunk_on_respawned_pool_fails_fast_on_released_token(
+        self, fresh_pool
+    ):
+        """A re-dispatched work item must not fetch through a handle the
+        campaign already released: a worker forked *after* the release
+        inherits the retired token and raises instead of attaching the
+        unlinked segment."""
+        ref = pool.publish_payload(b"z" * 1024, min_shm_bytes=0)
+        if ref.kind != "shm":  # pragma: no cover - no /dev/shm
+            pool.release_payload(ref)
+            pytest.skip("shared memory unavailable on this host")
+        pool.release_payload(ref)
+        executor = pool.get_pool(max_workers=1)  # respawned post-release
+        with pytest.raises(RuntimeError, match="released"):
+            executor.submit(pool.fetch_payload, ref).result(timeout=60)
+
+
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid reused by other user
+        return True
+    return True
 
 
 class TestRunShardedPayloadRoute:

@@ -1,0 +1,176 @@
+"""Supervised pool dispatch: deadlines, retries, respawn, salvage.
+
+Unit tests of :func:`repro.engine.resilience.supervised_map` against the
+real persistent pool.  Worker functions live at module level (they must
+pickle), and first-attempt-only failures are arranged through marker
+files in a tmp directory -- the retried attempt sees the marker and
+succeeds, which is exactly the deterministic-work-unit contract the
+salvage policy relies on.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine import pool, resilience
+
+
+@pytest.fixture
+def fresh_pool():
+    pool.shutdown()
+    yield
+    pool.shutdown()
+
+
+def _double(x):
+    return x * 2
+
+
+def _raise_value_error(x):
+    raise ValueError(f"application bug for item {x}")
+
+
+def _exit_unless_marked(marker_dir, x):
+    """Hard-exit the worker on the first attempt at item 0 only."""
+    marker = os.path.join(marker_dir, "exited")
+    if x == 0 and not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os._exit(86)
+    return x * 2
+
+
+def _sleep_unless_marked(marker_dir, x, sleep_s):
+    """Stall past the deadline on the first attempt at item 0 only."""
+    marker = os.path.join(marker_dir, "slept")
+    if x == 0 and not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        time.sleep(sleep_s)
+    return x * 2
+
+
+def _exit_on_odd(x):
+    """Permanently broken work item: every attempt kills the worker."""
+    if x % 2:
+        os._exit(86)
+    return x * 2
+
+
+class TestHealthyPath:
+    def test_results_come_back_in_work_item_order(self, fresh_pool):
+        executor = pool.get_pool(max_workers=1)
+        results = resilience.supervised_map(
+            executor, _double, [(i,) for i in range(5)], label="unit"
+        )
+        assert results == [0, 2, 4, 6, 8]
+        health = resilience.LAST_HEALTH
+        assert health["label"] == "unit"
+        assert health["tasks"] == 5
+        assert health["rounds"] == 1
+        assert health["retries"] == 0
+        assert health["respawns"] == 0
+        assert health["outcome"] == "ok"
+        assert health["degraded"] is False
+
+    def test_health_record_is_aliased_into_last_decision(self, fresh_pool):
+        executor = pool.get_pool(max_workers=1)
+        resilience.supervised_map(executor, _double, [(1,)])
+        assert pool.LAST_DECISION["pool_health"] is resilience.LAST_HEALTH
+
+    def test_empty_work_list_is_a_no_op(self, fresh_pool):
+        executor = pool.get_pool(max_workers=1)
+        assert resilience.supervised_map(executor, _double, []) == []
+        assert resilience.LAST_HEALTH["outcome"] == "ok"
+
+
+class TestApplicationErrors:
+    def test_worker_exception_propagates_verbatim(self, fresh_pool):
+        """A bug raised by the work function is never retried or masked."""
+        executor = pool.get_pool(max_workers=1)
+        with pytest.raises(ValueError, match="application bug for item 0"):
+            resilience.supervised_map(
+                executor, _raise_value_error, [(0,), (1,)]
+            )
+        health = resilience.LAST_HEALTH
+        assert health["outcome"] == "app-error"
+        assert health["retries"] == 0
+        # The pool itself is still healthy and reusable afterwards.
+        assert executor.submit(_double, 3).result(timeout=60) == 6
+
+
+class TestInfrastructureRecovery:
+    def test_broken_pool_is_respawned_and_work_retried(self, fresh_pool, tmp_path):
+        executor = pool.get_pool(max_workers=1)
+        results = resilience.supervised_map(
+            executor,
+            _exit_unless_marked,
+            [(str(tmp_path), i) for i in range(3)],
+        )
+        assert results == [0, 2, 4]
+        health = resilience.LAST_HEALTH
+        assert health["outcome"] == "ok"
+        assert health["broken_pools"] >= 1
+        assert health["respawns"] >= 1
+        assert health["rounds"] >= 2
+        assert any("BrokenProcessPool" in error for error in health["errors"])
+        # The respawn went through the persistent-pool globals: the
+        # executor handed back by get_pool now is the replacement.
+        assert pool.get_pool() is not executor
+
+    def test_deadline_timeout_respawns_and_retries(self, fresh_pool, tmp_path):
+        executor = pool.get_pool(max_workers=1)
+        results = resilience.supervised_map(
+            executor,
+            _sleep_unless_marked,
+            [(str(tmp_path), i, 30.0) for i in range(2)],
+            deadline_s=1.0,
+        )
+        assert results == [0, 2]
+        health = resilience.LAST_HEALTH
+        assert health["outcome"] == "ok"
+        assert health["timeouts"] >= 1
+        assert health["respawns"] >= 1
+
+    def test_exhausted_retries_raise_with_salvage(self, fresh_pool):
+        """Terminal failure still hands back every completed result."""
+        executor = pool.get_pool(max_workers=1)
+        with pytest.raises(resilience.PoolDispatchError) as excinfo:
+            resilience.supervised_map(
+                executor,
+                _exit_on_odd,
+                [(0,), (1,)],
+                max_retries=1,
+                backoff=0.0,
+                label="salvage",
+            )
+        error = excinfo.value
+        assert error.pending == [1]
+        assert error.results[0] == 0  # completed sibling survives
+        assert error.health["outcome"] == "exhausted"
+        assert error.health["salvaged"] >= 1
+        assert "salvage" in str(error)
+        assert resilience.LAST_HEALTH["outcome"] == "exhausted"
+
+    def test_mark_degraded_annotates_the_record(self, fresh_pool):
+        executor = pool.get_pool(max_workers=1)
+        resilience.supervised_map(executor, _double, [(1,)])
+        resilience.mark_degraded("in-process-salvage")
+        assert resilience.LAST_HEALTH["degraded"] == "in-process-salvage"
+
+    def test_error_reprs_are_bounded(self, fresh_pool):
+        health = resilience._new_health("bound", 1)
+        for index in range(resilience._HEALTH_ERRORS_MAX * 2):
+            resilience._note_failure(health, OSError(f"failure {index}"))
+        assert len(health["errors"]) == resilience._HEALTH_ERRORS_MAX
+
+    def test_classification_orders_timeout_before_oserror(self):
+        """Builtin TimeoutError subclasses OSError on this interpreter;
+        the classifier must count it as a timeout (pool suspect), not a
+        plain IPC error."""
+        health = resilience._new_health(None, 1)
+        assert resilience._note_failure(health, TimeoutError("late")) is True
+        assert health["timeouts"] == 1 and health["infra_errors"] == 0
+        assert resilience._note_failure(health, OSError("ipc")) is False
+        assert health["infra_errors"] == 1
