@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== contract lint (oracles + pinned RNG) =="
+echo "== contract lint (oracles + reductions + pinned RNG) =="
 python scripts/lint_contracts.py
 
 # Static checkers (configured in pyproject.toml).  CI installs both;
@@ -50,15 +50,17 @@ else
 fi
 
 # Machine-readable perf trajectories, written by
-# benchmarks/test_bench_engine.py (quick mode marks the files
-# "quick": true and skips the timing assertions):
+# benchmarks/test_bench_engine.py and benchmarks/test_bench_reach.py
+# (quick mode marks the files "quick": true and skips the timing
+# assertions):
 #   BENCH_sharded.json   run vs run_sharded instructions/sec + pool decision
 #   BENCH_sim.json       reference vs opcode-kernel transitions/sec
 #   BENCH_faultsim.json  per-fault reference vs batch fault engine + coverage
+#   BENCH_reach.json     full vs partial-order-reduced reachability states
 # In --full mode all files must exist and have been rewritten by the
 # benchmark run just above -- a missing or stale file means the summary
 # test silently stopped running, which should fail loudly here.
-for bench_file in BENCH_sharded.json BENCH_sim.json BENCH_faultsim.json; do
+for bench_file in BENCH_sharded.json BENCH_sim.json BENCH_faultsim.json BENCH_reach.json; do
     if [[ ! -f "$bench_file" ]]; then
         if [[ "${1:-}" == "--full" ]]; then
             echo "check.sh: FAIL - $bench_file was not produced" >&2

@@ -1,17 +1,25 @@
 #!/usr/bin/env python
 """Repository contract lint: differential oracles and pinned RNG streams.
 
-Two conventions keep the fast engine honest, and both are easy to break
-silently -- a new fast path lands without a differential pin, or a
-convenience ``random.random()`` sneaks into an engine module and quietly
-unpins the reference bit-identity contract.  This lint makes them
-mechanical:
+A few conventions keep the fast paths honest, and all of them are easy
+to break silently -- a new fast path or reduced exploration lands
+without a differential pin, or a convenience ``random.random()`` sneaks
+into an engine module and quietly unpins the reference bit-identity
+contract.  This lint makes them mechanical:
 
 ``oracle-untested``
     Every ``_reference_*`` function under ``src/repro`` is a retained
     slow-path oracle for some engine fast path; each one must be
     referenced from ``tests/test_engine_differential.py`` so the
     differential suite actually pins the fast path against it.
+
+``reduction-untested``
+    Every reduced exploration path in ``src/repro/petrinet`` (a function
+    named ``explore`` or containing ``_reduced``) prunes interleavings
+    on purpose, so nothing short of a differential test notices when it
+    prunes one marking too many.  Each such function must be referenced
+    from ``tests/test_engine_differential.py`` alongside the full-graph
+    oracle ``_reference_build_reachability_graph`` it is pinned against.
 
 ``unpinned-rng``
     Engine modules (``src/repro/engine``) may only touch the ``random``
@@ -98,6 +106,66 @@ def check_oracle_references(
                     f"{oracle.message} is a retained oracle but is never "
                     f"referenced from {differential_test.name}; add a "
                     "differential test pinning its fast path",
+                )
+            )
+    return findings
+
+
+# The retained full-BFS oracle every reduced exploration is pinned against.
+_REDUCTION_ORACLE = "_reference_build_reachability_graph"
+
+
+def _is_property(node) -> bool:
+    """True for ``@property``-style accessors (not exploration paths)."""
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Name) and decorator.id == "property":
+            return True
+        if isinstance(decorator, ast.Attribute) and decorator.attr in {
+            "getter",
+            "setter",
+            "deleter",
+        }:
+            return True
+    return False
+
+
+def collect_reduced_functions(petrinet_root: Path) -> List[Finding]:
+    """Every ``explore``/``*_reduced*`` def under the petrinet package."""
+    reduced: List[Finding] = []
+    for path in sorted(petrinet_root.rglob("*.py")):
+        tree = _parse(path)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if (
+                    node.name == "explore" or "_reduced" in node.name
+                ) and not _is_property(node):
+                    reduced.append(
+                        Finding(path, node.lineno, "reduced", node.name)
+                    )
+    return reduced
+
+
+def check_reduction_references(
+    petrinet_root: Path, differential_test: Path
+) -> List[Finding]:
+    """``reduction-untested`` findings: reduced paths not pinned to the oracle."""
+    if differential_test.exists():
+        test_text = differential_test.read_text()
+    else:
+        test_text = ""
+    oracle_pinned = _REDUCTION_ORACLE in test_text
+    findings: List[Finding] = []
+    for function in collect_reduced_functions(petrinet_root):
+        if function.message not in test_text or not oracle_pinned:
+            findings.append(
+                Finding(
+                    function.path,
+                    function.line,
+                    "reduction-untested",
+                    f"{function.message} is a reduced exploration path but "
+                    f"{differential_test.name} never pins it against "
+                    f"{_REDUCTION_ORACLE}; add a differential test comparing "
+                    "the reduced deadlock set with the full-graph oracle",
                 )
             )
     return findings
@@ -204,6 +272,9 @@ def check_dispatch_catches(src_root: Path) -> List[Finding]:
 
 def run(src_root: Path, engine_root: Path, differential_test: Path) -> List[Finding]:
     findings = check_oracle_references(src_root, differential_test)
+    findings.extend(
+        check_reduction_references(src_root / "petrinet", differential_test)
+    )
     findings.extend(check_engine_rng(engine_root))
     findings.extend(check_dispatch_catches(src_root))
     return findings

@@ -12,6 +12,8 @@ name                      subject                       result
 ``"collapse"``            ``Netlist`` + campaign        :class:`~repro.analysis.collapse.CollapsePlan`
 ``"hazard-lint"``         ``Netlist``                   :class:`~repro.analysis.hazards.HazardLintReport`
 ``"packed-fanout"``       ``CompiledNetlist``           packed fanout tables
+``"reachability-full"``   ``PetriNet``                  full :class:`~repro.petrinet.reachability.ReachabilityGraph`
+``"reachability-reduced"`` ``PetriNet``                 stubborn-set reduced graph
 ========================  ============================  =====================
 
 See :doc:`docs/analysis` for the dependency and invalidation model.
@@ -43,6 +45,10 @@ from repro.analysis.hazards import (
     HazardLintAnalysis,
     HazardLintReport,
 )
+from repro.analysis.reachability import (
+    ReachabilityFullAnalysis,
+    ReachabilityReducedAnalysis,
+)
 
 register(StructureAnalysis)
 register(PackedFanoutAnalysis)
@@ -50,6 +56,8 @@ register(CompileAnalysis)
 register(GoldenSignatureAnalysis)
 register(CollapseAnalysis)
 register(HazardLintAnalysis)
+register(ReachabilityFullAnalysis)
+register(ReachabilityReducedAnalysis)
 
 __all__ = [
     "AnalysisError",
@@ -71,4 +79,6 @@ __all__ = [
     "HazardDiagnostic",
     "HazardLintAnalysis",
     "HazardLintReport",
+    "ReachabilityFullAnalysis",
+    "ReachabilityReducedAnalysis",
 ]

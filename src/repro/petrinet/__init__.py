@@ -13,7 +13,17 @@ underlying untyped Petri net machinery:
 """
 
 from repro.petrinet.net import Marking, PetriNet, Place, Transition
-from repro.petrinet.reachability import ReachabilityGraph, build_reachability_graph
+from repro.petrinet.reachability import (
+    Boundedness,
+    ReachabilityGraph,
+    Reduction,
+    ReductionError,
+    TruncatedExplorationError,
+    UnboundedNetError,
+    build_reachability_graph,
+    check_boundedness,
+    explore,
+)
 from repro.petrinet.properties import (
     deadlock_markings,
     is_bounded,
@@ -27,8 +37,15 @@ __all__ = [
     "PetriNet",
     "Place",
     "Transition",
+    "Boundedness",
     "ReachabilityGraph",
+    "Reduction",
+    "ReductionError",
+    "TruncatedExplorationError",
+    "UnboundedNetError",
     "build_reachability_graph",
+    "check_boundedness",
+    "explore",
     "deadlock_markings",
     "is_bounded",
     "is_live",

@@ -163,6 +163,9 @@ class PetriNet:
         # Bumped on every structural mutation; lets the engine cache its
         # interned encoding per net (see repro.engine.marking.NetEncoding).
         self._structure_version = 0
+        # Bumped by set_initial_marking; together with the structure
+        # counter it backs the per-aspect analysis fingerprints below.
+        self._marking_version = 0
 
     # -- construction ------------------------------------------------------------
     def add_place(self, name: str, capacity: Optional[int] = None) -> Place:
@@ -210,6 +213,48 @@ class PetriNet:
             if place not in self._places:
                 raise PetriNetError(f"unknown place {place!r} in initial marking")
         self._initial_marking = Marking(marking)
+        self._marking_version += 1
+
+    # -- analysis fingerprints ----------------------------------------------------
+    def analysis_fingerprint(self, aspect: str = "structure") -> Tuple[str, str]:
+        """Content fingerprint of one aspect, for the analysis cache.
+
+        Aspects: ``"structure"`` (places, capacities, transitions, arcs)
+        and ``"marking"`` (the initial marking).  Reachability analyses
+        read both; the digest is recomputed only when the matching
+        mutation counter moved since the last call, mirroring
+        :meth:`repro.circuit.netlist.Netlist.analysis_fingerprint`.  The
+        net's name is deliberately excluded so structurally equal nets
+        share cached results.
+        """
+        import hashlib
+
+        cache = getattr(self, "_fingerprint_cache", None)
+        if cache is None:
+            cache = self._fingerprint_cache = {}
+        if aspect == "structure":
+            version = self._structure_version
+        elif aspect == "marking":
+            version = self._marking_version
+        else:
+            raise ValueError(f"unknown fingerprint aspect {aspect!r}")
+        cached = cache.get(aspect)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        if aspect == "marking":
+            payload = repr(self._initial_marking.as_dict())
+        else:
+            parts = [
+                repr([(p.name, p.capacity) for p in self._places.values()]),
+                repr([(t.name, t.label) for t in self._transitions.values()]),
+                repr(sorted((t, sorted(ins.items())) for t, ins in self._inputs.items())),
+                repr(sorted((t, sorted(outs.items())) for t, outs in self._outputs.items())),
+            ]
+            payload = "\n".join(parts)
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        fingerprint = (aspect, digest)
+        cache[aspect] = (version, fingerprint)
+        return fingerprint
 
     # -- accessors ---------------------------------------------------------------
     @property

@@ -2,8 +2,24 @@
 
 STG-based synthesis requires the underlying net to be *safe* (1-bounded) and
 live; deadlocks in the specification translate into controllers that hang.
-These checks run on the explicit reachability graph, which is adequate for
-the controller-sized specifications handled by the flow.
+
+Two graph regimes back these checks (see ``docs/reachability.md``):
+
+* **Deadlock queries** (``deadlock_markings``, ``is_deadlock_free``) run on
+  the partial-order *reduced* graph by default -- the stubborn-set
+  exploration preserves the exact deadlock-marking set while visiting far
+  fewer states, which is what makes the full RAPPID control specification
+  checkable at all.
+* **Bound/structure queries** (``max_bound``, ``is_safe``, ``is_live``,
+  ``is_reversible``) need every reachable marking; they build full graphs
+  and *refuse* a reduced graph passed in (:class:`ReductionError`), so a
+  caller can never silently get a wrong bound from a pruned graph.
+
+``is_bounded`` is tri-state underneath: :func:`check_boundedness` separates
+a proven-unbounded net (token-pumping cover witness) from one that merely
+exceeded the exploration ``limit``; the latter raises
+:class:`TruncatedExplorationError` instead of being misreported as
+unbounded.
 """
 
 from __future__ import annotations
@@ -12,19 +28,32 @@ from typing import List, Optional
 
 from repro.petrinet.net import Marking, PetriNet
 from repro.petrinet.reachability import (
+    Boundedness,
     ReachabilityGraph,
+    Reduction,
+    TruncatedExplorationError,
     UnboundedNetError,
     build_reachability_graph,
+    check_boundedness,
 )
 
 
-def _graph(net: PetriNet, graph: Optional[ReachabilityGraph]) -> ReachabilityGraph:
-    return graph if graph is not None else build_reachability_graph(net)
+def _full_graph(
+    net: PetriNet, graph: Optional[ReachabilityGraph], operation: str
+) -> ReachabilityGraph:
+    if graph is None:
+        return build_reachability_graph(net)
+    graph.require_full(operation)
+    return graph
 
 
 def max_bound(net: PetriNet, graph: Optional[ReachabilityGraph] = None) -> int:
-    """Maximum token count observed on any place over all reachable markings."""
-    graph = _graph(net, graph)
+    """Maximum token count observed on any place over all reachable markings.
+
+    Needs the full marking graph: a reduced exploration can prune exactly
+    the interleaving that maximises some place's count.
+    """
+    graph = _full_graph(net, graph, "max_bound")
     bound = 0
     for marking in graph.markings:
         for _place, count in marking.items():
@@ -33,12 +62,21 @@ def max_bound(net: PetriNet, graph: Optional[ReachabilityGraph] = None) -> int:
 
 
 def is_bounded(net: PetriNet, limit: int = 4096) -> bool:
-    """True if exploration completes within ``limit`` markings."""
-    try:
-        build_reachability_graph(net, max_states=limit)
-    except UnboundedNetError:
-        return False
-    return True
+    """True if the net is bounded, False if provably unbounded.
+
+    Backed by the tri-state :func:`check_boundedness`: ``False`` means a
+    genuine token-pumping witness was found, not merely that exploration
+    gave up.  When the verdict is inconclusive (more than ``limit``
+    markings without a witness) this raises
+    :class:`TruncatedExplorationError` rather than guessing either way.
+    """
+    verdict = check_boundedness(net, limit=limit)
+    if verdict is Boundedness.TRUNCATED:
+        raise TruncatedExplorationError(
+            f"exploration truncated at {limit} markings without an "
+            "unboundedness witness; raise the limit to decide"
+        )
+    return verdict is Boundedness.BOUNDED
 
 
 def is_safe(net: PetriNet, graph: Optional[ReachabilityGraph] = None) -> bool:
@@ -52,8 +90,15 @@ def is_safe(net: PetriNet, graph: Optional[ReachabilityGraph] = None) -> bool:
 def deadlock_markings(
     net: PetriNet, graph: Optional[ReachabilityGraph] = None
 ) -> List[Marking]:
-    """Reachable markings from which no transition is enabled."""
-    graph = _graph(net, graph)
+    """Reachable markings from which no transition is enabled.
+
+    When no graph is supplied, a stubborn-set *reduced* graph is built:
+    it contains exactly the same deadlock markings as the full graph
+    (the differential suite pins this) at a fraction of the states.
+    Callers holding a graph of either mode can pass it in.
+    """
+    if graph is None:
+        graph = build_reachability_graph(net, reduction=Reduction.DEADLOCKS)
     return graph.deadlocks()
 
 
@@ -69,9 +114,10 @@ def is_live(net: PetriNet, graph: Optional[ReachabilityGraph] = None) -> bool:
     connected component containing every transition at least once, or more
     generally, from every reachable marking every transition must remain
     fireable in the future.  For the cyclic handshake specifications used in
-    this flow this is the intended notion of liveness.
+    this flow this is the intended notion of liveness.  Needs the full
+    graph -- a reduced one omits markings and interleavings.
     """
-    graph = _graph(net, graph)
+    graph = _full_graph(net, graph, "is_live")
     if not graph.markings:
         return False
 
@@ -84,17 +130,13 @@ def is_live(net: PetriNet, graph: Optional[ReachabilityGraph] = None) -> bool:
     # graph.  We compute, per marking, the set of transitions fireable in its
     # forward closure via a reverse fixpoint: a transition t is "live from m"
     # if some path from m fires t.
-    successors = {}
-    for (source, transition), target in graph.edges.items():
-        successors.setdefault(source, []).append((transition, target))
-
     for marking in graph.markings:
         reachable_transitions = set()
         stack = [marking]
         visited = {marking}
         while stack:
             current = stack.pop()
-            for transition, target in successors.get(current, []):
+            for transition, target in graph.successors(current):
                 reachable_transitions.add(transition)
                 if target not in visited:
                     visited.add(target)
@@ -105,12 +147,12 @@ def is_live(net: PetriNet, graph: Optional[ReachabilityGraph] = None) -> bool:
 
 
 def is_reversible(net: PetriNet, graph: Optional[ReachabilityGraph] = None) -> bool:
-    """True if the initial marking is reachable from every reachable marking."""
-    graph = _graph(net, graph)
+    """True if the initial marking is reachable from every reachable marking.
+
+    Needs the full graph for the same reason as :func:`is_live`.
+    """
+    graph = _full_graph(net, graph, "is_reversible")
     initial = net.initial_marking
-    successors = {}
-    for (source, transition), target in graph.edges.items():
-        successors.setdefault(source, []).append(target)
 
     for marking in graph.markings:
         if marking == initial:
@@ -120,7 +162,7 @@ def is_reversible(net: PetriNet, graph: Optional[ReachabilityGraph] = None) -> b
         found = False
         while stack and not found:
             current = stack.pop()
-            for target in successors.get(current, []):
+            for _transition, target in graph.successors(current):
                 if target == initial:
                     found = True
                     break

@@ -1,22 +1,78 @@
 """Explicit-state reachability analysis for Petri nets.
 
 The Relative Timing synthesis flow (Figure 2 of the paper) starts with
-*reachability analysis* of the specification STG.  The underlying engine is
-an ordinary breadth-first exploration of the marking graph with an optional
-state cap so that unbounded nets are detected instead of exhausting memory.
+*reachability analysis* of the specification STG.  Two exploration modes
+are provided:
+
+* **Full** breadth-first exploration of the marking graph
+  (:func:`build_reachability_graph` with the default
+  ``reduction=Reduction.FULL``) -- every reachable marking and every
+  edge.  This is what state-based synthesis needs: CSC detection and
+  state assignment in :mod:`repro.synthesis.speed_independent` must see
+  every state, so that flow always requests the full graph.
+
+* **Partial-order reduced** exploration (:func:`explore` /
+  ``reduction=Reduction.DEADLOCKS``): at each marking only a *stubborn
+  set* of the enabled transitions is fired -- a subset closed under
+  static conflict/dependency relations precomputed once per net
+  (:class:`_StubbornRelations`).  The reduced graph visits a (often
+  exponentially smaller) subset of the markings while provably
+  containing **exactly the same deadlock markings** as the full graph,
+  which is what the property checks in :mod:`repro.petrinet.properties`
+  and the large-specification verification flow actually query.
+  Queries that need every marking (``max_bound``, ``is_safe``,
+  ``is_live``, ``is_reversible``) refuse reduced graphs with
+  :class:`ReductionError` -- see :meth:`ReachabilityGraph.require_full`.
+
+The soundness argument for the deadlock-preserving stubborn sets, the
+choice of static relations, and which callers get reduced versus full
+graphs are documented in ``docs/reachability.md``.
 """
 
 from __future__ import annotations
 
+import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.petrinet.net import Marking, PetriNet, PetriNetError
 
 
 class UnboundedNetError(PetriNetError):
     """Raised when reachability exploration detects an unbounded net."""
+
+
+class TruncatedExplorationError(PetriNetError):
+    """Exploration hit its state cap without proving either verdict.
+
+    Distinct from :class:`UnboundedNetError`: the net may be bounded but
+    larger than the cap.  Raised by ``is_bounded`` when
+    :func:`check_boundedness` returns :attr:`Boundedness.TRUNCATED`.
+    """
+
+
+class ReductionError(PetriNetError):
+    """Raised when a full-graph query is asked of a reduced graph.
+
+    A partial-order reduced graph preserves deadlock markings but not
+    the full marking set, so callers that need every marking (bound
+    computation, liveness, reversibility, state-graph construction)
+    must build with ``reduction=Reduction.FULL``.
+    """
+
+
+class Reduction(str, enum.Enum):
+    """Exploration mode of a reachability graph.
+
+    ``FULL`` explores every enabled transition at every marking.
+    ``DEADLOCKS`` fires only a stubborn subset per marking; the reduced
+    graph contains a subset of the reachable markings but exactly the
+    same deadlock markings as the full graph.
+    """
+
+    FULL = "full"
+    DEADLOCKS = "deadlocks"
 
 
 @dataclass
@@ -28,18 +84,42 @@ class ReachabilityGraph:
     net:
         The underlying Petri net.
     markings:
-        All reachable markings in discovery (BFS) order.
+        All explored markings in discovery (BFS) order.
     edges:
         Mapping ``(marking, transition) -> successor marking``.
+    reduction:
+        The :class:`Reduction` mode the graph was built with.  Derived
+        sets (deadlocks, occurrence counts, the membership set, the
+        successor index) are cached on first use -- the graph is
+        immutable once built, so no invalidation is needed.
     """
 
     net: PetriNet
     markings: List[Marking] = field(default_factory=list)
     edges: Dict[Tuple[Marking, str], Marking] = field(default_factory=dict)
+    reduction: Reduction = Reduction.FULL
 
     @property
     def initial_marking(self) -> Marking:
         return self.net.initial_marking
+
+    @property
+    def is_reduced(self) -> bool:
+        return self.reduction is not Reduction.FULL
+
+    def require_full(self, operation: str) -> None:
+        """Raise :class:`ReductionError` unless this is a full graph.
+
+        Guards queries whose answers are only correct on the complete
+        marking set; the reduced graph preserves deadlocks, not bounds
+        or cyclic structure.
+        """
+        if self.is_reduced:
+            raise ReductionError(
+                f"{operation} needs the full marking graph, but this graph "
+                f"was built with reduction={self.reduction.value!r}; rebuild "
+                "with reduction=Reduction.FULL"
+            )
 
     def __len__(self) -> int:
         return len(self.markings)
@@ -48,41 +128,76 @@ class ReachabilityGraph:
         return marking in self._marking_set()
 
     def _marking_set(self) -> Set[Marking]:
-        if not hasattr(self, "_cached_set") or len(self._cached_set) != len(self.markings):
-            self._cached_set: Set[Marking] = set(self.markings)
-        return self._cached_set
+        cached = getattr(self, "_cached_set", None)
+        if cached is None:
+            cached = self._cached_set = set(self.markings)
+        return cached
+
+    def _successor_index(self) -> Dict[Marking, List[Tuple[str, Marking]]]:
+        cached = getattr(self, "_cached_successors", None)
+        if cached is None:
+            cached = {}
+            for (source, transition), target in self.edges.items():
+                cached.setdefault(source, []).append((transition, target))
+            self._cached_successors = cached
+        return cached
 
     def successors(self, marking: Marking) -> Iterator[Tuple[str, Marking]]:
         """Yield ``(transition, successor)`` pairs from ``marking``."""
-        for (source, transition), target in self.edges.items():
-            if source == marking:
-                yield transition, target
+        yield from self._successor_index().get(marking, [])
 
     def enabled(self, marking: Marking) -> List[str]:
-        """Transitions enabled in ``marking`` according to the explored graph."""
-        return [t for (m, t) in self.edges if m == marking]
+        """Transitions with an explored edge from ``marking``.
+
+        On a reduced graph this is the fired stubborn subset, not the
+        full enabled set -- use ``net.enabled_transitions`` for that.
+        """
+        return [t for t, _target in self._successor_index().get(marking, [])]
 
     def deadlocks(self) -> List[Marking]:
-        """Markings with no outgoing edges."""
-        with_successors = {source for (source, _t) in self.edges}
-        return [m for m in self.markings if m not in with_successors]
+        """Markings with no outgoing edges (cached after first call).
+
+        Identical between full and deadlock-reduced graphs; that
+        equality is the reduction's contract and is pinned by the
+        differential suite.
+        """
+        cached = getattr(self, "_cached_deadlocks", None)
+        if cached is None:
+            with_successors = {source for (source, _t) in self.edges}
+            cached = self._cached_deadlocks = [
+                m for m in self.markings if m not in with_successors
+            ]
+        return list(cached)
 
     def transition_occurrences(self, transition: str) -> int:
-        """Number of edges labelled with ``transition``."""
-        return sum(1 for (_m, t) in self.edges if t == transition)
+        """Number of edges labelled with ``transition`` (cached counts)."""
+        cached = getattr(self, "_cached_occurrences", None)
+        if cached is None:
+            cached = {}
+            for (_m, t) in self.edges:
+                cached[t] = cached.get(t, 0) + 1
+            self._cached_occurrences = cached
+        return cached.get(transition, 0)
 
 
 def build_reachability_graph(
     net: PetriNet,
     max_states: int = 1_000_000,
     bound: Optional[int] = None,
+    reduction: Reduction = Reduction.FULL,
 ) -> ReachabilityGraph:
-    """Explore all reachable markings of ``net`` breadth-first.
+    """Explore the reachable markings of ``net``.
 
-    Exploration runs on the interned integer encoding of
+    With the default ``reduction=Reduction.FULL`` this is a breadth-first
+    exploration of every marking on the interned integer encoding of
     :mod:`repro.engine.marking`; markings and edges come back in the same
     BFS order (and with the same error behaviour) as the retained
     :func:`_reference_build_reachability_graph`.
+
+    With ``reduction=Reduction.DEADLOCKS`` exploration delegates to the
+    stubborn-set core :func:`explore`, which fires only a sound subset
+    of the enabled transitions per marking while preserving the exact
+    deadlock-marking set.
 
     Parameters
     ----------
@@ -93,8 +208,15 @@ def build_reachability_graph(
         :class:`UnboundedNetError` since the STGs in this flow are finite.
     bound:
         If given, raise :class:`UnboundedNetError` as soon as any place
-        exceeds ``bound`` tokens.  The STG flow uses ``bound=1`` (safe nets).
+        exceeds ``bound`` tokens.  The STG flow uses ``bound=1`` (safe
+        nets).  Under reduction the check is one-sided: a raise is
+        always a genuine violation, but a violation only reachable via
+        pruned interleavings may go unreported -- bound questions need
+        the full graph (see ``docs/reachability.md``).
     """
+    reduction = Reduction(reduction)
+    if reduction is not Reduction.FULL:
+        return explore(net, max_states=max_states, bound=bound, reduction=reduction)
     from repro.engine.marking import explore_net
 
     codec, markings, edges = explore_net(net, max_states, bound, UnboundedNetError)
@@ -116,7 +238,9 @@ def _reference_build_reachability_graph(
 
     Kept as the oracle for the differential test suite; behaviour
     (marking order, edge order, raised errors) defines what
-    :func:`build_reachability_graph` must reproduce.
+    :func:`build_reachability_graph` must reproduce in full mode, and
+    what the reduced mode of :func:`explore` must agree with on
+    deadlock sets.
     """
     graph = ReachabilityGraph(net=net)
     initial = net.initial_marking
@@ -146,3 +270,421 @@ def _reference_build_reachability_graph(
                 graph.markings.append(successor)
                 queue.append(successor)
     return graph
+
+
+# ---------------------------------------------------------------------------
+# Boundedness (tri-state)
+# ---------------------------------------------------------------------------
+
+
+class Boundedness(str, enum.Enum):
+    """Verdict of :func:`check_boundedness`."""
+
+    BOUNDED = "bounded"
+    UNBOUNDED = "unbounded"
+    TRUNCATED = "truncated"
+
+
+def check_boundedness(net: PetriNet, limit: int = 4096) -> Boundedness:
+    """Decide boundedness with an explicit *unknown* verdict.
+
+    BFS over count-tuple markings with a Karp--Miller-style witness: a
+    new marking that strictly covers one of its BFS-tree ancestors
+    proves the covering firing sequence can be repeated to pump tokens
+    without bound -- ``UNBOUNDED``, regardless of ``limit``.  If the
+    state cap is hit without such a witness the verdict is
+    ``TRUNCATED`` (the net may be bounded but larger than ``limit``),
+    never a silent "unbounded" -- that conflation was the old
+    ``is_bounded`` behaviour.
+    """
+    from repro.engine.marking import NetEncoding
+
+    codec = NetEncoding.for_net(net)
+    consume = codec.consume
+    produce = codec.produce
+    capacities = codec.capacities
+    check_capacity = any(c is not None for c in capacities)
+    transitions = range(len(consume))
+
+    initial = codec.encode(net.initial_marking)
+    keys: List[Tuple[int, ...]] = [initial]
+    parent: List[int] = [-1]
+    index: Dict[Tuple[int, ...], int] = {initial: 0}
+    head = 0
+    while head < len(keys):
+        marking = keys[head]
+        source = head
+        head += 1
+        for t in transitions:
+            enabled = True
+            for slot, weight in consume[t]:
+                if marking[slot] < weight:
+                    enabled = False
+                    break
+            if not enabled:
+                continue
+            counts = list(marking)
+            for slot, weight in consume[t]:
+                counts[slot] -= weight
+            for slot, weight in produce[t]:
+                counts[slot] += weight
+            if check_capacity:
+                for slot in codec._sorted_slots:
+                    capacity = capacities[slot]
+                    if capacity is not None and counts[slot] > capacity:
+                        raise PetriNetError(
+                            f"firing {codec.transition_names[t]!r} exceeds "
+                            f"capacity of place {codec.place_names[slot]!r}"
+                        )
+            successor = tuple(counts)
+            if successor in index:
+                continue
+            ancestor = source
+            while ancestor != -1:
+                candidate = keys[ancestor]
+                if candidate != successor and all(
+                    successor[slot] >= candidate[slot]
+                    for slot in range(len(successor))
+                ):
+                    return Boundedness.UNBOUNDED
+                ancestor = parent[ancestor]
+            if len(index) >= limit:
+                return Boundedness.TRUNCATED
+            index[successor] = len(keys)
+            parent.append(source)
+            keys.append(successor)
+    return Boundedness.BOUNDED
+
+
+# ---------------------------------------------------------------------------
+# Partial-order reduction: stubborn sets
+# ---------------------------------------------------------------------------
+
+
+class _StubbornRelations:
+    """Static conflict/dependency relations of a net, computed once.
+
+    All sets are expressed over the transition indices of the net's
+    :class:`~repro.engine.marking.NetEncoding` so the per-marking
+    stubborn closure is pure integer work:
+
+    ``interfere[t]``
+        Transitions that can disable ``t`` or be disabled by ``t``:
+        ``t'`` interferes with ``t`` iff the preset of one intersects
+        the set of places the other net-decreases.  This is the D2
+        closure seed -- every enabled stubborn member drags its
+        interferers into the set so that transitions left outside can
+        neither disable nor be disabled by the fired subset.
+
+    ``enablers_by_slot[p]``
+        Transitions with a positive net effect on place ``p`` -- the D1
+        closure seed: a disabled stubborn member needs more tokens on
+        some insufficient input place, and only these transitions can
+        provide them.
+
+    Cached per net keyed by its ``_structure_version`` counter, exactly
+    like the engine's :class:`~repro.engine.marking.NetEncoding`.
+    """
+
+    __slots__ = ("interfere", "enablers_by_slot", "num_transitions")
+
+    def __init__(self, codec) -> None:
+        consume = codec.consume
+        produce = codec.produce
+        num_places = len(codec.place_names)
+        count = len(codec.transition_names)
+        self.num_transitions = count
+
+        pre_mask: List[int] = []
+        dec_mask: List[int] = []
+        effects: List[Dict[int, int]] = []
+        for t in range(count):
+            effect: Dict[int, int] = {}
+            pre = 0
+            for slot, weight in consume[t]:
+                effect[slot] = effect.get(slot, 0) - weight
+                pre |= 1 << slot
+            for slot, weight in produce[t]:
+                effect[slot] = effect.get(slot, 0) + weight
+            effects.append(effect)
+            pre_mask.append(pre)
+            dec = 0
+            for slot, delta in effect.items():
+                if delta < 0:
+                    dec |= 1 << slot
+            dec_mask.append(dec)
+
+        self.interfere: List[Tuple[int, ...]] = []
+        for t in range(count):
+            members = [
+                u
+                for u in range(count)
+                if u != t
+                and (pre_mask[u] & dec_mask[t] or pre_mask[t] & dec_mask[u])
+            ]
+            self.interfere.append(tuple(members))
+
+        enablers: List[List[int]] = [[] for _ in range(num_places)]
+        for t in range(count):
+            for slot, delta in effects[t].items():
+                if delta > 0:
+                    enablers[slot].append(t)
+        self.enablers_by_slot: List[Tuple[int, ...]] = [
+            tuple(ts) for ts in enablers
+        ]
+
+    @classmethod
+    def for_net(cls, net: PetriNet, codec) -> "_StubbornRelations":
+        version = getattr(net, "_structure_version", None)
+        cached = getattr(net, "_stubborn_relations", None)
+        if cached is not None and version is not None and cached[0] == version:
+            return cached[1]
+        relations = cls(codec)
+        if version is not None:
+            net._stubborn_relations = (version, relations)
+        return relations
+
+
+def _stubborn_subset(
+    relations: _StubbornRelations,
+    enabled: Sequence[int],
+    enabled_set: Set[int],
+    insufficient_slot,
+) -> Sequence[int]:
+    """A stubborn subset of ``enabled`` at the current marking.
+
+    Tries every enabled transition as the closure seed and keeps the
+    candidate whose enabled part is smallest (ties break towards the
+    lowest seed index, so exploration is deterministic); a singleton is
+    returned immediately.  The closure rules are the classic
+    deadlock-preserving stubborn-set conditions:
+
+    * an *enabled* member pulls in its ``interfere`` set (D2), and
+    * a *disabled* member picks its first insufficient input place and
+      pulls in that place's ``enablers`` (D1).
+    """
+    total = len(enabled)
+    if total <= 1:
+        return enabled
+    interfere = relations.interfere
+    enablers_by_slot = relations.enablers_by_slot
+    best: Sequence[int] = enabled
+    for seed in enabled:
+        members = {seed}
+        stack = [seed]
+        enabled_members = 1
+        while stack and enabled_members < total:
+            t = stack.pop()
+            if t in enabled_set:
+                additions = interfere[t]
+            else:
+                additions = enablers_by_slot[insufficient_slot(t)]
+            for u in additions:
+                if u not in members:
+                    members.add(u)
+                    if u in enabled_set:
+                        enabled_members += 1
+                    stack.append(u)
+        if enabled_members >= total:
+            continue
+        candidate = [t for t in enabled if t in members]
+        if len(candidate) == 1:
+            return candidate
+        if len(candidate) < len(best):
+            best = candidate
+    return best
+
+
+def explore(
+    net: PetriNet,
+    max_states: int = 1_000_000,
+    bound: Optional[int] = None,
+    reduction: Reduction = Reduction.DEADLOCKS,
+) -> ReachabilityGraph:
+    """Stubborn-set reduced exploration core.
+
+    At each marking only a stubborn subset of the enabled transitions is
+    fired (see :func:`_stubborn_subset`); the resulting graph explores a
+    subset of the reachable markings while containing exactly the same
+    deadlock markings as the full graph built by
+    :func:`build_reachability_graph` /
+    :func:`_reference_build_reachability_graph` -- the differential
+    contract pinned by the test suite.  ``reduction=Reduction.FULL``
+    simply delegates to the full builder.
+
+    Error behaviour mirrors the full exploration one-sidedly: a raised
+    ``bound`` violation or ``max_states`` cap is always genuine, but a
+    violation only reachable through pruned interleavings may be
+    missed; use the full graph for bound questions.
+    """
+    reduction = Reduction(reduction)
+    if reduction is Reduction.FULL:
+        return build_reachability_graph(net, max_states=max_states, bound=bound)
+    from repro.engine.marking import EncodingError, NetEncoding
+
+    codec = NetEncoding.for_net(net)
+    relations = _StubbornRelations.for_net(net, codec)
+    initial = net.initial_marking
+    if bound == 1 and codec.bit_capable:
+        try:
+            initial_bits = codec.encode_bits(initial)
+        except EncodingError:
+            pass  # initial marking itself is unsafe: fall through
+        else:
+            keys, edges = _explore_reduced_bits(
+                codec, relations, initial_bits, max_states
+            )
+            markings = [codec.decode_bits(key) for key in keys]
+            return _materialise(net, codec, markings, edges, reduction)
+    count_keys, edges = _explore_reduced_counts(
+        codec, relations, codec.encode(initial), max_states, bound
+    )
+    markings = [codec.decode(key) for key in count_keys]
+    return _materialise(net, codec, markings, edges, reduction)
+
+
+def _materialise(
+    net: PetriNet,
+    codec,
+    markings: List[Marking],
+    edges: List[Tuple[int, int, int]],
+    reduction: Reduction,
+) -> ReachabilityGraph:
+    graph = ReachabilityGraph(net=net, markings=markings, reduction=reduction)
+    transition_names = codec.transition_names
+    graph.edges = {
+        (markings[source], transition_names[t]): markings[target]
+        for source, t, target in edges
+    }
+    return graph
+
+
+def _explore_reduced_bits(
+    codec,
+    relations: _StubbornRelations,
+    initial: int,
+    max_states: int,
+) -> Tuple[List[int], List[Tuple[int, int, int]]]:
+    """Reduced BFS over bitmask markings with an implicit ``bound=1``."""
+    need_mask = codec.need_mask
+    consume_mask = codec.consume_mask
+    produce_mask = codec.produce_mask
+    transitions = range(len(need_mask))
+
+    keys: List[int] = [initial]
+    index: Dict[int, int] = {initial: 0}
+    edges: List[Tuple[int, int, int]] = []
+    head = 0
+    while head < len(keys):
+        marking = keys[head]
+        source = head
+        head += 1
+        enabled = [t for t in transitions if marking & need_mask[t] == need_mask[t]]
+        if not enabled:
+            continue
+
+        def insufficient_slot(t: int, _marking: int = marking) -> int:
+            missing = need_mask[t] & ~_marking
+            return (missing & -missing).bit_length() - 1
+
+        ample = _stubborn_subset(relations, enabled, set(enabled), insufficient_slot)
+        for t in ample:
+            remainder = marking & ~consume_mask[t]
+            overflow = remainder & produce_mask[t]
+            if overflow:
+                place = codec._first_sorted_slot(overflow)
+                raise UnboundedNetError(
+                    f"place {place!r} exceeds bound 1 "
+                    f"after firing {codec.transition_names[t]!r}"
+                )
+            successor = remainder | produce_mask[t]
+            target = index.get(successor)
+            if target is None:
+                if len(index) >= max_states:
+                    raise UnboundedNetError(
+                        f"state cap of {max_states} markings exceeded; "
+                        "the net is unbounded or too large"
+                    )
+                target = len(keys)
+                index[successor] = target
+                keys.append(successor)
+            edges.append((source, t, target))
+    return keys, edges
+
+
+def _explore_reduced_counts(
+    codec,
+    relations: _StubbornRelations,
+    initial: Tuple[int, ...],
+    max_states: int,
+    bound: Optional[int],
+) -> Tuple[List[Tuple[int, ...]], List[Tuple[int, int, int]]]:
+    """Reduced BFS over count-tuple markings (weighted arcs, any bound)."""
+    consume = codec.consume
+    produce = codec.produce
+    capacities = codec.capacities
+    names = codec.place_names
+    transition_names = codec.transition_names
+    sorted_slots = codec._sorted_slots
+    transitions = range(len(consume))
+    check_capacity = any(c is not None for c in capacities)
+
+    keys: List[Tuple[int, ...]] = [initial]
+    index: Dict[Tuple[int, ...], int] = {initial: 0}
+    edges: List[Tuple[int, int, int]] = []
+    head = 0
+    while head < len(keys):
+        marking = keys[head]
+        source = head
+        head += 1
+        enabled = []
+        for t in transitions:
+            for slot, weight in consume[t]:
+                if marking[slot] < weight:
+                    break
+            else:
+                enabled.append(t)
+        if not enabled:
+            continue
+
+        def insufficient_slot(t: int, _marking: Tuple[int, ...] = marking) -> int:
+            for slot, weight in consume[t]:
+                if _marking[slot] < weight:
+                    return slot
+            raise AssertionError("transition is enabled")  # pragma: no cover
+
+        ample = _stubborn_subset(relations, enabled, set(enabled), insufficient_slot)
+        for t in ample:
+            counts = list(marking)
+            for slot, weight in consume[t]:
+                counts[slot] -= weight
+            for slot, weight in produce[t]:
+                counts[slot] += weight
+            if check_capacity:
+                for slot in sorted_slots:
+                    capacity = capacities[slot]
+                    if capacity is not None and counts[slot] > capacity:
+                        raise PetriNetError(
+                            f"firing {transition_names[t]!r} exceeds "
+                            f"capacity of place {names[slot]!r}"
+                        )
+            if bound is not None:
+                for slot in sorted_slots:
+                    if counts[slot] > bound:
+                        raise UnboundedNetError(
+                            f"place {names[slot]!r} exceeds bound {bound} "
+                            f"after firing {transition_names[t]!r}"
+                        )
+            successor = tuple(counts)
+            target = index.get(successor)
+            if target is None:
+                if len(index) >= max_states:
+                    raise UnboundedNetError(
+                        f"state cap of {max_states} markings exceeded; "
+                        "the net is unbounded or too large"
+                    )
+                target = len(keys)
+                index[successor] = target
+                keys.append(successor)
+            edges.append((source, t, target))
+    return keys, edges

@@ -242,6 +242,108 @@ def fifo_ring_environment(name: str = "fifo_ring") -> SignalTransitionGraph:
     return stg
 
 
+def _handshake_cycle(builder: StgBuilder, req: str, ack: str) -> None:
+    """Four-phase handshake cycle ``req+ -> ack+ -> req- -> ack-`` (marked back)."""
+    builder.arc(f"{req}+", f"{ack}+")
+    builder.arc(f"{ack}+", f"{req}-")
+    builder.arc(f"{req}-", f"{ack}-")
+    builder.arc(f"{ack}-", f"{req}+", marked=True)
+
+
+def _couple_stages(builder: StgBuilder, ack: str, req: str, eps_key: str) -> None:
+    """FIFO-cell coupling between adjacent handshakes (Figure 3's epsilon).
+
+    Data acknowledged on the upstream handshake triggers the downstream
+    request, and the upstream acknowledge is held until that request has
+    been issued, so each byte latch hands its value safely forward.
+    """
+    eps = builder.silent(eps_key)
+    builder.arc(f"{ack}+", eps)
+    builder.arc(eps, f"{req}+")
+    builder.arc(f"{req}+", f"{ack}-")
+
+
+def rappid_column_controller(
+    n_bytes: int = 2, name: str = "rappid_column"
+) -> SignalTransitionGraph:
+    """One column of the RAPPID length-decode array, as a single controller.
+
+    A chain of ``n_bytes`` FIFO-cell stages (the byte latches of one
+    decode column) between the dispatcher handshake ``li``/``lo`` and the
+    crossbar port ``xr``/``xa``; interior stage handshakes ``r<k>``/
+    ``a<k>`` are internal signals.  ``n_bytes=1`` is exactly
+    :func:`fifo_controller` with RAPPID port names, so the synthesis and
+    conformance flows that handle the FIFO cell scale along this family.
+    """
+    if n_bytes < 1:
+        raise ValueError("a decode column needs at least one byte stage")
+    builder = StgBuilder(name)
+    builder.inputs("li", "xa")
+    builder.outputs("lo", "xr")
+    # Handshake k runs between stage k-1 and stage k; handshake 0 is the
+    # dispatcher side, handshake n_bytes the crossbar side.
+    reqs = ["li"] + [f"r{k}" for k in range(1, n_bytes)] + ["xr"]
+    acks = ["lo"] + [f"a{k}" for k in range(1, n_bytes)] + ["xa"]
+    for k in range(1, n_bytes):
+        builder.internal(reqs[k])
+        builder.internal(acks[k])
+    for req, ack in zip(reqs, acks):
+        _handshake_cycle(builder, req, ack)
+    for k in range(n_bytes):
+        _couple_stages(builder, acks[k], reqs[k + 1], f"eps{k}")
+    return builder.build()
+
+
+def rappid_control(
+    n_bytes: int = 1, n_columns: int = 2, name: str = "rappid_control"
+) -> SignalTransitionGraph:
+    """The multi-column RAPPID length-decode + crossbar control.
+
+    The paper's decoder dispatches an instruction-cache line to
+    ``n_columns`` decode columns, each rippling a byte-latch token through
+    ``n_bytes`` FIFO-cell stages before handing its decoded length to the
+    crossbar.  This spec is the control skeleton of that array as one flat
+    STG (a marked graph -- forks and joins, no choice):
+
+    * dispatcher handshake ``go``/``gack`` (environment issues ``go``);
+    * ``gack+`` forks a request into every column (and is not released
+      until each column has accepted it -- the join back into ``gack-``);
+    * column ``c`` is a chain of ``n_bytes`` stage handshakes
+      ``r<c>_<k>``/``a<c>_<k>`` (internal), FIFO-cell coupled;
+    * each column terminates in its crossbar port ``xr<c>``/``xa<c>``.
+
+    Columns run fully concurrently, so the full marking graph grows as
+    (states per column)**``n_columns`` -- the state-explosion wall.  The
+    stubborn-set reduced exploration collapses this to roughly the sum of
+    the column lengths, which is what makes the paper-scale instance
+    (16 bytes x 4 columns) checkable; see ``docs/reachability.md``.
+    """
+    if n_bytes < 1 or n_columns < 1:
+        raise ValueError("need at least one byte stage and one column")
+    builder = StgBuilder(name)
+    builder.input("go")
+    builder.output("gack")
+    _handshake_cycle(builder, "go", "gack")
+    for c in range(n_columns):
+        builder.input(f"xa{c}")
+        builder.output(f"xr{c}")
+        reqs = [f"r{c}_{k}" for k in range(n_bytes)] + [f"xr{c}"]
+        acks = [f"a{c}_{k}" for k in range(n_bytes)] + [f"xa{c}"]
+        for k in range(n_bytes):
+            builder.internal(reqs[k])
+            builder.internal(acks[k])
+        for req, ack in zip(reqs, acks):
+            _handshake_cycle(builder, req, ack)
+        # Fork: the dispatcher acknowledge issues the column's first
+        # stage request; the join holds gack high until every column has
+        # handed its decoded length to the crossbar (one line in flight).
+        _couple_stages(builder, "gack", reqs[0], f"eps_fork{c}")
+        builder.arc(f"xa{c}+", "gack-")
+        for k in range(n_bytes):
+            _couple_stages(builder, acks[k], reqs[k + 1], f"eps{c}_{k}")
+    return builder.build()
+
+
 ALL_SPECS = {
     "handshake": simple_handshake,
     "fifo": fifo_controller,
@@ -251,6 +353,8 @@ ALL_SPECS = {
     "latch_ctrl": pipeline_latch_controller,
     "toggle": toggle,
     "call": call_element,
+    "rappid_column": rappid_column_controller,
+    "rappid_control": rappid_control,
 }
 
 

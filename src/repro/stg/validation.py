@@ -17,11 +17,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Set, Tuple
 
+from repro.petrinet.net import PetriNet
 from repro.petrinet.reachability import (
+    ReachabilityGraph,
     UnboundedNetError,
-    build_reachability_graph,
 )
 from repro.stg.model import SignalKind, SignalTransitionGraph
+
+# Both the safeness/deadlock battery and the persistency scan walk the
+# same full marking graph; resolving it through the analysis manager
+# means one enumeration per net -- shared between the two checks here,
+# repeated validations, and the conformance spec index.
+_VALIDATION_MAX_STATES = 200_000
+
+
+def _full_graph(net: PetriNet) -> ReachabilityGraph:
+    from repro import analysis
+
+    return analysis.get(
+        net, "reachability-full", max_states=_VALIDATION_MAX_STATES, bound=None
+    )
 
 
 @dataclass
@@ -120,7 +135,7 @@ def check_output_persistency(stg: SignalTransitionGraph) -> List[str]:
     seen_pairs: Set[Tuple[str, str]] = set()
 
     try:
-        graph = build_reachability_graph(net)
+        graph = _full_graph(net)
     except UnboundedNetError:
         return ["net is unbounded; persistency not checked"]
 
@@ -165,7 +180,7 @@ def validate_stg(stg: SignalTransitionGraph) -> ValidationReport:
         report.errors.append("STG declares no signals")
 
     try:
-        graph = build_reachability_graph(net, max_states=200_000, bound=None)
+        graph = _full_graph(net)
     except UnboundedNetError as exc:
         report.bounded = False
         report.safe = False

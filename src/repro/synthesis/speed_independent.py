@@ -72,6 +72,14 @@ def synthesize_si(
     state-graph construction, next-state function derivation with only the
     unreachable codes as don't cares, minimization, and complex-gate netlist
     construction.
+
+    State-based synthesis always enumerates the **full** state graph:
+    CSC detection and the on/off/don't-care sets read every reachable
+    state, so the partial-order reduced exploration that accelerates the
+    deadlock checks in :mod:`repro.petrinet.properties` is of no use
+    here (and :class:`~repro.petrinet.reachability.ReachabilityGraph`
+    refuses bound-style queries on reduced graphs for exactly that
+    reason -- see ``docs/reachability.md``).
     """
     validation = validate_stg(stg) if validate else ValidationReport()
     if validate and not validation.ok:

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.circuit.netlist import GateInstance, Netlist
 from repro.core.assumptions import RelativeTimingConstraint
 from repro.petrinet.net import Marking
+from repro.petrinet.reachability import ReachabilityGraph
 from repro.stg.model import (
     Direction,
     SignalKind,
@@ -91,27 +92,87 @@ def _excited_gates(netlist: Netlist, values: Dict[str, int]) -> List[Tuple[GateI
     return excited
 
 
-def _spec_enabled_inputs(
-    stg: SignalTransitionGraph, marking: Marking
-) -> List[Tuple[str, SignalTransition]]:
-    """Input (or silent) transitions the specification may fire."""
-    enabled = []
-    for transition in stg.net.enabled_transitions(marking):
-        label = stg.label_of(transition)
-        if label is None or stg.signal_kind(label.signal) is SignalKind.INPUT:
-            enabled.append((transition, label))
-    return enabled
+_SpecEntry = Tuple[str, Optional[SignalTransition], Marking]
 
 
-def _spec_transition_for(
-    stg: SignalTransitionGraph, marking: Marking, signal: str, direction: Direction
-) -> Optional[str]:
-    """An enabled spec transition matching the given signal change, if any."""
-    for transition in stg.net.enabled_transitions(marking):
-        label = stg.label_of(transition)
-        if label is not None and label.signal == signal and label.direction is direction:
-            return transition
-    return None
+class _SpecIndex:
+    """Per-marking memo of the specification net's enabled transitions.
+
+    The composed exploration queries the specification at every state --
+    which inputs may fire, whether an output edge matches an enabled
+    transition, what the successor marking is -- and distinct circuit
+    states share spec markings heavily, so each distinct marking is
+    resolved against the net exactly once.  Entries preserve the order of
+    ``net.enabled_transitions`` (the differential suite pins the whole
+    exploration bit-identical to the unindexed code).
+
+    When a prebuilt reachability graph of the spec net is supplied, its
+    edges seed the memo.  It must be a **full** graph: a partial-order
+    reduced graph omits enabled transitions per marking, which would
+    silently turn allowed circuit outputs into conformance failures --
+    :meth:`~repro.petrinet.reachability.ReachabilityGraph.require_full`
+    enforces the distinction (deadlock-style queries are where reduced
+    graphs belong; see ``docs/reachability.md``).
+    """
+
+    def __init__(
+        self,
+        stg: SignalTransitionGraph,
+        spec_graph: Optional[ReachabilityGraph] = None,
+    ) -> None:
+        self._stg = stg
+        self._net = stg.net
+        self._cache: Dict[Marking, List[_SpecEntry]] = {}
+        if spec_graph is not None:
+            if spec_graph.net is not stg.net:
+                raise ValueError(
+                    "spec_graph was built for a different net than the STG's"
+                )
+            spec_graph.require_full("verify_conformance")
+            label_of = stg.label_of
+            for marking in spec_graph.markings:
+                self._cache[marking] = [
+                    (transition, label_of(transition), successor)
+                    for transition, successor in spec_graph.successors(marking)
+                ]
+
+    def entries(self, marking: Marking) -> List[_SpecEntry]:
+        """``(transition, label, successor)`` per enabled spec transition."""
+        cached = self._cache.get(marking)
+        if cached is None:
+            net = self._net
+            label_of = self._stg.label_of
+            cached = [
+                (transition, label_of(transition), net.fire(transition, marking))
+                for transition in net.enabled_transitions(marking)
+            ]
+            self._cache[marking] = cached
+        return cached
+
+    def enabled_inputs(self, marking: Marking) -> List[_SpecEntry]:
+        """Input (or silent) transitions the specification may fire."""
+        kind_of = self._stg.signal_kind
+        return [
+            entry
+            for entry in self.entries(marking)
+            if entry[1] is None or kind_of(entry[1].signal) is SignalKind.INPUT
+        ]
+
+    def transition_for(
+        self, marking: Marking, signal: str, direction: Direction
+    ) -> Optional[_SpecEntry]:
+        """The first enabled spec transition matching a signal change."""
+        for entry in self.entries(marking):
+            label = entry[1]
+            if label is not None and label.signal == signal and label.direction is direction:
+                return entry
+        return None
+
+    def enabled_labels(self, marking: Marking) -> Tuple[str, ...]:
+        """Labelled enabled transitions, for failure reports."""
+        return tuple(
+            str(label) for _t, label, _s in self.entries(marking) if label is not None
+        )
 
 
 def verify_conformance(
@@ -120,16 +181,25 @@ def verify_conformance(
     max_states: int = 200_000,
     check_hazards: bool = True,
     allowed_orderings: Optional[Sequence[Tuple[SignalTransition, SignalTransition]]] = None,
+    spec_graph: Optional[ReachabilityGraph] = None,
 ) -> ConformanceResult:
     """Check a circuit against its STG under unbounded gate delays.
 
     ``allowed_orderings`` is used by the RT-enhanced verifier: each entry
     ``(before, after)`` removes interleavings where ``after`` fires while
     ``before`` is still pending, both in the circuit and in the environment.
+
+    ``spec_graph`` optionally supplies a prebuilt **full** reachability
+    graph of the specification net (typically the cached
+    ``reachability-full`` analysis pass), seeding the per-marking spec
+    index so repeated verifications against one spec share the state
+    enumeration.  Reduced graphs are rejected -- the exploration itself
+    must see every spec-enabled transition to judge circuit outputs.
     """
     stg_signals = set(stg.signals)
     interface_outputs = set(stg.outputs) | set(stg.internals)
     orderings = [(str(b), str(a)) for b, a in (allowed_orderings or [])]
+    spec = _SpecIndex(stg, spec_graph)
 
     initial_values = {net: netlist.initial_value(net) for net in netlist.nets}
     for signal in stg.signals:
@@ -153,8 +223,9 @@ def verify_conformance(
         excited = _excited_gates(netlist, values)
         for gate, new_value in excited:
             moves.append(("gate", (gate, new_value)))
-        for transition, label in _spec_enabled_inputs(stg, marking):
-            moves.append(("input", (transition, label)))
+        spec_inputs = spec.enabled_inputs(marking)
+        for transition, label, successor_marking in spec_inputs:
+            moves.append(("input", (transition, label, successor_marking)))
 
         # Pending events (for RT pruning and requirement extraction): every
         # excited gate output -- interface or internal -- plus enabled spec
@@ -163,7 +234,7 @@ def verify_conformance(
         for gate, new_value in excited:
             direction = Direction.RISE if new_value == 1 else Direction.FALL
             pending[f"{gate.output}{direction.value}"] = True
-        for _transition, label in _spec_enabled_inputs(stg, marking):
+        for _transition, label, _successor in spec_inputs:
             if label is not None:
                 pending[label.base_name()] = True
 
@@ -190,10 +261,8 @@ def verify_conformance(
                 new_values[gate.output] = new_value
                 new_marking = marking
                 if gate.output in interface_outputs:
-                    spec_transition = _spec_transition_for(
-                        stg, marking, gate.output, direction
-                    )
-                    if spec_transition is None:
+                    spec_entry = spec.transition_for(marking, gate.output, direction)
+                    if spec_entry is None:
                         event = SignalTransition(gate.output, direction)
                         key = ("unexpected_output", str(event) + "|" + ",".join(sorted(pending)))
                         if key not in failure_keys:
@@ -203,30 +272,24 @@ def verify_conformance(
                                     kind="unexpected_output",
                                     event=event,
                                     net_values=circuit_state,
-                                    spec_enabled=tuple(
-                                        str(stg.label_of(t))
-                                        for t in stg.net.enabled_transitions(marking)
-                                        if stg.label_of(t) is not None
-                                    ),
+                                    spec_enabled=spec.enabled_labels(marking),
                                     concurrent_events=tuple(sorted(pending)),
                                 )
                             )
                         continue
-                    new_marking = stg.net.fire(spec_transition, marking)
+                    new_marking = spec_entry[2]
                 successor = (_net_values(new_values), new_marking)
             else:
-                transition, label = payload
+                transition, label, successor_marking = payload
                 if label is None:
-                    new_marking = stg.net.fire(transition, marking)
-                    successor = (circuit_state, new_marking)
+                    successor = (circuit_state, successor_marking)
                 else:
                     if blocked(label.base_name()):
                         continue
                     new_values = dict(values)
                     if label.signal in new_values:
                         new_values[label.signal] = 1 if label.is_rising else 0
-                    new_marking = stg.net.fire(transition, marking)
-                    successor = (_net_values(new_values), new_marking)
+                    successor = (_net_values(new_values), successor_marking)
 
             if successor not in seen:
                 if len(seen) >= max_states:
@@ -255,7 +318,7 @@ def verify_conformance(
                         trial = dict(values)
                         trial[other.output] = other_value
                     else:
-                        _transition, label = payload
+                        _transition, label, _successor = payload
                         if label is None or label.signal not in values:
                             continue
                         trial = dict(values)
@@ -273,11 +336,7 @@ def verify_conformance(
                                     kind="hazard",
                                     event=event,
                                     net_values=circuit_state,
-                                    spec_enabled=tuple(
-                                        str(stg.label_of(t))
-                                        for t in stg.net.enabled_transitions(marking)
-                                        if stg.label_of(t) is not None
-                                    ),
+                                    spec_enabled=spec.enabled_labels(marking),
                                     concurrent_events=tuple(sorted(pending)),
                                 )
                             )

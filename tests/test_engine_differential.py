@@ -22,12 +22,16 @@ from repro.circuit.simulator import (
     _ReferenceEventDrivenSimulator,
     _reference_value_at,
 )
-from repro.engine.marking import NetEncoding
+from repro.engine.marking import EncodingError, NetEncoding
 from repro.petrinet.net import PetriNet
 from repro.petrinet.reachability import (
     UnboundedNetError,
+    _StubbornRelations,
+    _explore_reduced_bits,
+    _explore_reduced_counts,
     _reference_build_reachability_graph,
     build_reachability_graph,
+    explore,
 )
 from repro.rappid.microarch import RappidConfig, RappidDecoder
 from repro.rappid.workload import WorkloadGenerator
@@ -161,6 +165,76 @@ class TestReachabilityDifferential:
         with pytest.raises(UnboundedNetError) as reference_exc:
             _reference_build_reachability_graph(net, max_states=40)
         assert str(fast_exc.value) == str(reference_exc.value)
+
+
+class TestReductionDifferential:
+    """The stubborn-set reduced exploration against the full-BFS oracle.
+
+    :func:`explore` promises exactly the deadlock-marking set of
+    ``_reference_build_reachability_graph`` on a subset of its markings.
+    Both reduced cores are pinned here -- ``_explore_reduced_bits``
+    (bitmask markings, safe nets under ``bound=1``) and
+    ``_explore_reduced_counts`` (count tuples, weighted arcs) -- since a
+    net can take either path depending on its encoding.  The broader
+    battery (library specs, RAPPID family, hypothesis nets, guard rails)
+    lives in ``test_reachability_reduction.py``.
+    """
+
+    @pytest.mark.parametrize("seed", PETRI_SEEDS)
+    def test_reduced_deadlocks_match_reference(self, seed):
+        net = random_bounded_net(seed)
+        reference = _reference_build_reachability_graph(net, max_states=5_000)
+        reduced = explore(net, max_states=5_000)
+        assert set(reduced.deadlocks()) == set(reference.deadlocks())
+        assert set(reduced.markings) <= set(reference.markings)
+
+    @pytest.mark.parametrize("seed", PETRI_SEEDS)
+    def test_both_reduced_cores_preserve_deadlocks(self, seed):
+        """Drive the bits and counts cores directly on safe nets.
+
+        Each core picks its own (equally valid) stubborn sets, so the
+        explored graphs may differ -- but a completed run of either must
+        report the reference's exact deadlock set, and a bound violation
+        raised by either must be genuine (the unreduced bound=1
+        exploration raises too).
+        """
+        net = random_bounded_net(seed, unit_weights=True)
+        codec = NetEncoding.for_net(net)
+        relations = _StubbornRelations.for_net(net, codec)
+        try:
+            initial_bits = codec.encode_bits(net.initial_marking)
+        except EncodingError:
+            return  # initial marking itself is unsafe; bits path N/A
+        reference = _reference_build_reachability_graph(net, max_states=5_000)
+        expected = set(reference.deadlocks())
+        initial_counts = codec.encode(net.initial_marking)
+        for core in (
+            lambda: _explore_reduced_bits(codec, relations, initial_bits, 5_000),
+            lambda: _explore_reduced_counts(
+                codec, relations, initial_counts, 5_000, 1
+            ),
+            lambda: _explore_reduced_counts(
+                codec, relations, initial_counts, 5_000, None
+            ),
+        ):
+            try:
+                keys, edges = core()
+            except UnboundedNetError:
+                # One-sided soundness: the raise must be genuine.
+                with pytest.raises(UnboundedNetError):
+                    _reference_build_reachability_graph(
+                        net, max_states=5_000, bound=1
+                    )
+                continue
+            decode = codec.decode_bits if isinstance(keys[0], int) else codec.decode
+            markings = [decode(key) for key in keys]
+            with_successors = {source for (source, _t, _target) in edges}
+            deadlocks = {
+                marking
+                for position, marking in enumerate(markings)
+                if position not in with_successors
+            }
+            assert deadlocks == expected
 
 
 # ---------------------------------------------------------------------------

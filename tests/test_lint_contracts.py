@@ -1,11 +1,13 @@
 """Tests for scripts/lint_contracts.py on injected tmp-file violations.
 
-The lint guards three repo conventions -- every ``_reference_*`` oracle
-is pinned by the differential suite, engine modules never draw from
-module-global RNG state, and pool dispatch call sites never hide worker
-application errors behind broad exception catches.  Each rule is proven
-to fire on synthetic violations and to stay quiet on the real tree (the
-same invocation ``scripts/check.sh`` runs).
+The lint guards four repo conventions -- every ``_reference_*`` oracle
+is pinned by the differential suite, every reduced exploration path in
+the petrinet package is differentially pinned against the full-graph
+oracle, engine modules never draw from module-global RNG state, and
+pool dispatch call sites never hide worker application errors behind
+broad exception catches.  Each rule is proven to fire on synthetic
+violations and to stay quiet on the real tree (the same invocation
+``scripts/check.sh`` runs).
 """
 
 import sys
@@ -66,6 +68,67 @@ class TestOracleRule:
         )
         oracles = lint_contracts.collect_oracles(src)
         assert [o.message for o in oracles] == ["_reference_method"]
+
+
+class TestReductionRule:
+    def test_unpinned_reduced_function_reported(self, tmp_path):
+        src = tmp_path / "src"
+        module = write(
+            src / "petrinet" / "reachability.py",
+            """\
+            def explore(net):
+                return net
+
+            def _explore_reduced_counts(codec):
+                return codec
+            """,
+        )
+        findings = lint_contracts.run(src, tmp_path / "engine", tmp_path / "t.py")
+        assert [f.rule for f in findings] == ["reduction-untested"] * 2
+        assert "explore" in findings[0].message
+        assert "_reference_build_reachability_graph" in findings[0].message
+        assert findings[0].describe().startswith(f"{module}:1:")
+
+    def test_pinned_reduced_function_passes(self, tmp_path):
+        src = tmp_path / "src"
+        write(src / "petrinet" / "reachability.py", "def explore(net):\n    pass\n")
+        test = write(
+            tmp_path / "t.py",
+            "from reachability import explore\n"
+            "from reachability import _reference_build_reachability_graph\n",
+        )
+        assert lint_contracts.run(src, tmp_path / "engine", test) == []
+
+    def test_reference_without_oracle_still_fires(self, tmp_path):
+        """Mentioning the reduced function is not enough: the test must
+        also reference the full-graph oracle it is compared against."""
+        src = tmp_path / "src"
+        write(src / "petrinet" / "core.py", "def _walk_reduced(net):\n    pass\n")
+        test = write(tmp_path / "t.py", "from core import _walk_reduced\n")
+        findings = lint_contracts.run(src, tmp_path / "engine", test)
+        assert [f.rule for f in findings] == ["reduction-untested"]
+        assert "_walk_reduced" in findings[0].message
+
+    def test_unreduced_functions_are_ignored(self, tmp_path):
+        src = tmp_path / "src"
+        write(
+            src / "petrinet" / "props.py",
+            "def max_bound(net):\n    pass\n\ndef explorer(net):\n    pass\n",
+        )
+        assert lint_contracts.run(src, tmp_path / "engine", tmp_path / "t.py") == []
+
+    def test_property_accessors_are_ignored(self, tmp_path):
+        src = tmp_path / "src"
+        write(
+            src / "petrinet" / "graph.py",
+            """\
+            class Graph:
+                @property
+                def is_reduced(self):
+                    return True
+            """,
+        )
+        assert lint_contracts.run(src, tmp_path / "engine", tmp_path / "t.py") == []
 
 
 class TestRngRule:
