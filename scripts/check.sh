@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== contract lint (oracles + reductions + pinned RNG) =="
+echo "== contract lint (oracles + reductions + pinned RNG + handlers) =="
 python scripts/lint_contracts.py
 
 # Static checkers (configured in pyproject.toml).  CI installs both;
@@ -38,6 +38,13 @@ python -m pytest -x -q tests
 echo "== docs (README snippets + engine docstrings) =="
 python scripts/check_docs.py
 
+# End-to-end service smoke: boots the asyncio decode service on an
+# ephemeral port, pushes a mixed decode/coverage/reachability workload
+# through a real client session, and verifies one decode response
+# bit-identical to the direct engine call (docs/service.md).
+echo "== service smoke (asyncio front end) =="
+python -m repro.service.loadgen --smoke
+
 BENCH_STAMP="$(mktemp)"
 trap 'rm -f "$BENCH_STAMP"' EXIT
 
@@ -57,10 +64,12 @@ fi
 #   BENCH_sim.json       reference vs opcode-kernel transitions/sec
 #   BENCH_faultsim.json  per-fault reference vs batch fault engine + coverage
 #   BENCH_reach.json     full vs partial-order-reduced reachability states
+#   BENCH_service.json   decode-service requests/s + p50/p99 latency +
+#                        coalescing ratio at 1/10/100 concurrent clients
 # In --full mode all files must exist and have been rewritten by the
 # benchmark run just above -- a missing or stale file means the summary
 # test silently stopped running, which should fail loudly here.
-for bench_file in BENCH_sharded.json BENCH_sim.json BENCH_faultsim.json BENCH_reach.json; do
+for bench_file in BENCH_sharded.json BENCH_sim.json BENCH_faultsim.json BENCH_reach.json BENCH_service.json; do
     if [[ ! -f "$bench_file" ]]; then
         if [[ "${1:-}" == "--full" ]]; then
             echo "check.sh: FAIL - $bench_file was not produced" >&2
@@ -105,6 +114,28 @@ print(
     f"over {row['chunks']} chunks; chaos salvage identical={row['chaos_identical']} "
     f"(respawns={health.get('respawns')}, retries={health.get('retries')})"
 )
+EOF
+fi
+
+# The service summary must carry all three concurrency levels; a
+# missing level means the benchmark silently stopped sweeping.
+if [[ "${1:-}" == "--full" && -f BENCH_service.json ]]; then
+    python - <<'EOF'
+import json, sys
+summary = json.load(open("BENCH_service.json"))
+levels = summary.get("levels", {})
+missing = [level for level in ("1", "10", "100") if level not in levels]
+if missing:
+    print(f"check.sh: FAIL - BENCH_service.json lacks levels {missing}", file=sys.stderr)
+    sys.exit(1)
+for level in ("1", "10", "100"):
+    row = levels[level]
+    print(
+        f"service @{level} clients: {row['requests_per_s']} req/s, "
+        f"p50 {row['p50_latency_s'] * 1000:.1f} ms, "
+        f"p99 {row['p99_latency_s'] * 1000:.1f} ms, "
+        f"coalescing {row['coalescing_ratio']}x"
+    )
 EOF
 fi
 echo "check.sh: OK"

@@ -40,6 +40,19 @@ contract.  This lint makes them mechanical:
     sites catch :data:`repro.engine.resilience.INFRA_EXCEPTIONS` or
     route through ``supervised_map``.
 
+``handler-unsupervised-dispatch``
+    Service capability handlers (``src/repro/service/handlers``) sit on
+    the hot path of every client request, so their engine work must go
+    through the supervised entry points built on
+    ``resilience.supervised_map`` (``run_sharded``,
+    ``stuck_at_coverage``/``simulate_faults``, ``explore``/
+    ``build_reachability_graph``) -- never a raw executor.  A raw
+    ``.submit``/``.map``/``get_pool``/``ProcessPoolExecutor`` in a
+    handler bypasses retry, respawn, and salvage, turning any worker
+    death into a client-visible error; and a handler module that
+    references no supervised entry point at all has smuggled its engine
+    access in through some unvetted side door.
+
 Diagnostics are ``file:line: rule: message`` lines on stdout; the exit
 status is the number of findings (0 = clean).  Run by ``scripts/check.sh``
 and CI; ``tests/test_lint_contracts.py`` pins both rules on injected
@@ -270,6 +283,89 @@ def check_dispatch_catches(src_root: Path) -> List[Finding]:
     return findings
 
 
+# The engine entry points whose pool dispatch is already supervised; a
+# handler module must reach the engine through (at least) one of these.
+_SUPERVISED_ENTRY_POINTS = {
+    "supervised_map",
+    "run_sharded",
+    "stuck_at_coverage",
+    "simulate_faults",
+    "explore",
+    "build_reachability_graph",
+}
+
+# Raw dispatch surfaces a handler must never touch directly.
+_RAW_DISPATCH_ATTRS = {
+    "submit",
+    "map_async",
+    "apply_async",
+    "imap",
+    "imap_unordered",
+}
+_RAW_DISPATCH_NAMES = {"get_pool", "ProcessPoolExecutor", "ThreadPoolExecutor"}
+
+
+def check_handler_dispatch(handlers_root: Path) -> List[Finding]:
+    """``handler-unsupervised-dispatch``: raw pool use in service handlers."""
+    findings: List[Finding] = []
+    if not handlers_root.is_dir():
+        return findings
+    for path in sorted(handlers_root.rglob("*.py")):
+        if path.name == "__init__.py":
+            continue
+        tree = _parse(path)
+        text = path.read_text()
+        supervised = any(
+            entry in text for entry in _SUPERVISED_ENTRY_POINTS
+        )
+        raw_sites: List[int] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _RAW_DISPATCH_ATTRS
+            ):
+                raw_sites.append(node.lineno)
+            elif (
+                isinstance(func, ast.Name)
+                and func.id in _RAW_DISPATCH_NAMES
+            ):
+                raw_sites.append(node.lineno)
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _RAW_DISPATCH_NAMES
+            ):
+                raw_sites.append(node.lineno)
+        for line in raw_sites:
+            findings.append(
+                Finding(
+                    path,
+                    line,
+                    "handler-unsupervised-dispatch",
+                    "capability handler dispatches to the pool directly; "
+                    "route engine work through a supervised entry point "
+                    "(supervised_map / run_sharded / stuck_at_coverage / "
+                    "explore) so retry, respawn, and salvage apply",
+                )
+            )
+        if not supervised and not raw_sites:
+            findings.append(
+                Finding(
+                    path,
+                    1,
+                    "handler-unsupervised-dispatch",
+                    "capability handler references no supervised engine "
+                    "entry point (supervised_map / run_sharded / "
+                    "stuck_at_coverage / simulate_faults / explore / "
+                    "build_reachability_graph); engine access must go "
+                    "through one of them",
+                )
+            )
+    return findings
+
+
 def run(src_root: Path, engine_root: Path, differential_test: Path) -> List[Finding]:
     findings = check_oracle_references(src_root, differential_test)
     findings.extend(
@@ -277,6 +373,9 @@ def run(src_root: Path, engine_root: Path, differential_test: Path) -> List[Find
     )
     findings.extend(check_engine_rng(engine_root))
     findings.extend(check_dispatch_catches(src_root))
+    findings.extend(
+        check_handler_dispatch(src_root / "service" / "handlers")
+    )
     return findings
 
 

@@ -34,6 +34,13 @@ Injection points
 ``pickle-fail``
     Task submission raises ``pickle.PicklingError`` parent-side before
     the work item ever reaches the executor.
+``slow-client``
+    Service-level point: the decode service's per-session writer stalls
+    ``slow_client_s`` seconds before sending a response frame
+    (:func:`client_delay`), modelling a client that drains its socket
+    slowly.  A slow reader must delay only its own stream -- other
+    sessions, batching, and result bit-identity are unaffected, which
+    ``tests/test_chaos.py`` pins.
 
 Determinism
 -----------
@@ -79,6 +86,7 @@ POINTS = (
     "shm-publish-fail",
     "payload-fetch-fail",
     "pickle-fail",
+    "slow-client",
 )
 
 #: Points decided (and applied) inside the worker process, keyed by the
@@ -110,13 +118,16 @@ class ChaosPlan:
         shm_publish_fail: Union[int, float] = 0,
         payload_fetch_fail: Union[int, float] = 0,
         pickle_fail: Union[int, float] = 0,
+        slow_client: Union[int, float] = 0,
         hang_s: float = 20.0,
         slow_s: float = 0.05,
+        slow_client_s: float = 0.05,
         attempts: Tuple[int, ...] = (0,),
     ) -> None:
         self.seed = seed
         self.hang_s = hang_s
         self.slow_s = slow_s
+        self.slow_client_s = slow_client_s
         self.attempts = frozenset(attempts)
         self.spec: Dict[str, Union[int, float]] = {
             "worker-kill": worker_kill,
@@ -125,6 +136,7 @@ class ChaosPlan:
             "shm-publish-fail": shm_publish_fail,
             "payload-fetch-fail": payload_fetch_fail,
             "pickle-fail": pickle_fail,
+            "slow-client": slow_client,
         }
         # Parent-side observations (payload points and mirrored worker
         # decisions); purely diagnostic, never consulted by decide().
@@ -199,6 +211,25 @@ def check(point: str) -> None:
         raise OSError(
             f"chaos[{point}]: injected fault (key={key}, attempt={attempt})"
         )
+
+
+def client_delay() -> float:
+    """Seconds the service writer must stall before its next frame.
+
+    Service-side hook for the ``slow-client`` point: keyed on a
+    per-point occurrence counter (one decision per frame written), it
+    returns ``slow_client_s`` when the active plan fires and ``0.0``
+    otherwise -- a delay, not a failure, so the caller sleeps instead of
+    raising.  No active plan costs one ``is None`` test.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return 0.0
+    key = plan.next_occurrence("slow-client")
+    if plan.decide("slow-client", key, 0):
+        plan.note("slow-client", key, 0)
+        return plan.slow_client_s
+    return 0.0
 
 
 def chaos_call(plan, key, attempt, fn, *args):

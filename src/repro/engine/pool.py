@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
 import uuid
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -50,6 +51,7 @@ from typing import Dict, Optional, Tuple
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.engine import chaos
+from repro.engine.records import ScopedRecord
 
 # Below this many instructions per shard the protocol overhead (payload
 # packing, IPC, seam replay) outweighs parallel evaluation even on warm
@@ -58,10 +60,14 @@ POOL_MIN_SHARD_INSTRUCTIONS = 2_048
 
 # Decision record of the most recent run_sharded call:
 # {"use_pool": bool, "reason": str, "cpu_count": int, "per_shard": int}.
-LAST_DECISION: Dict[str, object] = {}
+# Context-scoped (see repro.engine.records): each thread / asyncio task
+# observes its own record, so concurrent service requests cannot clobber
+# each other's decisions between the engine call and the trace read.
+LAST_DECISION = ScopedRecord("pool-last-decision")
 
 _POOL: Optional[ProcessPoolExecutor] = None
 _POOL_PID: Optional[int] = None
+_POOL_LOCK = threading.Lock()
 _ATEXIT_REGISTERED = False
 
 
@@ -86,16 +92,21 @@ def get_pool(max_workers: Optional[int] = None) -> ProcessPoolExecutor:
     pid = os.getpid()
     if _POOL is not None and _POOL_PID == pid:
         return _POOL
-    if _POOL is not None:
-        # Inherited across fork: the queues/threads belong to the parent.
-        # Drop the reference without joining the parent's workers.
-        _POOL = None
-    _POOL = ProcessPoolExecutor(max_workers=max_workers or worker_count())
-    _POOL_PID = pid
-    if not _ATEXIT_REGISTERED:
-        atexit.register(shutdown)
-        _ATEXIT_REGISTERED = True
-    return _POOL
+    # Creation is serialised: two service threads racing here must not
+    # each spawn a pool (the loser's workers would leak until exit).
+    with _POOL_LOCK:
+        if _POOL is not None and _POOL_PID == pid:
+            return _POOL
+        if _POOL is not None:
+            # Inherited across fork: the queues/threads belong to the
+            # parent.  Drop the reference without joining its workers.
+            _POOL = None
+        _POOL = ProcessPoolExecutor(max_workers=max_workers or worker_count())
+        _POOL_PID = pid
+        if not _ATEXIT_REGISTERED:
+            atexit.register(shutdown)
+            _ATEXIT_REGISTERED = True
+        return _POOL
 
 
 def discard(kill: bool = False) -> None:
@@ -110,7 +121,8 @@ def discard(kill: bool = False) -> None:
     interpreter's exit join) for the rest of its sleep.
     """
     global _POOL, _POOL_PID
-    pool, _POOL, _POOL_PID = _POOL, None, None
+    with _POOL_LOCK:
+        pool, _POOL, _POOL_PID = _POOL, None, None
     if pool is None:
         return
     workers = []
@@ -133,9 +145,10 @@ def shutdown(wait: bool = True) -> None:
     reference.
     """
     global _POOL, _POOL_PID
-    pool, owner_pid = _POOL, _POOL_PID
-    _POOL = None
-    _POOL_PID = None
+    with _POOL_LOCK:
+        pool, owner_pid = _POOL, _POOL_PID
+        _POOL = None
+        _POOL_PID = None
     if pool is not None and owner_pid == os.getpid():
         pool.shutdown(wait=wait)
 

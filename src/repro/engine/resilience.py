@@ -60,6 +60,7 @@ from concurrent.futures import BrokenExecutor, CancelledError, Executor
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.engine import chaos, pool
+from repro.engine.records import ScopedRecord
 
 # Per-task deadline for one future.result wait.  Generous on purpose:
 # the largest healthy shard in the benchmark corpus completes in
@@ -86,7 +87,9 @@ INFRA_EXCEPTIONS = (
 # PoolHealth record of the most recent supervised_map call.  Also
 # aliased into pool.LAST_DECISION["pool_health"], so existing
 # observability (benchmarks persisting LAST_DECISION) picks it up.
-LAST_HEALTH: Dict[str, Any] = {}
+# Context-scoped like LAST_DECISION itself: concurrent service requests
+# dispatching on executor threads each observe their own health record.
+LAST_HEALTH = ScopedRecord("resilience-last-health")
 
 # Cap on retained error reprs in the health record.
 _HEALTH_ERRORS_MAX = 8

@@ -1,0 +1,261 @@
+"""Async client for the decode service's JSONL protocol.
+
+:class:`ServiceClient` multiplexes any number of concurrent requests
+over one connection: a single reader task demultiplexes incoming frames
+to per-request queues by the ``id`` field, so ``asyncio.gather`` over
+many :meth:`ServiceClient.request` calls is the natural way to drive the
+server hard (the load generator and the concurrency battery both do).
+
+Terminal server events map onto exceptions so callers never have to
+inspect frames: ``rejected`` raises :class:`BackpressureRejected` (with
+the server's ``retry_after_ms`` hint), ``cancelled`` raises
+:class:`RequestCancelled`, ``error`` raises :class:`RequestFailed`, and
+a connection that dies mid-request raises :class:`ServiceError`.  A
+successful request returns a :class:`ServiceResult` carrying the result
+payload, the streamed partials in arrival order, and the server-side
+decision trace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+_EOF = object()
+
+
+class ServiceError(Exception):
+    """Base class: the request did not produce a result payload."""
+
+    def __init__(self, message: str, trace: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.trace = trace or {}
+
+
+class BackpressureRejected(ServiceError):
+    """Admission control refused the request; back off and retry."""
+
+    def __init__(
+        self,
+        reason: str,
+        backpressure: str,
+        retry_after_ms: float,
+        trace: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(f"rejected: {reason} ({backpressure})", trace)
+        self.reason = reason
+        self.backpressure = backpressure
+        self.retry_after_ms = retry_after_ms
+
+
+class RequestCancelled(ServiceError):
+    """The request was cancelled (by us, by disconnect, or by shutdown)."""
+
+    def __init__(self, stage: str, trace: Optional[Dict[str, Any]] = None):
+        super().__init__(f"cancelled while {stage}", trace)
+        self.stage = stage
+
+
+class RequestFailed(ServiceError):
+    """The capability handler raised; the server stayed up."""
+
+
+@dataclass
+class ServiceResult:
+    """Everything the server streamed back for one successful request."""
+
+    request_id: str
+    payload: Dict[str, Any]
+    trace: Dict[str, Any]
+    partials: List[Dict[str, Any]] = field(default_factory=list)
+    accepted_seq: Optional[int] = None
+    backpressure: Optional[str] = None
+
+
+class ServiceClient:
+    """One JSONL session against a :class:`~repro.service.server.DecodeService`."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        tenant: str = "default",
+        weight: Optional[float] = None,
+    ) -> None:
+        self.tenant = tenant
+        self.weight = weight
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._inboxes: Dict[str, asyncio.Queue] = {}
+        self._control: asyncio.Queue = asyncio.Queue()  # stats/pong frames
+        self._reader_task = asyncio.create_task(self._read_loop())
+        self._closed = False
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "default",
+        weight: Optional[float] = None,
+    ) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, tenant=tenant, weight=weight)
+
+    # -- wire -------------------------------------------------------------
+
+    async def _send(self, frame: Dict[str, Any]) -> None:
+        if self._closed:
+            raise ServiceError("client closed")
+        self._writer.write(json.dumps(frame).encode() + b"\n")
+        await self._writer.drain()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    frame = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                request_id = frame.get("id")
+                if request_id is not None and request_id in self._inboxes:
+                    self._inboxes[request_id].put_nowait(frame)
+                else:
+                    self._control.put_nowait(frame)
+        except (ConnectionResetError, OSError):
+            pass
+        finally:
+            for inbox in self._inboxes.values():
+                inbox.put_nowait(_EOF)
+            self._control.put_nowait(_EOF)
+
+    # -- requests ---------------------------------------------------------
+
+    def _new_id(self) -> str:
+        self._next_id += 1
+        return f"{self.tenant}-{self._next_id}"
+
+    async def submit(
+        self, capability: str, params: Optional[Dict[str, Any]] = None
+    ) -> str:
+        """Send one request frame; returns its id (await :meth:`collect`)."""
+        request_id = self._new_id()
+        self._inboxes[request_id] = asyncio.Queue()
+        frame: Dict[str, Any] = {
+            "op": "request",
+            "id": request_id,
+            "tenant": self.tenant,
+            "capability": capability,
+            "params": params or {},
+        }
+        if self.weight is not None:
+            frame["weight"] = self.weight
+        await self._send(frame)
+        return request_id
+
+    async def collect(
+        self,
+        request_id: str,
+        *,
+        on_partial: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> ServiceResult:
+        """Consume a submitted request's event stream to its terminal event."""
+        inbox = self._inboxes[request_id]
+        result = ServiceResult(request_id=request_id, payload={}, trace={})
+        try:
+            while True:
+                frame = await inbox.get()
+                if frame is _EOF:
+                    raise ServiceError("connection closed mid-request")
+                event = frame.get("event")
+                if event == "accepted":
+                    result.accepted_seq = frame.get("seq")
+                    result.backpressure = frame.get("backpressure")
+                elif event == "partial":
+                    result.partials.append(frame.get("payload", {}))
+                    if on_partial is not None:
+                        on_partial(frame.get("payload", {}))
+                elif event == "rejected":
+                    raise BackpressureRejected(
+                        frame.get("reason", "unknown"),
+                        frame.get("backpressure", "reject"),
+                        float(frame.get("retry_after_ms", 0.0)),
+                        frame.get("trace"),
+                    )
+                elif event == "cancelled":
+                    raise RequestCancelled(
+                        frame.get("stage", "unknown"), frame.get("trace")
+                    )
+                elif event == "error":
+                    raise RequestFailed(
+                        frame.get("error", "unknown"), frame.get("trace")
+                    )
+                elif event == "result":
+                    result.payload = frame.get("payload", {})
+                    result.trace = frame.get("trace", {})
+                    return result
+                elif event == "protocol-error":
+                    raise ServiceError(frame.get("error", "protocol error"))
+        finally:
+            self._inboxes.pop(request_id, None)
+
+    async def request(
+        self,
+        capability: str,
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        on_partial: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> ServiceResult:
+        """Submit one request and await its result (the common path)."""
+        request_id = await self.submit(capability, params)
+        return await self.collect(request_id, on_partial=on_partial)
+
+    async def cancel(self, request_id: str) -> None:
+        """Ask the server to cancel; the terminal event lands via collect."""
+        await self._send({"op": "cancel", "id": request_id})
+
+    # -- control ----------------------------------------------------------
+
+    async def stats(self) -> Dict[str, Any]:
+        await self._send({"op": "stats"})
+        while True:
+            frame = await self._control.get()
+            if frame is _EOF:
+                raise ServiceError("connection closed awaiting stats")
+            if frame.get("event") == "stats":
+                return frame.get("metrics", {})
+
+    async def ping(self) -> None:
+        await self._send({"op": "ping"})
+        while True:
+            frame = await self._control.get()
+            if frame is _EOF:
+                raise ServiceError("connection closed awaiting pong")
+            if frame.get("event") == "pong":
+                return
+
+    async def close(self, *, abort: bool = False) -> None:
+        """Close the session.  ``abort=True`` drops the transport without
+        a clean shutdown -- the battery's disconnect-mid-stream client."""
+        if self._closed:
+            return
+        self._closed = True
+        if abort:
+            transport = self._writer.transport
+            if transport is not None:
+                transport.abort()
+        else:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+        await self._reader_task

@@ -1,0 +1,163 @@
+"""``decode`` capability: RAPPID instruction-stream decoding.
+
+Wraps :class:`repro.rappid.microarch.RappidDecoder` -- the monolithic
+:meth:`~repro.rappid.microarch.RappidDecoder.run` for small streams and
+the exact sharded :meth:`~repro.rappid.microarch.RappidDecoder.run_sharded`
+(whose cold-shard fan-out rides :func:`repro.engine.resilience.supervised_map`
+over the persistent pool) when the request asks for shards.  The
+workload itself is generated server-side from the request's seed, so a
+request is a few hundred bytes no matter how many instructions it
+decodes.
+
+The result payload carries the run's exact scalar measurements plus
+SHA-256 signatures over the full issue-time and latency trajectories
+(little-endian float64 stream), so bit-identity against a direct engine
+call is a string comparison.  With ``stream_chunk`` set, the handler
+streams one partial per trajectory chunk -- first index, count, running
+issue time, and the chunk's signature -- while the final payload still
+covers the whole run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from functools import lru_cache
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.rappid.microarch import RappidConfig, RappidDecoder
+from repro.rappid.workload import WorkloadGenerator
+
+NAME = "decode"
+
+#: Cost normalisation: one scheduler cost unit per this many instructions.
+COST_UNIT_INSTRUCTIONS = 10_000.0
+
+_CONFIG_FIELDS = frozenset(RappidConfig.__dataclass_fields__)
+
+
+def trajectory_signature(values: Sequence[float]) -> str:
+    """SHA-256 over the exact float64 stream (order-sensitive)."""
+    digest = hashlib.sha256()
+    for value in values:
+        digest.update(struct.pack("<d", value))
+    return digest.hexdigest()
+
+
+def _canonical(params: Dict[str, Any], keys: Sequence[str]) -> str:
+    return json.dumps(
+        {key: params.get(key) for key in keys}, sort_keys=True, default=str
+    )
+
+
+def batch_key(params: Dict[str, Any]) -> str:
+    """Coalesce decode requests sharing a config and shard policy.
+
+    The workload (seed, instruction count) is excluded on purpose:
+    streams differing only in content ride one batch and share the warm
+    pool; the config and shard policy determine the engine path taken.
+    """
+    return _canonical(params, ("config", "shards", "use_processes"))
+
+
+def cost(params: Dict[str, Any]) -> float:
+    count = int(params.get("instructions", 2_000))
+    return max(1.0, count / COST_UNIT_INSTRUCTIONS)
+
+
+@lru_cache(maxsize=32)
+def _workload(
+    seed: int, count: int, line_bytes: int
+) -> Tuple[tuple, tuple]:
+    """Deterministic (instructions, lines) for a request's workload knobs.
+
+    Cached so coalesced batches repeating a workload (the load
+    generator's steady state) skip regeneration; tuples keep the cache
+    entries immutable.
+    """
+    generator = WorkloadGenerator(seed=seed, line_bytes=line_bytes)
+    instructions = generator.instructions(count)
+    lines = generator.cache_lines(instructions)
+    return tuple(instructions), tuple(lines)
+
+
+def run(
+    params: Dict[str, Any], emit: Callable[[Dict[str, Any]], None]
+) -> Dict[str, Any]:
+    """Decode one synthetic stream; stream trajectory chunks, return payload."""
+    overrides = dict(params.get("config") or {})
+    unknown = set(overrides) - _CONFIG_FIELDS
+    if unknown:
+        raise ValueError(f"unknown RappidConfig fields: {sorted(unknown)}")
+    config = RappidConfig(**overrides)
+    seed = int(params.get("seed", 0))
+    count = int(params.get("instructions", 2_000))
+    if count < 1:
+        raise ValueError("instructions must be at least 1")
+    shards = int(params.get("shards", 0))
+    use_processes = params.get("use_processes")
+
+    instructions, lines = _workload(seed, count, config.line_bytes)
+    decoder = RappidDecoder(config)
+    if shards > 1:
+        # Exact sharded path: supervised pool dispatch inside.
+        result = decoder.run_sharded(
+            list(instructions),
+            list(lines),
+            shards=shards,
+            min_shard_instructions=int(
+                params.get("min_shard_instructions", 1_024)
+            ),
+            use_processes=use_processes,
+        )
+    else:
+        result = decoder.run(list(instructions), list(lines))
+
+    chunk = int(params.get("stream_chunk", 0))
+    if chunk > 0:
+        for partial in partials_of(result, chunk):
+            emit(partial)
+    return payload_of(result)
+
+
+def payload_of(result: Any) -> Dict[str, Any]:
+    """The JSON payload for a :class:`RappidResult` (exact fields only).
+
+    Shared by the server and by tests/benchmarks computing the direct
+    engine baseline: bit-identity of two runs reduces to equality of the
+    two payload dicts.
+    """
+    return {
+        "instruction_count": result.instruction_count,
+        "line_count": result.line_count,
+        "total_time_ps": result.total_time_ps,
+        "energy_pj": result.energy_pj,
+        "throughput_instructions_per_ns": result.throughput_instructions_per_ns,
+        "average_latency_ps": result.average_latency_ps,
+        "issue_signature": trajectory_signature(result.issue_times_ps),
+        "latency_signature": trajectory_signature(
+            result.instruction_latencies_ps
+        ),
+    }
+
+
+def partials_of(result: Any, chunk: int) -> List[Dict[str, Any]]:
+    """The partial chunks :func:`run` would stream for ``result``.
+
+    Used by tests to pin the streamed chunks bit-identical to a direct
+    engine run without re-implementing the chunking.
+    """
+    partials: List[Dict[str, Any]] = []
+    issues = result.issue_times_ps
+    for first in range(0, len(issues), chunk):
+        window = issues[first : first + chunk]
+        partials.append(
+            {
+                "first": first,
+                "count": len(window),
+                "last_issue_ps": window[-1],
+                "signature": trajectory_signature(window),
+            }
+        )
+    return partials

@@ -215,3 +215,104 @@ class TestRunShardedUnderInjection:
         assert health["outcome"] == "ok"
         assert health["respawns"] >= 1
         assert pool.LAST_DECISION["use_pool"] is True
+
+
+class TestServiceUnderInjection:
+    """Service-level chaos: the asyncio front end under injected faults.
+
+    The service inherits the engine's bit-identity discipline one layer
+    up: a chaos-disturbed service run (slow client transport, worker
+    death mid-batch) must produce responses bit-identical to the
+    undisturbed run -- delays and recoveries may change *when* frames
+    arrive, never *what* they say.
+    """
+
+    def test_slow_client_decide_is_seed_stable(self):
+        plan_a = ChaosPlan(seed=12, slow_client=0.5, slow_client_s=0.01)
+        plan_b = ChaosPlan(seed=12, slow_client=0.5, slow_client_s=0.01)
+
+        def draws(plan):
+            with chaos.active(plan):
+                return [chaos.client_delay() for _ in range(32)]
+
+        first, second = draws(plan_a), draws(plan_b)
+        assert first == second
+        assert set(first) <= {0.0, 0.01}
+        assert plan_a.injected("slow-client") == first.count(0.01)
+
+    def test_client_delay_without_plan_is_zero(self):
+        assert chaos.current() is None
+        assert chaos.client_delay() == 0.0
+
+    def test_slow_client_service_run_bit_identical(self):
+        import asyncio
+
+        from repro.service import DecodeService, ServiceClient, ServiceConfig
+        from repro.service.handlers import decode as decode_handler
+
+        async def scenario():
+            service = DecodeService(ServiceConfig())
+            host, port = await service.start()
+            try:
+                client = await ServiceClient.connect(host, port)
+                try:
+                    return await client.request(
+                        "decode",
+                        {"seed": 9, "instructions": 400, "stream_chunk": 100},
+                    )
+                finally:
+                    await client.close()
+            finally:
+                await service.shutdown()
+
+        plan = ChaosPlan(seed=13, slow_client=1.0, slow_client_s=0.005)
+        with chaos.active(plan):
+            disturbed = asyncio.run(scenario())
+        assert plan.injected("slow-client") >= 1, "no frame was delayed"
+
+        generator = WorkloadGenerator(seed=9)
+        instructions, lines = generator.workload(400)
+        exact = RappidDecoder().run(instructions, lines)
+        assert disturbed.payload == decode_handler.payload_of(exact)
+        assert disturbed.partials == decode_handler.partials_of(exact, 100)
+
+    def test_worker_death_mid_service_batch_bit_identical(self, fresh_pool):
+        import asyncio
+
+        from repro.service import DecodeService, ServiceClient, ServiceConfig
+        from repro.service.handlers import decode as decode_handler
+
+        params = {
+            "seed": 4,
+            "instructions": 4_000,
+            "shards": 2,
+            "min_shard_instructions": 64,
+            "use_processes": True,
+        }
+
+        async def scenario():
+            service = DecodeService(ServiceConfig())
+            host, port = await service.start()
+            try:
+                client = await ServiceClient.connect(host, port)
+                try:
+                    return await client.request("decode", dict(params))
+                finally:
+                    await client.close()
+            finally:
+                await service.shutdown()
+
+        with chaos.active(ChaosPlan(seed=14, worker_kill=1)):
+            disturbed = asyncio.run(scenario())
+
+        generator = WorkloadGenerator(seed=4)
+        instructions, lines = generator.workload(4_000)
+        exact = RappidDecoder().run(instructions, lines)
+        assert disturbed.payload == decode_handler.payload_of(exact)
+        # The recovery story is in the trace's engine snapshot, taken on
+        # the engine lane that absorbed the kill.
+        health = disturbed.trace["engine"]["pool_health"]
+        assert health["label"] == "run_sharded"
+        assert health["outcome"] == "ok"
+        assert health["respawns"] >= 1
+        assert health["injected"].get("worker-kill", 0) >= 1

@@ -298,3 +298,97 @@ class TestMain:
         )
         assert status == 0
         assert capsys.readouterr().out == ""
+
+
+class TestHandlerDispatchRule:
+    def test_raw_submit_in_handler_reported(self, tmp_path):
+        src = tmp_path / "src"
+        write(
+            src / "service" / "handlers" / "bad.py",
+            """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(params, emit):
+                with ProcessPoolExecutor() as pool:
+                    return pool.submit(sum, [1, 2]).result()
+            """,
+        )
+        findings = lint_contracts.run(
+            src, tmp_path / "engine", tmp_path / "t.py"
+        )
+        rules = {f.rule for f in findings}
+        assert "handler-unsupervised-dispatch" in rules
+        flagged = [
+            f for f in findings if f.rule == "handler-unsupervised-dispatch"
+        ]
+        # Both the constructor and the .submit call are flagged.
+        assert len(flagged) == 2
+        assert all(f.path.name == "bad.py" for f in flagged)
+
+    def test_get_pool_in_handler_reported(self, tmp_path):
+        src = tmp_path / "src"
+        write(
+            src / "service" / "handlers" / "sneaky.py",
+            """\
+            from repro.engine import pool
+
+            def run(params, emit):
+                executor = pool.get_pool(2)
+                return executor
+            """,
+        )
+        findings = lint_contracts.check_handler_dispatch(
+            src / "service" / "handlers"
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "handler-unsupervised-dispatch"
+        assert "supervised entry point" in findings[0].message
+
+    def test_handler_without_supervised_entry_reported(self, tmp_path):
+        src = tmp_path / "src"
+        write(
+            src / "service" / "handlers" / "sideways.py",
+            """\
+            def run(params, emit):
+                return {"ok": True}
+            """,
+        )
+        findings = lint_contracts.check_handler_dispatch(
+            src / "service" / "handlers"
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 1
+        assert "references no supervised engine entry point" in findings[0].message
+
+    def test_supervised_handler_passes_and_init_is_skipped(self, tmp_path):
+        src = tmp_path / "src"
+        write(
+            src / "service" / "handlers" / "good.py",
+            """\
+            from repro.rappid.microarch import RappidDecoder
+
+            def run(params, emit):
+                return RappidDecoder().run_sharded([], [], shards=2)
+            """,
+        )
+        write(
+            src / "service" / "handlers" / "__init__.py",
+            "HANDLERS = {}\n",
+        )
+        assert (
+            lint_contracts.check_handler_dispatch(src / "service" / "handlers")
+            == []
+        )
+
+    def test_missing_handlers_package_is_quiet(self, tmp_path):
+        assert (
+            lint_contracts.check_handler_dispatch(tmp_path / "absent") == []
+        )
+
+    def test_real_handlers_are_clean(self):
+        assert (
+            lint_contracts.check_handler_dispatch(
+                REPO / "src" / "repro" / "service" / "handlers"
+            )
+            == []
+        )

@@ -538,3 +538,116 @@ class TestRunShardedPayloadRoute:
             use_processes=False, **kwargs,
         )
         assert campaign_signature(pooled) == campaign_signature(local)
+
+
+class TestScopedRecords:
+    """LAST_DECISION / LAST_HEALTH are context-scoped, not shared globals.
+
+    Before the service layer, both records were plain module-global
+    dicts: two threads running engine calls concurrently raced between
+    one thread's write and the other's read.  The regression pins the
+    contextvar-backed :class:`repro.engine.records.ScopedRecord`
+    semantics: per-thread isolation, dict-compatible interface, plain
+    JSON-serialisable snapshots, and the pool_health aliasing identity.
+    """
+
+    def test_decide_records_are_isolated_per_thread(self):
+        import threading
+
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def probe(label, shards):
+            # Both threads write their own decision, rendezvous so the
+            # writes demonstrably overlap, then read their own record.
+            pool.decide(10_000, shards, forced=True)
+            barrier.wait(timeout=10)
+            results[label] = (pool.LAST_DECISION["shards"], shards)
+
+        threads = [
+            threading.Thread(target=probe, args=("a", 2)),
+            threading.Thread(target=probe, args=("b", 7)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert results["a"][0] == results["a"][1] == 2
+        assert results["b"][0] == results["b"][1] == 7
+
+    def test_health_records_are_isolated_per_thread(self):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.engine import resilience
+
+        barrier = threading.Barrier(2)
+        seen = {}
+
+        def dispatch(label):
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                resilience.supervised_map(
+                    executor, int, [("7",)], label=label
+                )
+            barrier.wait(timeout=10)
+            seen[label] = resilience.LAST_HEALTH["label"]
+
+        threads = [
+            threading.Thread(target=dispatch, args=(name,))
+            for name in ("left", "right")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert seen == {"left": "left", "right": "right"}
+
+    def test_record_keeps_dict_interface_and_equality(self):
+        from repro.engine.records import ScopedRecord
+
+        record = ScopedRecord("probe")
+        assert len(record) == 0 and "x" not in record
+        record["x"] = 1
+        record.update(y=2)
+        assert dict(record) == {"x": 1, "y": 2}
+        assert record == {"x": 1, "y": 2}
+        assert record.pop("y") == 2
+        record.clear()
+        assert record == {}
+        with pytest.raises(KeyError):
+            del record["missing"]
+
+    def test_snapshot_is_plain_json_serialisable(self):
+        import json
+
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.engine import resilience
+
+        with ThreadPoolExecutor(max_workers=1) as executor:
+            resilience.supervised_map(executor, int, [("3",)], label="snap")
+        # The aliasing convention survives the scoping change ...
+        assert pool.LAST_DECISION["pool_health"] is resilience.LAST_HEALTH
+        # ... and a snapshot flattens the nested record for persistence.
+        snapshot = pool.LAST_DECISION.snapshot()
+        assert isinstance(snapshot["pool_health"], dict)
+        assert snapshot["pool_health"]["label"] == "snap"
+        json.dumps(snapshot)
+
+    def test_concurrent_get_pool_creates_exactly_one_pool(self, fresh_pool):
+        import threading
+
+        pools = []
+        barrier = threading.Barrier(4)
+
+        def create():
+            barrier.wait(timeout=10)
+            pools.append(pool.get_pool())
+
+        threads = [threading.Thread(target=create) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(pools) == 4
+        assert all(executor is pools[0] for executor in pools)

@@ -1,0 +1,426 @@
+"""Concurrency battery for the decode service (ROADMAP item 2).
+
+Boots real :class:`~repro.service.server.DecodeService` instances on
+ephemeral localhost ports and drives them with
+:class:`~repro.service.client.ServiceClient` sessions, pinning the
+contracts the service layer claims:
+
+* responses (and streamed partials) **bit-identical** to the same call
+  made directly against the engine APIs;
+* deterministic N-client interleaving under the seeded fair scheduler
+  -- same arrival order in, same admission/batch decisions out;
+* cancellation before dispatch (``stage="queued"``) and after batch
+  admission (``stage="running"``), with the engine result discarded;
+* client disconnect mid-stream withdraws only that session's work;
+* shutdown drains in-flight batches and cancels queued requests with
+  ``stage="shutdown"``;
+* bounded-queue backpressure rejects (``queue-full`` / ``tenant-quota``)
+  with a retry hint instead of buffering without limit.
+
+Each test runs its own event loop via ``asyncio.run`` (the repo carries
+no pytest-asyncio); gate-blocked test capabilities are installed through
+:func:`repro.service.handlers.register` to hold engine lanes open at
+precise points.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.rappid.microarch import RappidConfig, RappidDecoder
+from repro.rappid.workload import WorkloadGenerator
+from repro.service import (
+    BackpressureRejected,
+    DecodeService,
+    RequestCancelled,
+    ServiceClient,
+    ServiceConfig,
+)
+from repro.service import handlers as handler_registry
+from repro.service.handlers import coverage as coverage_handler
+from repro.service.handlers import decode as decode_handler
+from repro.service.handlers import reachability as reachability_handler
+from repro.testability import stuck_at_coverage
+
+
+def direct_decode_payload(seed: int, count: int):
+    generator = WorkloadGenerator(seed=seed)
+    instructions = generator.instructions(count)
+    lines = generator.cache_lines(instructions)
+    return (
+        decode_handler.payload_of(
+            RappidDecoder(RappidConfig()).run(instructions, lines)
+        ),
+        RappidDecoder(RappidConfig()).run(instructions, lines),
+    )
+
+
+class _GateHandler:
+    """Test capability that parks on an engine lane until released."""
+
+    NAME = "gate"
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.runs = 0
+
+    def batch_key(self, params):
+        return str(params.get("key", "gate"))
+
+    def cost(self, params):
+        return float(params.get("cost", 1.0))
+
+    def run(self, params, emit):
+        self.runs += 1
+        self.started.set()
+        if not self.release.wait(timeout=30.0):
+            raise RuntimeError("gate never released")
+        return {"ok": True, "runs": self.runs}
+
+
+@pytest.fixture
+def gate():
+    handler = _GateHandler()
+    handler_registry.register(handler)
+    yield handler
+    handler.release.set()
+    handler_registry.HANDLERS.pop("gate", None)
+
+
+async def _wait_event(event: threading.Event, timeout: float = 10.0) -> bool:
+    return await asyncio.get_running_loop().run_in_executor(
+        None, event.wait, timeout
+    )
+
+
+class TestBitIdentity:
+    def test_decode_result_and_partials_match_direct_engine(self):
+        async def scenario():
+            service = DecodeService(ServiceConfig())
+            host, port = await service.start()
+            try:
+                client = await ServiceClient.connect(host, port)
+                try:
+                    return await client.request(
+                        "decode",
+                        {"seed": 11, "instructions": 500, "stream_chunk": 128},
+                    )
+                finally:
+                    await client.close()
+            finally:
+                await service.shutdown()
+
+        result = asyncio.run(scenario())
+        direct_payload, direct_result = direct_decode_payload(11, 500)
+        assert result.payload == direct_payload
+        assert result.partials == decode_handler.partials_of(
+            direct_result, 128
+        )
+        assert result.trace["admission"]["decision"] == "admitted"
+        assert result.trace["batch"]["size"] == 1
+        assert "engine" in result.trace
+
+    def test_coverage_and_reachability_match_direct_engine(self):
+        async def scenario():
+            service = DecodeService(ServiceConfig())
+            host, port = await service.start()
+            try:
+                client = await ServiceClient.connect(host, port)
+                try:
+                    return await asyncio.gather(
+                        client.request(
+                            "coverage",
+                            {"circuit": "buffer", "duration_ps": 2_000.0},
+                        ),
+                        client.request(
+                            "reachability",
+                            {"spec": "fifo", "max_states": 2_000},
+                        ),
+                    )
+                finally:
+                    await client.close()
+            finally:
+                await service.shutdown()
+
+        cov, reach = asyncio.run(scenario())
+        netlist, rules, stimuli = coverage_handler.resolve_circuit("buffer")
+        report = stuck_at_coverage(
+            netlist, rules, initial_stimuli=stimuli, duration_ps=2_000.0,
+            seed=7,
+        )
+        assert cov.payload == coverage_handler.payload_of(report, "buffer")
+        from repro.petrinet.reachability import Reduction, explore
+        from repro.stg import specs
+
+        graph = explore(
+            specs.load_spec("fifo").net,
+            max_states=2_000,
+            reduction=Reduction.DEADLOCKS,
+        )
+        assert reach.payload == reachability_handler.payload_of(
+            graph, "fifo", "deadlocks"
+        )
+
+
+class TestDeterministicInterleaving:
+    #: (tenant index, capability, params) arrival script shared by runs.
+    #: With unit costs, WFQ orders these by (virtual finish, seq):
+    #: the four decodes (finish tags 1,1,1,2) come out ahead of the two
+    #: coverages (tags 2,2 with later seqs) and coalesce into one batch.
+    SCRIPT = [
+        (0, "decode", {"seed": 1, "instructions": 300}),
+        (1, "decode", {"seed": 2, "instructions": 300}),
+        (2, "decode", {"seed": 3, "instructions": 300}),
+        (0, "decode", {"seed": 1, "instructions": 300}),
+        (1, "coverage", {"circuit": "buffer", "duration_ps": 1_500.0}),
+        (2, "coverage", {"circuit": "buffer", "duration_ps": 1_500.0}),
+    ]
+
+    async def _run_script(self):
+        service = DecodeService(
+            ServiceConfig(window=4), auto_dispatch=False
+        )
+        host, port = await service.start()
+        try:
+            clients = [
+                await ServiceClient.connect(host, port, tenant=f"t{i}")
+                for i in range(3)
+            ]
+            try:
+                pending = []
+                for tenant_index, capability, params in self.SCRIPT:
+                    client = clients[tenant_index]
+                    request_id = await client.submit(capability, dict(params))
+                    # Per-connection ordering is guaranteed; the ping
+                    # barrier extends it across connections so the
+                    # arrival order equals the script order.
+                    await client.ping()
+                    pending.append((client, request_id))
+                while await service.dispatch_once():
+                    pass
+                results = [
+                    await client.collect(request_id)
+                    for client, request_id in pending
+                ]
+                decisions = [
+                    (
+                        r.trace["admission"]["seq"],
+                        r.trace["admission"]["virtual_finish"],
+                        r.trace["batch"]["id"],
+                        r.trace["batch"]["position"],
+                        r.trace["batch"]["size"],
+                    )
+                    for r in results
+                ]
+                payloads = [r.payload for r in results]
+                stats = service.batcher.stats()
+                return decisions, payloads, stats
+            finally:
+                for client in clients:
+                    await client.close()
+        finally:
+            await service.shutdown()
+
+    def test_same_arrivals_same_decisions_and_payloads(self):
+        first = asyncio.run(self._run_script())
+        second = asyncio.run(self._run_script())
+        assert first == second
+        decisions, payloads, stats = first
+        # Coalescing happened: six requests in fewer engine batches.
+        assert stats["requests_batched"] == len(self.SCRIPT)
+        assert stats["batches_built"] < len(self.SCRIPT)
+        # Decode requests coalesce across tenants (same config/key).
+        decode_batches = {
+            decisions[i][2]
+            for i, (_t, cap, _p) in enumerate(self.SCRIPT)
+            if cap == "decode"
+        }
+        assert len(decode_batches) == 1
+        # Payloads equal the direct engine calls.
+        for i, (_tenant, capability, params) in enumerate(self.SCRIPT):
+            if capability != "decode":
+                continue
+            direct, _ = direct_decode_payload(
+                params["seed"], params["instructions"]
+            )
+            assert payloads[i] == direct
+
+
+class TestCancellation:
+    def test_cancel_before_dispatch_is_queued_stage(self):
+        async def scenario():
+            service = DecodeService(ServiceConfig(), auto_dispatch=False)
+            host, port = await service.start()
+            try:
+                client = await ServiceClient.connect(host, port)
+                try:
+                    request_id = await client.submit(
+                        "decode", {"seed": 0, "instructions": 300}
+                    )
+                    await client.cancel(request_id)
+                    with pytest.raises(RequestCancelled) as excinfo:
+                        await client.collect(request_id)
+                    assert excinfo.value.stage == "queued"
+                    assert excinfo.value.trace["cancelled"] == {
+                        "stage": "queued"
+                    }
+                    # The queue is empty: nothing left to dispatch.
+                    assert await service.dispatch_once() == 0
+                    return service.metrics["cancelled"]
+                finally:
+                    await client.close()
+            finally:
+                await service.shutdown()
+
+        assert asyncio.run(scenario()) == 1
+
+    def test_cancel_after_batch_admission_drops_the_result(self, gate):
+        async def scenario():
+            service = DecodeService(ServiceConfig(), auto_dispatch=False)
+            host, port = await service.start()
+            try:
+                client = await ServiceClient.connect(host, port)
+                try:
+                    request_id = await client.submit("gate", {})
+                    await client.ping()  # admission happened server-side
+                    dispatch = asyncio.ensure_future(service.dispatch_once())
+                    assert await _wait_event(gate.started)
+                    # The batch is running on an engine lane; the cancel
+                    # arrives mid-execution.
+                    await client.cancel(request_id)
+                    await asyncio.sleep(0.05)
+                    gate.release.set()
+                    assert await dispatch == 1
+                    with pytest.raises(RequestCancelled) as excinfo:
+                        await client.collect(request_id)
+                    assert excinfo.value.stage == "running"
+                    assert gate.runs == 1  # engine work did run; result dropped
+                finally:
+                    await client.close()
+            finally:
+                await service.shutdown()
+
+        asyncio.run(scenario())
+
+
+class TestDisconnectAndShutdown:
+    def test_disconnect_mid_stream_withdraws_only_that_session(self, gate):
+        async def scenario():
+            service = DecodeService(ServiceConfig())
+            host, port = await service.start()
+            try:
+                doomed = await ServiceClient.connect(host, port, tenant="a")
+                survivor = await ServiceClient.connect(
+                    host, port, tenant="b"
+                )
+                try:
+                    await doomed.submit("gate", {})  # occupies the lane
+                    queued_id = await doomed.submit(
+                        "decode", {"seed": 5, "instructions": 300}
+                    )
+                    assert queued_id
+                    assert await _wait_event(gate.started)
+                    await doomed.close(abort=True)  # vanish mid-stream
+                    for _ in range(200):  # until the server sees the RST
+                        if service.metrics["disconnects"]:
+                            break
+                        await asyncio.sleep(0.01)
+                    gate.release.set()
+                    # The surviving session still gets exact results.
+                    result = await survivor.request(
+                        "decode", {"seed": 5, "instructions": 300}
+                    )
+                    direct, _ = direct_decode_payload(5, 300)
+                    assert result.payload == direct
+                    return service.metrics
+                finally:
+                    await survivor.close()
+            finally:
+                await service.shutdown()
+
+        metrics = asyncio.run(scenario())
+        assert metrics["disconnects"] >= 1
+        # The doomed session's queued decode was withdrawn, not run.
+        assert metrics["cancelled"] >= 1
+        assert metrics["results"] == 1
+
+    def test_shutdown_drains_inflight_and_cancels_queued(self, gate):
+        async def scenario():
+            service = DecodeService(ServiceConfig(engine_lanes=1))
+            host, port = await service.start()
+            client = await ServiceClient.connect(host, port)
+            inflight_id = await client.submit("gate", {"key": "one"})
+            queued_id = await client.submit("gate", {"key": "two"})
+            assert await _wait_event(gate.started)
+            shutdown = asyncio.ensure_future(service.shutdown(drain=True))
+            await asyncio.sleep(0.05)
+            gate.release.set()
+            await shutdown
+            inflight = await client.collect(inflight_id)
+            assert inflight.payload == {"ok": True, "runs": 1}
+            with pytest.raises(RequestCancelled) as excinfo:
+                await client.collect(queued_id)
+            assert excinfo.value.stage == "shutdown"
+            await client.close()
+
+        asyncio.run(scenario())
+
+
+class TestBackpressure:
+    def test_queue_full_rejects_with_retry_hint(self, gate):
+        async def scenario():
+            service = DecodeService(
+                ServiceConfig(capacity=2), auto_dispatch=False
+            )
+            host, port = await service.start()
+            try:
+                client = await ServiceClient.connect(host, port)
+                try:
+                    for _ in range(2):
+                        await client.submit("gate", {})
+                    overflow_id = await client.submit("gate", {})
+                    with pytest.raises(BackpressureRejected) as excinfo:
+                        await client.collect(overflow_id)
+                    assert excinfo.value.reason == "queue-full"
+                    assert excinfo.value.backpressure == "reject"
+                    assert excinfo.value.retry_after_ms > 0
+                    return service.metrics
+                finally:
+                    await client.close()
+            finally:
+                await service.shutdown()
+
+        metrics = asyncio.run(scenario())
+        assert metrics["rejected"] == 1
+        assert metrics["admitted"] == 2
+
+    def test_tenant_quota_rejects_only_the_greedy_tenant(self, gate):
+        async def scenario():
+            service = DecodeService(
+                ServiceConfig(capacity=8, tenant_capacity=1),
+                auto_dispatch=False,
+            )
+            host, port = await service.start()
+            try:
+                greedy = await ServiceClient.connect(host, port, tenant="g")
+                modest = await ServiceClient.connect(host, port, tenant="m")
+                try:
+                    await greedy.submit("gate", {})
+                    second_id = await greedy.submit("gate", {})
+                    with pytest.raises(BackpressureRejected) as excinfo:
+                        await greedy.collect(second_id)
+                    assert excinfo.value.reason == "tenant-quota"
+                    # A different tenant is still admitted.
+                    modest_id = await modest.submit("gate", {})
+                    await modest.ping()
+                    assert service.scheduler.tenant_depth("m") == 1
+                    return modest_id is not None
+                finally:
+                    await greedy.close()
+                    await modest.close()
+            finally:
+                await service.shutdown()
+
+        assert asyncio.run(scenario())
